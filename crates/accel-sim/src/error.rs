@@ -1,0 +1,98 @@
+//! Simulator error type.
+
+use crate::id::DeviceId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the accelerator simulator.
+///
+/// Mirrors the failure classes of a real device runtime: invalid handles,
+/// out-of-memory, and misconfigured launches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccelError {
+    /// The device index does not exist in this engine.
+    UnknownDevice(DeviceId),
+    /// The device ran out of memory; carries requested and free bytes.
+    OutOfMemory {
+        /// Device on which the allocation was attempted.
+        device: DeviceId,
+        /// Requested allocation size in bytes.
+        requested: u64,
+        /// Free bytes remaining on the device.
+        free: u64,
+    },
+    /// An address was freed or referenced that was never allocated.
+    InvalidAddress(u64),
+    /// A kernel launch referenced an argument index with no bound buffer.
+    InvalidKernelArg {
+        /// Kernel symbol name.
+        kernel: String,
+        /// Offending argument index.
+        arg_index: usize,
+    },
+    /// A launch had an empty grid or block.
+    EmptyLaunch(String),
+    /// A copy touched a range outside any live allocation.
+    CopyOutOfBounds {
+        /// Start of the faulting range.
+        addr: u64,
+        /// Length of the faulting range.
+        len: u64,
+    },
+}
+
+impl fmt::Display for AccelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccelError::UnknownDevice(d) => write!(f, "unknown device {d}"),
+            AccelError::OutOfMemory {
+                device,
+                requested,
+                free,
+            } => write!(
+                f,
+                "out of memory on {device}: requested {requested} bytes, {free} free"
+            ),
+            AccelError::InvalidAddress(a) => write!(f, "invalid device address {a:#x}"),
+            AccelError::InvalidKernelArg { kernel, arg_index } => {
+                write!(f, "kernel `{kernel}` references unbound arg {arg_index}")
+            }
+            AccelError::EmptyLaunch(k) => write!(f, "kernel `{k}` launched with empty grid"),
+            AccelError::CopyOutOfBounds { addr, len } => {
+                write!(f, "copy of {len} bytes at {addr:#x} is out of bounds")
+            }
+        }
+    }
+}
+
+impl Error for AccelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = AccelError::OutOfMemory {
+            device: DeviceId(0),
+            requested: 128,
+            free: 64,
+        };
+        let s = e.to_string();
+        assert!(s.contains("out of memory"));
+        assert!(s.contains("128"));
+        assert!(s.contains("64"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AccelError>();
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn Error> = Box::new(AccelError::InvalidAddress(0xdead));
+        assert!(e.to_string().contains("0xdead"));
+    }
+}

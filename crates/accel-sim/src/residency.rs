@@ -1,0 +1,167 @@
+//! Managed-memory residency hook.
+//!
+//! Kernels that touch managed (UVM) ranges pay page-fault and migration
+//! costs decided by a [`ResidencyModel`] — implemented by the `uvm-sim`
+//! crate. The engine consults the model once per access stream, passing the
+//! touched range and traffic volume; the model migrates pages, evicts under
+//! pressure, and returns the extra device time the kernel must absorb.
+
+use crate::id::DeviceId;
+use crate::kernel::AccessKind;
+use serde::{Deserialize, Serialize};
+
+/// Result of resolving one kernel access stream against managed memory.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessOutcome {
+    /// Extra device time the kernel stalls for (fault handling + migration).
+    pub extra_device_ns: u64,
+    /// Page-fault groups serviced.
+    pub faults: u64,
+    /// Bytes migrated host→device to satisfy the accesses.
+    pub migrated_in_bytes: u64,
+    /// Bytes evicted device→host to make room.
+    pub evicted_bytes: u64,
+}
+
+impl AccessOutcome {
+    /// An access that hit entirely resident pages.
+    pub const HIT: AccessOutcome = AccessOutcome {
+        extra_device_ns: 0,
+        faults: 0,
+        migrated_in_bytes: 0,
+        evicted_bytes: 0,
+    };
+
+    /// Component-wise sum.
+    pub fn merge(self, o: AccessOutcome) -> AccessOutcome {
+        AccessOutcome {
+            extra_device_ns: self.extra_device_ns + o.extra_device_ns,
+            faults: self.faults + o.faults,
+            migrated_in_bytes: self.migrated_in_bytes + o.migrated_in_bytes,
+            evicted_bytes: self.evicted_bytes + o.evicted_bytes,
+        }
+    }
+}
+
+/// UVM advice values understood by residency models, mirroring
+/// `cudaMemAdvise`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ResidencyAdvice {
+    /// Pin the range on the device (never evict).
+    PinOnDevice,
+    /// Prefer the host; treat as immediately evictable.
+    PreferHost,
+    /// Read-mostly data; eviction needs no write-back.
+    ReadMostly,
+    /// Clear previous advice.
+    Unset,
+}
+
+/// Decides the cost of device accesses to managed memory.
+///
+/// Beyond demand faulting ([`on_kernel_access`](Self::on_kernel_access)),
+/// the trait carries the full UVM control surface — registration of managed
+/// allocations, asynchronous prefetch and advice — with no-op defaults so
+/// simple models stay simple.
+pub trait ResidencyModel: Send {
+    /// True when `addr` lies in a live managed allocation.
+    fn is_managed(&self, addr: u64) -> bool;
+
+    /// Resolves a kernel's access to `[base, base+len)` on `device` moving
+    /// `bytes` in total; migrates/evicts pages and returns the cost.
+    fn on_kernel_access(
+        &mut self,
+        device: DeviceId,
+        base: u64,
+        len: u64,
+        bytes: u64,
+        kind: AccessKind,
+    ) -> AccessOutcome;
+
+    /// Registers a managed allocation (called from `cudaMallocManaged`).
+    fn register(&mut self, base: u64, len: u64) {
+        let _ = (base, len);
+    }
+
+    /// Unregisters a managed allocation, dropping its pages.
+    fn unregister(&mut self, base: u64) {
+        let _ = base;
+    }
+
+    /// Asynchronously prefetches `[base, base+len)` to `device`, returning
+    /// the non-overlapped device stall in nanoseconds.
+    fn prefetch(&mut self, device: DeviceId, base: u64, len: u64) -> u64 {
+        let _ = (device, base, len);
+        0
+    }
+
+    /// Applies advice to a managed range.
+    fn advise(&mut self, device: DeviceId, base: u64, len: u64, advice: ResidencyAdvice) {
+        let _ = (device, base, len, advice);
+    }
+}
+
+/// A trivial residency model where everything is always resident; useful
+/// in tests and as the behaviour of non-UVM runs.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct AlwaysResident;
+
+impl ResidencyModel for AlwaysResident {
+    fn is_managed(&self, _addr: u64) -> bool {
+        false
+    }
+
+    fn on_kernel_access(
+        &mut self,
+        _device: DeviceId,
+        _base: u64,
+        _len: u64,
+        _bytes: u64,
+        _kind: AccessKind,
+    ) -> AccessOutcome {
+        AccessOutcome::HIT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcomes_add() {
+        let a = AccessOutcome {
+            extra_device_ns: 10,
+            faults: 1,
+            migrated_in_bytes: 4096,
+            evicted_bytes: 0,
+        };
+        let b = AccessOutcome {
+            extra_device_ns: 5,
+            faults: 2,
+            migrated_in_bytes: 0,
+            evicted_bytes: 1024,
+        };
+        let c = a.merge(b);
+        assert_eq!(c.extra_device_ns, 15);
+        assert_eq!(c.faults, 3);
+        assert_eq!(c.migrated_in_bytes, 4096);
+        assert_eq!(c.evicted_bytes, 1024);
+        assert_eq!(a.merge(AccessOutcome::HIT), a);
+    }
+
+    #[test]
+    fn always_resident_never_faults() {
+        let mut m = AlwaysResident;
+        assert!(!m.is_managed(0x1234));
+        assert_eq!(
+            m.on_kernel_access(DeviceId(0), 0, 4096, 4096, AccessKind::Load),
+            AccessOutcome::HIT
+        );
+    }
+
+    #[test]
+    fn model_is_object_safe() {
+        let m: Box<dyn ResidencyModel> = Box::new(AlwaysResident);
+        drop(m);
+    }
+}

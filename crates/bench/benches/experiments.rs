@@ -1,0 +1,85 @@
+//! Criterion benches: wall-clock cost of regenerating each paper
+//! table/figure at quick scale. These time the *framework and simulator*
+//! themselves (the reproduced results use virtual time and are asserted in
+//! the library tests).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pasta_bench as b;
+
+fn quick() -> b::ExpScale {
+    b::ExpScale::quick()
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    c.bench_function("figure7_kernel_frequency", |bench| {
+        bench.iter(|| b::fig7::run(quick()).expect("fig7"));
+    });
+}
+
+fn bench_table5(c: &mut Criterion) {
+    c.bench_function("table5_memory_characteristics", |bench| {
+        bench.iter(|| b::table5::run(quick()).expect("table5"));
+    });
+}
+
+fn bench_fig9_cell(c: &mut Criterion) {
+    use accel_sim::DeviceSpec;
+    use dl_framework::models::ModelZoo;
+    c.bench_function("figure9_bert_a100_all_variants", |bench| {
+        bench.iter(|| {
+            for variant in b::fig9_10::Variant::all() {
+                b::fig9_10::measure(
+                    ModelZoo::Bert,
+                    "A100",
+                    DeviceSpec::a100_80gb(),
+                    variant,
+                    quick(),
+                )
+                .expect("measure");
+            }
+        });
+    });
+}
+
+fn bench_fig11_cell(c: &mut Criterion) {
+    use accel_sim::DeviceSpec;
+    use dl_framework::models::ModelZoo;
+    c.bench_function("figure11_resnet18_3060_cell", |bench| {
+        bench.iter(|| {
+            b::fig11_12::measure(
+                ModelZoo::ResNet18,
+                "3060",
+                DeviceSpec::rtx_3060(),
+                1.0,
+                quick(),
+            )
+            .expect("measure")
+        });
+    });
+}
+
+fn bench_fig13(c: &mut Criterion) {
+    c.bench_function("figure13_hotness", |bench| {
+        bench.iter(|| b::fig13::run(quick()).expect("fig13"));
+    });
+}
+
+fn bench_fig14(c: &mut Criterion) {
+    c.bench_function("figure14_vendor_contrast", |bench| {
+        bench.iter(|| b::fig14::run(quick()).expect("fig14"));
+    });
+}
+
+fn bench_fig15(c: &mut Criterion) {
+    c.bench_function("figure15_parallelism", |bench| {
+        bench.iter(|| b::fig15::run(quick()).expect("fig15"));
+    });
+}
+
+criterion_group! {
+    name = experiments;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig7, bench_table5, bench_fig9_cell, bench_fig11_cell,
+              bench_fig13, bench_fig14, bench_fig15
+}
+criterion_main!(experiments);

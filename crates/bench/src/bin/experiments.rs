@@ -1,0 +1,20 @@
+//! Runs every experiment in sequence and prints all tables/figures —
+//! the artifact-evaluation "run everything" entry point.
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    use pasta_bench as b;
+    let scale = b::ExpScale::from_env();
+    println!("PASTA experiment suite (scale {scale:?})\n");
+
+    print!("{}\n\n", b::fig4::render(&b::fig4::run(scale)?));
+    print!("{}\n\n", b::fig7::render(&b::fig7::run(scale)?));
+    print!("{}\n\n", b::table5::render(&b::table5::run(scale)?));
+    let overheads = b::fig9_10::run(scale)?;
+    print!("{}\n\n", b::fig9_10::render_fig9(&overheads));
+    print!("{}\n\n", b::fig9_10::render_fig10(&overheads));
+    print!("{}\n\n", b::fig11_12::render("Figure 11", &b::fig11_12::run(1.0, scale)?));
+    print!("{}\n\n", b::fig11_12::render("Figure 12", &b::fig11_12::run(3.0, scale)?));
+    print!("{}\n\n", b::fig13::render(&b::fig13::run(scale)?));
+    print!("{}\n\n", b::fig14::render(&b::fig14::run(scale)?));
+    print!("{}\n\n", b::fig15::render(&b::fig15::run(scale)?));
+    Ok(())
+}

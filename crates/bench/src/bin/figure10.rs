@@ -1,0 +1,6 @@
+//! Regenerates Figure 10 (profiling-time breakdown).
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let results = pasta_bench::fig9_10::run(pasta_bench::ExpScale::from_env())?;
+    print!("{}", pasta_bench::fig9_10::render_fig10(&results));
+    Ok(())
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 11 (UVM prefetching, no oversubscription).
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let results = pasta_bench::fig11_12::run(1.0, pasta_bench::ExpScale::from_env())?;
+    print!("{}", pasta_bench::fig11_12::render("Figure 11", &results));
+    Ok(())
+}

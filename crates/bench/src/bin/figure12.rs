@@ -1,0 +1,6 @@
+//! Regenerates Figure 12 (UVM prefetching at 3x oversubscription).
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let results = pasta_bench::fig11_12::run(3.0, pasta_bench::ExpScale::from_env())?;
+    print!("{}", pasta_bench::fig11_12::render("Figure 12", &results));
+    Ok(())
+}

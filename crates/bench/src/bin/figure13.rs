@@ -1,0 +1,6 @@
+//! Regenerates Figure 13 (BERT access hotness over time).
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let result = pasta_bench::fig13::run(pasta_bench::ExpScale::from_env())?;
+    print!("{}", pasta_bench::fig13::render(&result));
+    Ok(())
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 14 (GPT-2 training memory, NVIDIA vs AMD).
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let result = pasta_bench::fig14::run(pasta_bench::ExpScale::from_env())?;
+    print!("{}", pasta_bench::fig14::render(&result));
+    Ok(())
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 15 (Megatron GPT-2 345M per-GPU memory, DP/TP/PP).
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let results = pasta_bench::fig15::run(pasta_bench::ExpScale::from_env())?;
+    print!("{}", pasta_bench::fig15::render(&results));
+    Ok(())
+}

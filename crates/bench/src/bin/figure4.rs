@@ -1,0 +1,6 @@
+//! Regenerates Figure 4 (cross-layer call stack of the hot kernel).
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let result = pasta_bench::fig4::run(pasta_bench::ExpScale::from_env())?;
+    print!("{}", pasta_bench::fig4::render(&result));
+    Ok(())
+}

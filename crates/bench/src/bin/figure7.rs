@@ -1,0 +1,6 @@
+//! Regenerates Figure 7 (kernel invocation frequency distribution).
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let results = pasta_bench::fig7::run(pasta_bench::ExpScale::from_env())?;
+    print!("{}", pasta_bench::fig7::render(&results));
+    Ok(())
+}

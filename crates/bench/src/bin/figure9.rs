@@ -1,0 +1,6 @@
+//! Regenerates Figure 9 (overhead of the three analysis variants).
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let results = pasta_bench::fig9_10::run(pasta_bench::ExpScale::from_env())?;
+    print!("{}", pasta_bench::fig9_10::render_fig9(&results));
+    Ok(())
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table V (memory characteristics of the DNN models).
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let rows = pasta_bench::table5::run(pasta_bench::ExpScale::from_env())?;
+    print!("{}", pasta_bench::table5::render(&rows));
+    Ok(())
+}

@@ -1,0 +1,22 @@
+//! # pasta-bench — the experiment harness
+//!
+//! One module per table/figure of the paper's evaluation (§V), each with a
+//! `run()` that regenerates the result and a `render()` producing the rows
+//! the paper reports. Binaries under `src/bin/` print them; Criterion
+//! benches under `benches/` time the framework itself.
+//!
+//! Experiment scale comes from [`scale::ExpScale`]: `PASTA_SCALE=quick`
+//! shrinks batch sizes and step counts for smoke runs, the default `full`
+//! uses the paper's batch sizes (Table IV).
+
+pub mod fig11_12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig4;
+pub mod fig7;
+pub mod fig9_10;
+pub mod scale;
+pub mod table5;
+
+pub use scale::ExpScale;

@@ -1,0 +1,57 @@
+//! Experiment scaling.
+
+/// How big to run the experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpScale {
+    /// Divide Table IV batch sizes by this.
+    pub batch_divisor: usize,
+    /// Inference batches per model.
+    pub inference_steps: usize,
+    /// Training iterations per model.
+    pub training_steps: usize,
+}
+
+impl ExpScale {
+    /// The paper-faithful scale (full batch sizes).
+    pub fn full() -> Self {
+        ExpScale {
+            batch_divisor: 1,
+            inference_steps: 12,
+            training_steps: 2,
+        }
+    }
+
+    /// A smoke-test scale for CI and Criterion.
+    pub fn quick() -> Self {
+        ExpScale {
+            batch_divisor: 8,
+            inference_steps: 2,
+            training_steps: 1,
+        }
+    }
+
+    /// Reads `PASTA_SCALE` (`full`/`quick`), defaulting to `full`.
+    pub fn from_env() -> Self {
+        match std::env::var("PASTA_SCALE").as_deref() {
+            Ok("quick") => ExpScale::quick(),
+            _ => ExpScale::full(),
+        }
+    }
+}
+
+impl Default for ExpScale {
+    fn default() -> Self {
+        ExpScale::full()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_differ() {
+        assert!(ExpScale::quick().batch_divisor > ExpScale::full().batch_divisor);
+        assert_eq!(ExpScale::full().batch_divisor, 1);
+    }
+}

@@ -1,0 +1,130 @@
+//! Cross-layer call-stack capture (paper §III-F2, Fig. 4).
+//!
+//! PASTA captures Python-level stacks via the CPython frame API and native
+//! stacks via libbacktrace; the expensive part is doing so for *every*
+//! event, so the knobs pick one kernel and this module captures the joined
+//! stack only for launches of that kernel.
+
+use crate::event::Event;
+use dl_framework::pycall::{native_frames_for_kernel, CrossLayerStack, PyFrame};
+use std::collections::HashMap;
+
+/// Tracks the live Python stack (from `OpStart` events) and snapshots a
+/// cross-layer stack per kernel of interest.
+#[derive(Debug, Default)]
+pub struct StackCapture {
+    /// Python stack attached to the most recent operator start.
+    current_py: Vec<PyFrame>,
+    /// Captured stacks keyed by kernel symbol (first capture wins, as in
+    /// the paper: one representative context per kernel).
+    captured: HashMap<String, CrossLayerStack>,
+}
+
+impl StackCapture {
+    /// An empty capture.
+    pub fn new() -> Self {
+        StackCapture::default()
+    }
+
+    /// Observes the event stream (needs `OpStart` events flowing).
+    pub fn observe(&mut self, event: &Event) {
+        if let Event::OpStart { py_stack, name, .. } = event {
+            self.current_py = py_stack.clone();
+            // The operator itself becomes the innermost Python-side frame,
+            // mirroring how torch displays `aten::` ops under module code.
+            self.current_py.push(PyFrame::new(
+                "torch/_ops.py",
+                502,
+                name.clone(),
+            ));
+        }
+    }
+
+    /// Captures the cross-layer stack for `kernel` if not already present.
+    pub fn capture_for_kernel(&mut self, kernel: &str) {
+        if self.captured.contains_key(kernel) {
+            return;
+        }
+        let stack = CrossLayerStack {
+            python: self.current_py.clone(),
+            native: native_frames_for_kernel(kernel),
+        };
+        self.captured.insert(kernel.to_owned(), stack);
+    }
+
+    /// The captured stack for `kernel`, if any.
+    pub fn stack_for(&self, kernel: &str) -> Option<&CrossLayerStack> {
+        self.captured.get(kernel)
+    }
+
+    /// Number of kernels with captured stacks.
+    pub fn captured_count(&self) -> usize {
+        self.captured.len()
+    }
+
+    /// Clears all captures.
+    pub fn reset(&mut self) {
+        self.current_py.clear();
+        self.captured.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accel_sim::DeviceId;
+
+    fn op_start(name: &str, stack: Vec<PyFrame>) -> Event {
+        Event::OpStart {
+            seq: 0,
+            name: name.into(),
+            device: DeviceId(0),
+            py_stack: stack,
+        }
+    }
+
+    #[test]
+    fn capture_joins_python_and_native() {
+        let mut sc = StackCapture::new();
+        sc.observe(&op_start(
+            "aten::linear",
+            vec![
+                PyFrame::new("models/bert/run_bert.py", 177, "<module>"),
+                PyFrame::new("models/bert/run_bert.py", 146, "test_bert"),
+                PyFrame::new("torch/nn/modules/linear.py", 114, "forward"),
+            ],
+        ));
+        sc.capture_for_kernel("ampere_sgemm_128x64_tn");
+        let stack = sc.stack_for("ampere_sgemm_128x64_tn").unwrap();
+        assert_eq!(stack.python.len(), 4, "3 user frames + the aten op");
+        assert!(stack
+            .native
+            .iter()
+            .any(|f| f.symbol.contains("gemm_and_bias")));
+        let rendered = stack.render();
+        assert!(rendered.contains("run_bert.py:177"));
+        assert!(rendered.contains("CUDABlas.cpp"));
+    }
+
+    #[test]
+    fn first_capture_wins() {
+        let mut sc = StackCapture::new();
+        sc.observe(&op_start("aten::a", vec![PyFrame::new("a.py", 1, "fa")]));
+        sc.capture_for_kernel("k");
+        sc.observe(&op_start("aten::b", vec![PyFrame::new("b.py", 2, "fb")]));
+        sc.capture_for_kernel("k");
+        let stack = sc.stack_for("k").unwrap();
+        assert!(stack.python.iter().any(|f| f.file == "a.py"));
+        assert_eq!(sc.captured_count(), 1);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut sc = StackCapture::new();
+        sc.capture_for_kernel("k");
+        assert_eq!(sc.captured_count(), 1);
+        sc.reset();
+        assert_eq!(sc.captured_count(), 0);
+        assert!(sc.stack_for("k").is_none());
+    }
+}

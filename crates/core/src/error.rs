@@ -1,0 +1,62 @@
+//! PASTA error type.
+
+use accel_sim::AccelError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by the PASTA framework.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PastaError {
+    /// The underlying simulator/runtime failed.
+    Accel(AccelError),
+    /// A named tool was not found in the collection.
+    NoSuchTool(String),
+    /// Invalid configuration (builder misuse).
+    Config(String),
+}
+
+impl fmt::Display for PastaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PastaError::Accel(e) => write!(f, "accelerator error: {e}"),
+            PastaError::NoSuchTool(n) => write!(f, "no tool named `{n}` is registered"),
+            PastaError::Config(m) => write!(f, "invalid configuration: {m}"),
+        }
+    }
+}
+
+impl Error for PastaError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PastaError::Accel(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AccelError> for PastaError {
+    fn from(e: AccelError) -> Self {
+        PastaError::Accel(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accel_sim::DeviceId;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = PastaError::from(AccelError::UnknownDevice(DeviceId(3)));
+        assert!(e.to_string().contains("gpu3"));
+        assert!(e.source().is_some());
+        assert!(PastaError::NoSuchTool("x".into()).to_string().contains("`x`"));
+        assert!(PastaError::Config("bad".into()).source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PastaError>();
+    }
+}

@@ -1,0 +1,192 @@
+//! The event handler: vendor/framework subscription glue.
+//!
+//! These functions wire the simulated vendor runtimes and the DL framework
+//! into a [`SharedHub`], normalizing every callback on the way in — the
+//! "interface standardization" box of the paper's Fig. 1.
+
+use crate::event::Event;
+use crate::hub::SharedHub;
+use crate::normalize::{normalize_framework, normalize_nv, normalize_roc};
+use accel_sim::{LaunchId, SimTime};
+use dl_framework::session::Session;
+use std::collections::HashMap;
+use std::sync::Arc;
+use vendor_amd::{HipContext, RocCallback};
+use vendor_nv::{CudaContext, NvCallback};
+
+/// Subscribes the hub to a CUDA context's host callbacks.
+///
+/// Launch begin/end pairs are merged into one timed
+/// [`Event::KernelLaunchEnd`]; everything else flows through
+/// [`normalize_nv`].
+pub fn attach_nv(ctx: &mut CudaContext, hub: SharedHub) {
+    let hub = Arc::clone(&hub);
+    let mut pending: HashMap<LaunchId, (String, SimTime)> = HashMap::new();
+    ctx.subscribe(Box::new(move |cb: &NvCallback| {
+        match cb {
+            NvCallback::LaunchBegin {
+                launch,
+                name,
+                start,
+                ..
+            } => {
+                pending.insert(*launch, (name.clone(), *start));
+            }
+            NvCallback::LaunchEnd {
+                launch,
+                device,
+                end,
+            } => {
+                if let Some((name, start)) = pending.remove(launch) {
+                    hub.lock().processor.process(&Event::KernelLaunchEnd {
+                        launch: *launch,
+                        device: *device,
+                        name,
+                        start,
+                        end: *end,
+                    });
+                }
+            }
+            other => {
+                if let Some(event) = normalize_nv(other) {
+                    hub.lock().processor.process(&event);
+                }
+            }
+        }
+    }));
+}
+
+/// Subscribes the hub to a HIP context's host callbacks.
+pub fn attach_roc(ctx: &mut HipContext, hub: SharedHub) {
+    let hub = Arc::clone(&hub);
+    let mut pending: HashMap<LaunchId, (String, SimTime)> = HashMap::new();
+    ctx.subscribe(Box::new(move |cb: &RocCallback| {
+        match cb {
+            RocCallback::KernelDispatch {
+                launch,
+                name,
+                start,
+                ..
+            } => {
+                pending.insert(*launch, (name.clone(), *start));
+            }
+            RocCallback::KernelComplete {
+                launch,
+                device,
+                end,
+            } => {
+                if let Some((name, start)) = pending.remove(launch) {
+                    hub.lock().processor.process(&Event::KernelLaunchEnd {
+                        launch: *launch,
+                        device: *device,
+                        name,
+                        start,
+                        end: *end,
+                    });
+                }
+            }
+            other => {
+                if let Some(event) = normalize_roc(other) {
+                    hub.lock().processor.process(&event);
+                }
+            }
+        }
+    }));
+}
+
+/// Subscribes the hub to a framework session's callbacks (tensor, op,
+/// pass and annotation events).
+pub fn attach_session(session: &mut Session<'_>, hub: SharedHub) {
+    let hub = Arc::clone(&hub);
+    session.subscribe(Box::new(move |ev| {
+        let event = normalize_framework(ev);
+        hub.lock().processor.process(&event);
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hub::new_shared;
+    use crate::processor::EventProcessor;
+    use crate::tool::LaunchCounter;
+    use accel_sim::{DeviceRuntime, DeviceSpec, Dim3, KernelBody, KernelDesc};
+    use dl_framework::dtype::DType;
+
+    #[test]
+    fn nv_launches_become_timed_events() {
+        let mut processor = EventProcessor::new();
+        processor.tools.register(Box::<LaunchCounter>::default());
+        let hub = new_shared(processor);
+        let mut ctx = CudaContext::new(vec![DeviceSpec::rtx_3060()]);
+        attach_nv(&mut ctx, Arc::clone(&hub));
+        let p = ctx.malloc(1 << 20).unwrap();
+        let desc = KernelDesc::new("k", Dim3::linear(8), Dim3::linear(128))
+            .arg(p, 1 << 20)
+            .body(KernelBody::streaming(1 << 19, 1 << 19));
+        ctx.launch(desc.clone()).unwrap();
+        ctx.launch(desc).unwrap();
+        let n = hub
+            .lock()
+            .processor
+            .tools
+            .with_tool_mut("launch-counter", |t: &mut LaunchCounter| t.launches)
+            .unwrap();
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn roc_frees_arrive_normalized() {
+        use crate::tool::{Interest, Tool};
+        #[derive(Default)]
+        struct FreeWatcher {
+            frees: Vec<u64>,
+        }
+        impl Tool for FreeWatcher {
+            fn name(&self) -> &str {
+                "free-watcher"
+            }
+            fn interest(&self) -> Interest {
+                Interest::coarse()
+            }
+            fn on_event(&mut self, event: &Event) {
+                if let Event::ResourceFree { bytes, .. } = event {
+                    self.frees.push(*bytes);
+                }
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        let mut processor = EventProcessor::new();
+        processor.tools.register(Box::<FreeWatcher>::default());
+        let hub = new_shared(processor);
+        let mut ctx = HipContext::new(vec![DeviceSpec::mi300x()]);
+        attach_roc(&mut ctx, Arc::clone(&hub));
+        let p = ctx.malloc(4096).unwrap();
+        ctx.free(p).unwrap();
+        let frees = hub
+            .lock()
+            .processor
+            .tools
+            .with_tool_mut("free-watcher", |t: &mut FreeWatcher| t.frees.clone())
+            .unwrap();
+        assert_eq!(frees, vec![4096], "negative delta normalized to +4096");
+    }
+
+    #[test]
+    fn framework_events_flow_through_session() {
+        let processor = EventProcessor::new();
+        let hub = new_shared(processor);
+        let mut ctx = CudaContext::new(vec![DeviceSpec::rtx_3060()]);
+        let mut session = Session::new(&mut ctx);
+        attach_session(&mut session, Arc::clone(&hub));
+        let t = session.alloc_tensor(&[64], DType::F32).unwrap();
+        session.free_tensor(&t);
+        // TensorAlloc + TensorFree.
+        assert_eq!(hub.lock().processor.events_processed(), 2);
+    }
+}

@@ -1,0 +1,185 @@
+//! The shared event hub and its device-trace sink.
+//!
+//! Vendor callbacks arrive from closures, device traces from the
+//! profiler's sink, framework events from session subscribers — all on
+//! different call paths. A [`SharedHub`] (an `Arc<Mutex<EventProcessor>>`
+//! in spirit) gives them one meeting point.
+
+use crate::event::Event;
+use crate::processor::EventProcessor;
+use accel_sim::instrument::{DeviceTraceSink, TraceCtx};
+use accel_sim::{AccessBatch, KernelTraceSummary, MemSpace, ProbeConfig};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// The hub: the processor behind a shareable lock.
+#[derive(Debug)]
+pub struct Hub {
+    /// The event processor.
+    pub processor: EventProcessor,
+}
+
+/// Shared handle to the hub.
+pub type SharedHub = Arc<Mutex<Hub>>;
+
+/// Creates a shared hub around a processor.
+pub fn new_shared(processor: EventProcessor) -> SharedHub {
+    Arc::new(Mutex::new(Hub { processor }))
+}
+
+/// The device-trace sink that feeds fine-grained events into the hub.
+#[derive(Debug)]
+pub struct HubSink(pub SharedHub);
+
+impl DeviceTraceSink for HubSink {
+    fn on_kernel_begin(&mut self, ctx: &TraceCtx) -> ProbeConfig {
+        let mut hub = self.0.lock();
+        let config = hub.processor.probe_config_for(ctx.launch);
+        hub.processor.process(&Event::KernelLaunchBegin {
+            launch: ctx.launch,
+            device: ctx.device,
+            stream: ctx.stream,
+            name: ctx.name.clone(),
+            grid: ctx.grid,
+            block: ctx.block,
+        });
+        config
+    }
+
+    fn on_batch(&mut self, ctx: &TraceCtx, batch: &AccessBatch) {
+        let event = match batch.space {
+            MemSpace::Shared | MemSpace::RemoteShared => Event::SharedAccess {
+                launch: ctx.launch,
+                kernel: ctx.name.clone(),
+                batch: batch.clone(),
+            },
+            _ => Event::GlobalAccess {
+                launch: ctx.launch,
+                kernel: ctx.name.clone(),
+                batch: batch.clone(),
+            },
+        };
+        self.0.lock().processor.process(&event);
+    }
+
+    fn on_barriers(&mut self, ctx: &TraceCtx, count: u64) {
+        self.0.lock().processor.process(&Event::Barrier {
+            launch: ctx.launch,
+            count,
+            cluster: false,
+        });
+    }
+
+    fn on_blocks(&mut self, ctx: &TraceCtx, count: u64) {
+        self.0.lock().processor.process(&Event::BlockBoundary {
+            launch: ctx.launch,
+            count,
+        });
+    }
+
+    fn on_instructions(&mut self, ctx: &TraceCtx, count: u64) {
+        self.0.lock().processor.process(&Event::Instructions {
+            launch: ctx.launch,
+            count,
+        });
+    }
+
+    fn on_kernel_end(&mut self, ctx: &TraceCtx, summary: &KernelTraceSummary) {
+        self.0.lock().processor.process(&Event::KernelTrace {
+            launch: ctx.launch,
+            kernel: ctx.name.clone(),
+            summary: summary.clone(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accel_sim::{AccessKind, AccessPattern, DeviceId, Dim3, LaunchId};
+
+    fn ctx() -> TraceCtx {
+        TraceCtx {
+            launch: LaunchId(7),
+            device: DeviceId(0),
+            stream: 0,
+            name: "gemm".into(),
+            grid: Dim3::linear(8),
+            block: Dim3::linear(128),
+        }
+    }
+
+    fn batch(space: MemSpace) -> AccessBatch {
+        AccessBatch {
+            launch: LaunchId(7),
+            spec_index: 0,
+            base: 0x1000,
+            len: 4096,
+            records: 32,
+            bytes: 4096,
+            elem_size: 4,
+            kind: AccessKind::Load,
+            space,
+            pattern: AccessPattern::Sequential,
+        }
+    }
+
+    #[test]
+    fn sink_routes_batches_by_space() {
+        use crate::tool::{Interest, Tool};
+        #[derive(Default)]
+        struct SpaceCounter {
+            global: u64,
+            shared: u64,
+        }
+        impl Tool for SpaceCounter {
+            fn name(&self) -> &str {
+                "spaces"
+            }
+            fn interest(&self) -> Interest {
+                Interest::all()
+            }
+            fn on_event(&mut self, event: &Event) {
+                match event {
+                    Event::GlobalAccess { .. } => self.global += 1,
+                    Event::SharedAccess { .. } => self.shared += 1,
+                    _ => {}
+                }
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+
+        let mut processor = EventProcessor::new();
+        processor.tools.register(Box::<SpaceCounter>::default());
+        let hub = new_shared(processor);
+        let mut sink = HubSink(Arc::clone(&hub));
+        let config = sink.on_kernel_begin(&ctx());
+        assert!(config.global_accesses);
+        sink.on_batch(&ctx(), &batch(MemSpace::Global));
+        sink.on_batch(&ctx(), &batch(MemSpace::Shared));
+        sink.on_batch(&ctx(), &batch(MemSpace::RemoteShared));
+        let (g, s) = hub
+            .lock()
+            .processor
+            .tools
+            .with_tool_mut("spaces", |t: &mut SpaceCounter| (t.global, t.shared))
+            .unwrap();
+        assert_eq!(g, 1);
+        assert_eq!(s, 2);
+    }
+
+    #[test]
+    fn kernel_begin_emits_event_and_config() {
+        let hub = new_shared(EventProcessor::new());
+        let mut sink = HubSink(Arc::clone(&hub));
+        let config = sink.on_kernel_begin(&ctx());
+        // No tools registered: nothing to instrument.
+        assert!(config.is_disabled());
+        assert_eq!(hub.lock().processor.events_processed(), 1);
+    }
+}

@@ -1,0 +1,191 @@
+//! Inefficiency-location knobs (paper §III-F2).
+//!
+//! Knobs select *which* kernel deserves expensive context capture:
+//! `MAX_MEM_REFERENCED_KERNEL` picks the kernel with the most memory
+//! references, `MAX_CALLED_KERNEL` the most frequently invoked one. Users
+//! extend the mechanism with custom knobs — here, any function scoring a
+//! kernel's aggregate statistics.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Aggregate per-kernel statistics the knobs score.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelAggregate {
+    /// Invocations.
+    pub calls: u64,
+    /// Warp-level memory-access records.
+    pub memory_records: u64,
+    /// Bytes moved through global memory.
+    pub bytes: u64,
+    /// Barrier executions.
+    pub barriers: u64,
+    /// Total device-time, ns.
+    pub duration_ns: u64,
+}
+
+/// A built-in or custom kernel-selection knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Knob {
+    /// The paper's `MAX_MEM_REFERENCED_KERNEL`.
+    MaxMemReferencedKernel,
+    /// The paper's `MAX_CALLED_KERNEL`.
+    MaxCalledKernel,
+    /// Most barrier executions (a §III-H extension example).
+    MaxBarrierKernel,
+    /// Longest cumulative device time.
+    MaxDurationKernel,
+}
+
+impl Knob {
+    /// Environment-variable style name.
+    pub fn env_name(self) -> &'static str {
+        match self {
+            Knob::MaxMemReferencedKernel => "MAX_MEM_REFERENCED_KERNEL",
+            Knob::MaxCalledKernel => "MAX_CALLED_KERNEL",
+            Knob::MaxBarrierKernel => "MAX_BARRIER_KERNEL",
+            Knob::MaxDurationKernel => "MAX_DURATION_KERNEL",
+        }
+    }
+
+    fn score(self, agg: &KernelAggregate) -> u64 {
+        match self {
+            Knob::MaxMemReferencedKernel => agg.memory_records,
+            Knob::MaxCalledKernel => agg.calls,
+            Knob::MaxBarrierKernel => agg.barriers,
+            Knob::MaxDurationKernel => agg.duration_ns,
+        }
+    }
+}
+
+/// Accumulates per-kernel aggregates and answers knob queries.
+#[derive(Debug, Default, Clone)]
+pub struct KnobSet {
+    per_kernel: HashMap<String, KernelAggregate>,
+}
+
+impl KnobSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        KnobSet::default()
+    }
+
+    /// Records one launch completion.
+    pub fn record_launch(&mut self, kernel: &str, duration_ns: u64) {
+        let agg = self.per_kernel.entry(kernel.to_owned()).or_default();
+        agg.calls += 1;
+        agg.duration_ns += duration_ns;
+    }
+
+    /// Records fine-grained counters for a kernel.
+    pub fn record_trace(&mut self, kernel: &str, memory_records: u64, bytes: u64, barriers: u64) {
+        let agg = self.per_kernel.entry(kernel.to_owned()).or_default();
+        agg.memory_records += memory_records;
+        agg.bytes += bytes;
+        agg.barriers += barriers;
+    }
+
+    /// The kernel selected by `knob`, with its aggregate.
+    pub fn select(&self, knob: Knob) -> Option<(&str, KernelAggregate)> {
+        self.per_kernel
+            .iter()
+            .max_by_key(|(name, agg)| (knob.score(agg), std::cmp::Reverse(name.as_str())))
+            .map(|(n, a)| (n.as_str(), *a))
+    }
+
+    /// Custom knob: the kernel maximizing an arbitrary score.
+    pub fn select_by<F: Fn(&KernelAggregate) -> u64>(
+        &self,
+        score: F,
+    ) -> Option<(&str, KernelAggregate)> {
+        self.per_kernel
+            .iter()
+            .max_by_key(|(name, agg)| (score(agg), std::cmp::Reverse(name.as_str())))
+            .map(|(n, a)| (n.as_str(), *a))
+    }
+
+    /// Aggregate for one kernel.
+    pub fn get(&self, kernel: &str) -> Option<KernelAggregate> {
+        self.per_kernel.get(kernel).copied()
+    }
+
+    /// Number of distinct kernels seen.
+    pub fn kernel_count(&self) -> usize {
+        self.per_kernel.len()
+    }
+
+    /// Clears all aggregates.
+    pub fn reset(&mut self) {
+        self.per_kernel.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set() -> KnobSet {
+        let mut k = KnobSet::new();
+        k.record_launch("gemm", 100);
+        k.record_launch("gemm", 100);
+        k.record_launch("im2col", 500);
+        k.record_trace("gemm", 1_000, 64_000, 10);
+        k.record_trace("im2col", 5_000, 320_000, 0);
+        k
+    }
+
+    #[test]
+    fn max_called_picks_gemm() {
+        let k = set();
+        let (name, agg) = k.select(Knob::MaxCalledKernel).unwrap();
+        assert_eq!(name, "gemm");
+        assert_eq!(agg.calls, 2);
+    }
+
+    #[test]
+    fn max_mem_referenced_picks_im2col() {
+        let k = set();
+        let (name, agg) = k.select(Knob::MaxMemReferencedKernel).unwrap();
+        assert_eq!(name, "im2col");
+        assert_eq!(agg.memory_records, 5_000);
+    }
+
+    #[test]
+    fn duration_and_barrier_knobs() {
+        let k = set();
+        assert_eq!(k.select(Knob::MaxDurationKernel).unwrap().0, "im2col");
+        assert_eq!(k.select(Knob::MaxBarrierKernel).unwrap().0, "gemm");
+    }
+
+    #[test]
+    fn custom_knob() {
+        let k = set();
+        // Bytes-per-call: im2col moves 320k in one call.
+        let (name, _) = k
+            .select_by(|agg| agg.bytes.checked_div(agg.calls).unwrap_or(0))
+            .unwrap();
+        assert_eq!(name, "im2col");
+    }
+
+    #[test]
+    fn empty_set_selects_nothing() {
+        assert!(KnobSet::new().select(Knob::MaxCalledKernel).is_none());
+    }
+
+    #[test]
+    fn env_names_match_paper() {
+        assert_eq!(
+            Knob::MaxMemReferencedKernel.env_name(),
+            "MAX_MEM_REFERENCED_KERNEL"
+        );
+        assert_eq!(Knob::MaxCalledKernel.env_name(), "MAX_CALLED_KERNEL");
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut k = set();
+        assert!(k.kernel_count() > 0);
+        k.reset();
+        assert_eq!(k.kernel_count(), 0);
+    }
+}

@@ -1,0 +1,73 @@
+//! # pasta-core — the PASTA framework
+//!
+//! PASTA (Program AnalysiS Tool framework for Accelerators) is the paper's
+//! primary contribution: three modular components that turn heterogeneous
+//! vendor profiling interfaces and DL-framework callbacks into a single
+//! extensible analysis pipeline (paper Fig. 1):
+//!
+//! 1. **Event handler** ([`handler`], [`normalize`]) — subscribes to the
+//!    simulated Compute Sanitizer / NVBit / ROCProfiler host callbacks and
+//!    the tensorlite framework callbacks, and normalizes them into the
+//!    unified [`Event`] model ([`event`], covering every row of the
+//!    paper's Table II). Vendor quirks — AMD's negative release deltas,
+//!    `hip*` vs `cuda*` naming, "dispatch" vs "launch" — disappear here.
+//! 2. **Event processor** ([`processor`], [`hub`]) — preprocesses and
+//!    dispatches events to tools. Fine-grained device events flow through
+//!    the vendor profiler's trace sink; whether their *analysis* runs
+//!    GPU-resident or on the CPU is the [`AnalysisMode`] choice whose cost
+//!    gap Figs. 2/9/10 quantify. Range filtering ([`range`]) and
+//!    inefficiency-location knobs ([`knob`], [`callstack`]) live here.
+//! 3. **Tool collection** ([`tool`]) — the template ([`Tool`]) users
+//!    override. A tool declares its [`Interest`]s; only the event classes
+//!    some tool wants are instrumented, which is how PASTA keeps overhead
+//!    proportional to the analysis.
+//!
+//! [`Pasta`] ties it together: a builder that assembles devices, backend,
+//! analysis mode, UVM and tools into a [`PastaSession`] that runs models
+//! (or custom workloads) and yields tool reports plus the Fig. 10 overhead
+//! breakdown.
+//!
+//! ## Example
+//!
+//! ```
+//! use pasta_core::{Pasta, AnalysisMode};
+//! use pasta_core::tool::LaunchCounter;
+//! use dl_framework::models::{ModelZoo, RunKind};
+//!
+//! # fn main() -> Result<(), pasta_core::PastaError> {
+//! let mut session = Pasta::builder()
+//!     .rtx_3060()
+//!     .tool(LaunchCounter::default())
+//!     .analysis_mode(AnalysisMode::GpuResident)
+//!     .build()?;
+//! let report = session.run_model_scaled(ModelZoo::Bert, RunKind::Inference, 1, 8)?;
+//! assert!(report.kernel_launches > 0);
+//! let n = session
+//!     .with_tool_mut("launch-counter", |t: &mut LaunchCounter| t.launches)
+//!     .expect("tool exists");
+//! assert_eq!(n, report.kernel_launches);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod callstack;
+pub mod error;
+pub mod event;
+pub mod handler;
+pub mod hub;
+pub mod knob;
+pub mod normalize;
+pub mod processor;
+pub mod profiler;
+pub mod range;
+pub mod report;
+pub mod tool;
+
+pub use accel_sim::{AnalysisMode, OverheadBreakdown};
+pub use error::PastaError;
+pub use event::{Event, EventClass};
+pub use knob::{Knob, KnobSet};
+pub use profiler::{BackendChoice, Pasta, PastaBuilder, PastaSession, UvmSetup};
+pub use range::RangeFilter;
+pub use report::{SessionReport, ToolReport};
+pub use tool::{Interest, Tool, ToolCollection};

@@ -1,0 +1,433 @@
+//! Vendor-event normalization.
+//!
+//! The paper (§III-G) calls out that "some runtimes report memory
+//! deallocation sizes with opposite signs or as deltas" and that naming
+//! conventions differ; PASTA "unifies semantically equivalent events and
+//! exposes a consistent interface". These functions are that layer: one
+//! per vendor, mapping raw callbacks to [`Event`]s.
+
+use crate::event::Event;
+use dl_framework::callbacks::FrameworkEvent;
+use vendor_amd::RocCallback;
+use vendor_nv::NvCallback;
+
+/// Strips the vendor prefix off an API symbol: `cudaMalloc`/`hipMalloc` →
+/// `malloc`, `cuLaunchKernel`/`hipLaunchKernel` → `launch_kernel`.
+pub fn normalize_api_name(raw: &str) -> String {
+    let stripped = raw
+        .strip_prefix("cuda")
+        .or_else(|| raw.strip_prefix("hip"))
+        .or_else(|| raw.strip_prefix("cu"))
+        .unwrap_or(raw);
+    // CamelCase → snake_case.
+    let mut out = String::with_capacity(stripped.len() + 4);
+    for (i, c) in stripped.chars().enumerate() {
+        if c.is_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.extend(c.to_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// True when the API symbol is a *driver*-level entry point (`cu*` on
+/// NVIDIA); everything else is runtime-level.
+fn is_driver_api(raw: &str) -> bool {
+    raw.starts_with("cu") && !raw.starts_with("cuda")
+}
+
+/// Normalizes one NVIDIA host callback. Returns `None` for events the
+/// unified model covers elsewhere (e.g. `LaunchBegin`, which the fine
+/// event path reports with more detail).
+pub fn normalize_nv(cb: &NvCallback) -> Option<Event> {
+    Some(match cb {
+        NvCallback::ApiEnter { name, at } => {
+            if is_driver_api(name) {
+                Event::DriverApi {
+                    name: normalize_api_name(name),
+                    at: *at,
+                }
+            } else {
+                Event::RuntimeApi {
+                    name: normalize_api_name(name),
+                    at: *at,
+                }
+            }
+        }
+        NvCallback::ApiExit { .. } => return None,
+        NvCallback::LaunchBegin { .. } => return None, // device path reports it
+        NvCallback::LaunchEnd { .. } => return None,   // merged into KernelLaunchEnd upstream
+        NvCallback::MemoryAlloc {
+            device,
+            addr,
+            bytes,
+            managed,
+            at,
+        } => Event::ResourceAlloc {
+            device: *device,
+            addr: *addr,
+            bytes: *bytes,
+            managed: *managed,
+            at: *at,
+        },
+        NvCallback::MemoryFree {
+            device,
+            addr,
+            bytes,
+            at,
+        } => Event::ResourceFree {
+            device: *device,
+            addr: *addr,
+            bytes: *bytes,
+            at: *at,
+        },
+        NvCallback::Memcpy {
+            device,
+            direction,
+            bytes,
+            at,
+        } => Event::MemCopy {
+            device: *device,
+            direction: *direction,
+            bytes: *bytes,
+            at: *at,
+        },
+        NvCallback::Memset {
+            device,
+            addr,
+            bytes,
+            at,
+        } => Event::MemSet {
+            device: *device,
+            addr: *addr,
+            bytes: *bytes,
+            at: *at,
+        },
+        NvCallback::Synchronize { device, at } => Event::Sync {
+            device: *device,
+            at: *at,
+        },
+        NvCallback::BatchMemOp {
+            device,
+            op,
+            addr,
+            bytes,
+            at,
+        } => Event::BatchMemOp {
+            device: *device,
+            op: normalize_batch_op(op),
+            addr: *addr,
+            bytes: *bytes,
+            at: *at,
+        },
+    })
+}
+
+/// Normalizes one AMD host callback. The signed `MemoryDelta` becomes
+/// either `ResourceAlloc` or `ResourceFree` with positive bytes.
+pub fn normalize_roc(cb: &RocCallback) -> Option<Event> {
+    Some(match cb {
+        RocCallback::ApiEnter { name, at } => Event::RuntimeApi {
+            name: normalize_api_name(name),
+            at: *at,
+        },
+        RocCallback::ApiExit { .. } => return None,
+        RocCallback::KernelDispatch { .. } => return None, // device path
+        RocCallback::KernelComplete { .. } => return None,
+        RocCallback::MemoryDelta {
+            device,
+            addr,
+            delta,
+            managed,
+            at,
+        } => {
+            if *delta >= 0 {
+                Event::ResourceAlloc {
+                    device: *device,
+                    addr: *addr,
+                    bytes: *delta as u64,
+                    managed: *managed,
+                    at: *at,
+                }
+            } else {
+                Event::ResourceFree {
+                    device: *device,
+                    addr: *addr,
+                    bytes: delta.unsigned_abs(),
+                    at: *at,
+                }
+            }
+        }
+        RocCallback::MemoryCopy {
+            device,
+            direction,
+            bytes,
+            at,
+        } => Event::MemCopy {
+            device: *device,
+            direction: *direction,
+            bytes: *bytes,
+            at: *at,
+        },
+        RocCallback::MemorySet {
+            device,
+            addr,
+            bytes,
+            at,
+        } => Event::MemSet {
+            device: *device,
+            addr: *addr,
+            bytes: *bytes,
+            at: *at,
+        },
+        RocCallback::Synchronize { device, at } => Event::Sync {
+            device: *device,
+            at: *at,
+        },
+        RocCallback::BatchMemOp {
+            device,
+            op,
+            addr,
+            bytes,
+            at,
+        } => Event::BatchMemOp {
+            device: *device,
+            op: normalize_batch_op(op),
+            addr: *addr,
+            bytes: *bytes,
+            at: *at,
+        },
+    })
+}
+
+fn normalize_batch_op(raw: &str) -> String {
+    if raw.contains("Prefetch") {
+        "mem_prefetch".to_owned()
+    } else if raw.contains("Advise") {
+        "mem_advise".to_owned()
+    } else {
+        normalize_api_name(raw)
+    }
+}
+
+/// Normalizes a DL-framework event.
+pub fn normalize_framework(ev: &FrameworkEvent) -> Event {
+    match ev {
+        FrameworkEvent::OpStart {
+            seq,
+            name,
+            device,
+            py_stack,
+        } => Event::OpStart {
+            seq: *seq,
+            name: name.clone(),
+            device: *device,
+            py_stack: py_stack.clone(),
+        },
+        FrameworkEvent::OpEnd { seq, name, device } => Event::OpEnd {
+            seq: *seq,
+            name: name.clone(),
+            device: *device,
+        },
+        FrameworkEvent::TensorAlloc {
+            tensor,
+            addr,
+            bytes,
+            allocated_total,
+            reserved_total,
+            device,
+        } => Event::TensorAlloc {
+            tensor: *tensor,
+            addr: *addr,
+            bytes: *bytes,
+            allocated_total: *allocated_total,
+            reserved_total: *reserved_total,
+            device: *device,
+        },
+        FrameworkEvent::TensorFree {
+            tensor,
+            addr,
+            bytes,
+            allocated_total,
+            reserved_total,
+            device,
+        } => Event::TensorFree {
+            tensor: *tensor,
+            addr: *addr,
+            bytes: *bytes,
+            allocated_total: *allocated_total,
+            reserved_total: *reserved_total,
+            device: *device,
+        },
+        FrameworkEvent::LayerBoundary {
+            name,
+            index,
+            device,
+        } => Event::LayerBoundary {
+            name: name.clone(),
+            index: *index,
+            device: *device,
+        },
+        FrameworkEvent::PassBoundary { pass, device } => Event::PassBoundary {
+            pass: *pass,
+            device: *device,
+        },
+        FrameworkEvent::RegionStart { label, device } => Event::RegionStart {
+            label: label.clone(),
+            device: *device,
+        },
+        FrameworkEvent::RegionEnd { label, device } => Event::RegionEnd {
+            label: label.clone(),
+            device: *device,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accel_sim::{DeviceId, SimTime};
+
+    #[test]
+    fn api_names_unify_across_vendors() {
+        assert_eq!(normalize_api_name("cudaMalloc"), "malloc");
+        assert_eq!(normalize_api_name("hipMalloc"), "malloc");
+        assert_eq!(normalize_api_name("cudaMemcpy"), "memcpy");
+        assert_eq!(normalize_api_name("hipMemcpy"), "memcpy");
+        assert_eq!(normalize_api_name("cuLaunchKernel"), "launch_kernel");
+        assert_eq!(normalize_api_name("hipLaunchKernel"), "launch_kernel");
+        assert_eq!(
+            normalize_api_name("cudaDeviceSynchronize"),
+            "device_synchronize"
+        );
+        assert_eq!(
+            normalize_api_name("hipDeviceSynchronize"),
+            "device_synchronize"
+        );
+    }
+
+    #[test]
+    fn negative_amd_deltas_become_positive_frees() {
+        let cb = RocCallback::MemoryDelta {
+            device: DeviceId(0),
+            addr: 0x100,
+            delta: -4096,
+            managed: false,
+            at: SimTime(5),
+        };
+        match normalize_roc(&cb) {
+            Some(Event::ResourceFree { bytes, addr, .. }) => {
+                assert_eq!(bytes, 4096);
+                assert_eq!(addr, 0x100);
+            }
+            other => panic!("expected ResourceFree, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn positive_amd_deltas_become_allocs() {
+        let cb = RocCallback::MemoryDelta {
+            device: DeviceId(0),
+            addr: 0x200,
+            delta: 8192,
+            managed: true,
+            at: SimTime(5),
+        };
+        match normalize_roc(&cb) {
+            Some(Event::ResourceAlloc { bytes, managed, .. }) => {
+                assert_eq!(bytes, 8192);
+                assert!(managed);
+            }
+            other => panic!("expected ResourceAlloc, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nv_free_is_already_positive() {
+        let cb = NvCallback::MemoryFree {
+            device: DeviceId(0),
+            addr: 0x300,
+            bytes: 100,
+            at: SimTime(0),
+        };
+        match normalize_nv(&cb) {
+            Some(Event::ResourceFree { bytes, .. }) => assert_eq!(bytes, 100),
+            other => panic!("expected ResourceFree, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn driver_vs_runtime_split() {
+        let driver = NvCallback::ApiEnter {
+            name: "cuLaunchKernel",
+            at: SimTime(0),
+        };
+        assert!(matches!(
+            normalize_nv(&driver),
+            Some(Event::DriverApi { .. })
+        ));
+        let runtime = NvCallback::ApiEnter {
+            name: "cudaMalloc",
+            at: SimTime(0),
+        };
+        assert!(matches!(
+            normalize_nv(&runtime),
+            Some(Event::RuntimeApi { .. })
+        ));
+    }
+
+    #[test]
+    fn batch_ops_normalize() {
+        let cb = NvCallback::BatchMemOp {
+            device: DeviceId(0),
+            op: "cudaMemPrefetchAsync",
+            addr: 0,
+            bytes: 64,
+            at: SimTime(0),
+        };
+        match normalize_nv(&cb) {
+            Some(Event::BatchMemOp { op, .. }) => assert_eq!(op, "mem_prefetch"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn api_exits_are_dropped() {
+        assert!(normalize_nv(&NvCallback::ApiExit {
+            name: "cudaMalloc",
+            at: SimTime(0)
+        })
+        .is_none());
+        assert!(normalize_roc(&RocCallback::ApiExit {
+            name: "hipMalloc",
+            at: SimTime(0)
+        })
+        .is_none());
+    }
+
+    #[test]
+    fn semantically_equivalent_events_unify() {
+        // The same logical free through both vendors yields the same Event
+        // (modulo timestamps) — the §III-G promise.
+        let nv = normalize_nv(&NvCallback::MemoryFree {
+            device: DeviceId(0),
+            addr: 0xabc,
+            bytes: 2048,
+            at: SimTime(7),
+        })
+        .unwrap();
+        let roc = normalize_roc(&RocCallback::MemoryDelta {
+            device: DeviceId(0),
+            addr: 0xabc,
+            delta: -2048,
+            managed: false,
+            at: SimTime(7),
+        })
+        .unwrap();
+        assert_eq!(nv, roc);
+    }
+}

@@ -1,0 +1,178 @@
+//! The event processor: preprocessing, knob accounting, dispatch.
+//!
+//! Events from the handler (host + framework) and from the device-trace
+//! sink (fine-grained) meet here. The processor maintains the range
+//! filter, feeds the knob aggregates, triggers cross-layer stack capture
+//! for knob-selected kernels, and dispatches to the tool collection —
+//! the "dispatch unit" of the paper's Fig. 1.
+
+use crate::callstack::StackCapture;
+use crate::event::Event;
+use crate::knob::{Knob, KnobSet};
+use crate::range::RangeFilter;
+use crate::tool::ToolCollection;
+use accel_sim::{LaunchId, ProbeConfig};
+
+/// The dispatch-and-preprocess core shared by handler and sink.
+#[derive(Debug, Default)]
+pub struct EventProcessor {
+    /// Registered analysis tools.
+    pub tools: ToolCollection,
+    /// Range-specific analysis filter.
+    pub range: RangeFilter,
+    /// Per-kernel aggregates backing the location knobs.
+    pub knobs: KnobSet,
+    /// Cross-layer stack capture.
+    pub stacks: StackCapture,
+    /// When set, capture stacks for the kernel this knob currently selects.
+    pub capture_knob: Option<Knob>,
+    events_processed: u64,
+}
+
+impl EventProcessor {
+    /// An empty processor.
+    pub fn new() -> Self {
+        EventProcessor::default()
+    }
+
+    /// Total events processed.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Probe configuration for an upcoming launch: disabled outside the
+    /// analysis range, otherwise the union of tool interests.
+    pub fn probe_config_for(&self, launch: LaunchId) -> ProbeConfig {
+        if !self.range.covers_launch(launch) {
+            return ProbeConfig::disabled();
+        }
+        self.tools.interest().probe_config()
+    }
+
+    /// Preprocesses and dispatches one event.
+    pub fn process(&mut self, event: &Event) {
+        self.events_processed += 1;
+        self.range.observe(event);
+        self.stacks.observe(event);
+        match event {
+            Event::KernelLaunchEnd {
+                name, start, end, ..
+            } => {
+                self.knobs.record_launch(name, *end - *start);
+                self.maybe_capture(name);
+            }
+            Event::KernelTrace {
+                kernel, summary, ..
+            } => {
+                self.knobs.record_trace(
+                    kernel,
+                    summary.global_records + summary.shared_records,
+                    summary.global_bytes,
+                    summary.barriers,
+                );
+                self.maybe_capture(kernel);
+            }
+            _ => {}
+        }
+        self.tools.dispatch(event);
+    }
+
+    /// Captures the stack when `kernel` is what the capture knob currently
+    /// selects — this is how PASTA avoids "capturing full context
+    /// information for all runtime events" (§III-F2).
+    fn maybe_capture(&mut self, kernel: &str) {
+        let Some(knob) = self.capture_knob else {
+            return;
+        };
+        if let Some((selected, _)) = self.knobs.select(knob) {
+            if selected == kernel {
+                self.stacks.capture_for_kernel(kernel);
+            }
+        }
+    }
+
+    /// Resets all accumulated state (tools keep their registration).
+    pub fn reset(&mut self) {
+        self.tools.reset();
+        self.knobs.reset();
+        self.stacks.reset();
+        self.events_processed = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tool::LaunchCounter;
+    use accel_sim::{DeviceId, SimTime};
+
+    fn launch_end(name: &str, launch: u64) -> Event {
+        Event::KernelLaunchEnd {
+            launch: LaunchId(launch),
+            device: DeviceId(0),
+            name: name.into(),
+            start: SimTime(0),
+            end: SimTime(100),
+        }
+    }
+
+    #[test]
+    fn processing_feeds_knobs_and_tools() {
+        let mut p = EventProcessor::new();
+        p.tools.register(Box::<LaunchCounter>::default());
+        p.process(&launch_end("gemm", 0));
+        p.process(&launch_end("gemm", 1));
+        p.process(&launch_end("relu", 2));
+        assert_eq!(p.events_processed(), 3);
+        assert_eq!(p.knobs.select(Knob::MaxCalledKernel).unwrap().0, "gemm");
+        let n = p
+            .tools
+            .with_tool_mut("launch-counter", |t: &mut LaunchCounter| t.launches)
+            .unwrap();
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn capture_knob_snapshots_hot_kernel() {
+        let mut p = EventProcessor::new();
+        p.capture_knob = Some(Knob::MaxCalledKernel);
+        p.process(&launch_end("gemm", 0));
+        assert!(p.stacks.stack_for("gemm").is_some());
+        p.process(&launch_end("relu", 1));
+        // relu ties at 1 call but gemm captured first and stays captured.
+        assert!(p.stacks.captured_count() >= 1);
+    }
+
+    #[test]
+    fn probe_config_respects_range() {
+        let mut p = EventProcessor::new();
+        struct DeviceHungry;
+        impl crate::tool::Tool for DeviceHungry {
+            fn name(&self) -> &str {
+                "hungry"
+            }
+            fn interest(&self) -> crate::tool::Interest {
+                crate::tool::Interest::all()
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        p.tools.register(Box::new(DeviceHungry));
+        p.range = RangeFilter::grid_window(10, 20);
+        assert!(p.probe_config_for(LaunchId(5)).is_disabled());
+        assert!(p.probe_config_for(LaunchId(15)).global_accesses);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut p = EventProcessor::new();
+        p.process(&launch_end("k", 0));
+        p.reset();
+        assert_eq!(p.events_processed(), 0);
+        assert_eq!(p.knobs.kernel_count(), 0);
+    }
+}

@@ -1,0 +1,639 @@
+//! The PASTA entry point: builder and session.
+//!
+//! [`Pasta::builder`] assembles devices, an instrumentation backend, an
+//! analysis mode, an optional UVM configuration and a set of tools into a
+//! [`PastaSession`] — the programmatic equivalent of the paper's
+//! `accelprof -v -t <tool> <executable>` launcher.
+
+use crate::error::PastaError;
+use crate::handler::{attach_nv, attach_roc, attach_session};
+use crate::hub::{new_shared, HubSink, SharedHub};
+use crate::knob::{Knob, KernelAggregate};
+use crate::processor::EventProcessor;
+use crate::range::RangeFilter;
+use crate::report::{SessionReport, ToolReport};
+use crate::tool::Tool;
+use accel_sim::instrument::ProfilerHandle;
+use accel_sim::{AnalysisMode, DeviceId, DeviceRuntime, DeviceSpec, OverheadBreakdown, Vendor};
+use dl_framework::alloc::AllocatorConfig;
+use dl_framework::models::{ModelZoo, RunKind};
+use dl_framework::pycall::CrossLayerStack;
+use dl_framework::runner;
+use dl_framework::session::Session;
+use std::sync::Arc;
+use uvm_sim::{PrefetchPlan, UvmConfig, UvmManager};
+use vendor_amd::rocprofiler::RocProfilerConfig;
+use vendor_amd::HipContext;
+use vendor_nv::nvbit::NvbitConfig;
+use vendor_nv::sanitizer::SanitizerConfig;
+use vendor_nv::CudaContext;
+
+/// Which instrumentation backend to attach (paper §III-D: users "choose
+/// either of these libraries independently or use both in conjunction").
+#[derive(Debug, Clone, PartialEq)]
+pub enum BackendChoice {
+    /// NVIDIA Compute Sanitizer (memory/barrier coverage).
+    Sanitizer(SanitizerConfig),
+    /// NVIDIA NVBit (all-instruction coverage, CPU analysis).
+    Nvbit(NvbitConfig),
+    /// AMD ROCProfiler-SDK.
+    RocProfiler(RocProfilerConfig),
+    /// Host callbacks only — no device instrumentation.
+    HostOnly,
+}
+
+/// UVM attachment configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UvmSetup {
+    /// UVM cost-model config.
+    pub config: UvmConfig,
+    /// Managed-memory budget per device; `None` = full usable capacity.
+    /// Setting this below the workload footprint creates oversubscription
+    /// (paper §V-A methodology).
+    pub budget_bytes: Option<u64>,
+    /// Back the DL framework's caching allocator with
+    /// `cudaMallocManaged` so every tensor lives in managed memory.
+    pub managed_allocator: bool,
+}
+
+impl Default for UvmSetup {
+    fn default() -> Self {
+        UvmSetup {
+            config: UvmConfig::default(),
+            budget_bytes: None,
+            managed_allocator: true,
+        }
+    }
+}
+
+enum RuntimeBox {
+    Cuda(CudaContext),
+    Hip(HipContext),
+}
+
+impl RuntimeBox {
+    fn as_runtime_mut(&mut self) -> &mut dyn DeviceRuntime {
+        match self {
+            RuntimeBox::Cuda(c) => c,
+            RuntimeBox::Hip(h) => h,
+        }
+    }
+}
+
+/// Marker type: use [`Pasta::builder`].
+#[derive(Debug)]
+pub struct Pasta;
+
+impl Pasta {
+    /// Starts building a session.
+    pub fn builder() -> PastaBuilder {
+        PastaBuilder::default()
+    }
+}
+
+/// Builder for [`PastaSession`].
+pub struct PastaBuilder {
+    specs: Vec<DeviceSpec>,
+    backend: Option<BackendChoice>,
+    analysis_mode: AnalysisMode,
+    sampling_rate: u32,
+    tools: Vec<Box<dyn Tool>>,
+    range: RangeFilter,
+    capture_knob: Option<Knob>,
+    uvm: Option<UvmSetup>,
+}
+
+impl Default for PastaBuilder {
+    fn default() -> Self {
+        PastaBuilder {
+            specs: Vec::new(),
+            backend: None,
+            analysis_mode: AnalysisMode::GpuResident,
+            sampling_rate: 1,
+            tools: Vec::new(),
+            range: RangeFilter::all(),
+            capture_knob: Some(Knob::MaxMemReferencedKernel),
+            uvm: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for PastaBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PastaBuilder")
+            .field("devices", &self.specs.len())
+            .field("tools", &self.tools.len())
+            .field("analysis_mode", &self.analysis_mode)
+            .finish()
+    }
+}
+
+impl PastaBuilder {
+    /// One NVIDIA A100 80 GB (Table III machine A).
+    pub fn a100(mut self) -> Self {
+        self.specs = vec![DeviceSpec::a100_80gb()];
+        self
+    }
+
+    /// Two A100s (the multi-GPU experiments).
+    pub fn a100_x2(mut self) -> Self {
+        self.specs = vec![DeviceSpec::a100_80gb(), DeviceSpec::a100_80gb()];
+        self
+    }
+
+    /// One RTX 3060 (machine B).
+    pub fn rtx_3060(mut self) -> Self {
+        self.specs = vec![DeviceSpec::rtx_3060()];
+        self
+    }
+
+    /// One MI300X (machine C) — selects the HIP runtime.
+    pub fn mi300x(mut self) -> Self {
+        self.specs = vec![DeviceSpec::mi300x()];
+        self
+    }
+
+    /// Explicit device list (all same vendor).
+    pub fn devices(mut self, specs: Vec<DeviceSpec>) -> Self {
+        self.specs = specs;
+        self
+    }
+
+    /// Registers a tool.
+    pub fn tool(mut self, tool: impl Tool + 'static) -> Self {
+        self.tools.push(Box::new(tool));
+        self
+    }
+
+    /// Registers a boxed tool.
+    pub fn boxed_tool(mut self, tool: Box<dyn Tool>) -> Self {
+        self.tools.push(tool);
+        self
+    }
+
+    /// Chooses the instrumentation backend explicitly.
+    pub fn backend(mut self, backend: BackendChoice) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// Sets the analysis mode for the default backend.
+    pub fn analysis_mode(mut self, mode: AnalysisMode) -> Self {
+        self.analysis_mode = mode;
+        self
+    }
+
+    /// Record-sampling factor (`ACCEL_PROF_ENV_SAMPLE_RATE`).
+    pub fn sampling(mut self, rate: u32) -> Self {
+        self.sampling_rate = rate.max(1);
+        self
+    }
+
+    /// Range-specific analysis filter.
+    pub fn range(mut self, range: RangeFilter) -> Self {
+        self.range = range;
+        self
+    }
+
+    /// Which knob drives cross-layer stack capture (None disables).
+    pub fn capture_knob(mut self, knob: Option<Knob>) -> Self {
+        self.capture_knob = knob;
+        self
+    }
+
+    /// Attaches UVM with the given setup.
+    pub fn uvm(mut self, setup: UvmSetup) -> Self {
+        self.uvm = Some(setup);
+        self
+    }
+
+    /// Builds the session.
+    ///
+    /// # Errors
+    ///
+    /// [`PastaError::Config`] on an empty device list, mixed vendors, or a
+    /// backend/vendor mismatch.
+    pub fn build(self) -> Result<PastaSession, PastaError> {
+        let specs = if self.specs.is_empty() {
+            vec![DeviceSpec::a100_80gb()]
+        } else {
+            self.specs
+        };
+        let vendor = specs[0].vendor;
+        if specs.iter().any(|s| s.vendor != vendor) {
+            return Err(PastaError::Config(
+                "all devices in one session must share a vendor".into(),
+            ));
+        }
+
+        let mut processor = EventProcessor::new();
+        processor.range = self.range;
+        processor.capture_knob = self.capture_knob;
+        for tool in self.tools {
+            processor.tools.register(tool);
+        }
+        let wants_device = processor.tools.interest().wants_device_events();
+        let hub = new_shared(processor);
+
+        let backend = self.backend.unwrap_or(match vendor {
+            Vendor::Amd => BackendChoice::RocProfiler(
+                RocProfilerConfig::default().with_mode(self.analysis_mode),
+            ),
+            _ => {
+                let cfg = match self.analysis_mode {
+                    AnalysisMode::GpuResident => SanitizerConfig::gpu_resident(),
+                    AnalysisMode::CpuPostProcess => SanitizerConfig::cpu_post_process(),
+                };
+                BackendChoice::Sanitizer(cfg)
+            }
+        });
+
+        let mut managed_allocator = false;
+        let (runtime, profiler) = match vendor {
+            Vendor::Amd => {
+                let mut ctx = HipContext::new(specs.clone());
+                attach_roc(&mut ctx, Arc::clone(&hub));
+                if let Some(uvm_setup) = &self.uvm {
+                    managed_allocator = uvm_setup.managed_allocator;
+                    let mut uvm = UvmManager::new(uvm_setup.config.clone());
+                    for spec in &specs {
+                        let budget = uvm_setup
+                            .budget_bytes
+                            .unwrap_or(spec.mem_capacity)
+                            .min(spec.mem_capacity);
+                        uvm.add_device(budget, spec.link_bandwidth_gbps, spec.fault_latency_ns);
+                    }
+                    ctx.attach_uvm(uvm);
+                }
+                let handle = match backend {
+                    BackendChoice::RocProfiler(cfg) if wants_device => {
+                        Some(vendor_amd::rocprofiler::attach(&mut ctx, cfg))
+                    }
+                    BackendChoice::HostOnly | BackendChoice::RocProfiler(_) => None,
+                    _ => {
+                        return Err(PastaError::Config(
+                            "NVIDIA backends cannot attach to AMD devices".into(),
+                        ))
+                    }
+                };
+                (RuntimeBox::Hip(ctx), handle)
+            }
+            _ => {
+                let mut ctx = CudaContext::new(specs.clone());
+                attach_nv(&mut ctx, Arc::clone(&hub));
+                if let Some(uvm_setup) = &self.uvm {
+                    managed_allocator = uvm_setup.managed_allocator;
+                    let mut uvm = UvmManager::new(uvm_setup.config.clone());
+                    for spec in &specs {
+                        let budget = uvm_setup
+                            .budget_bytes
+                            .unwrap_or(spec.mem_capacity)
+                            .min(spec.mem_capacity);
+                        uvm.add_device(budget, spec.link_bandwidth_gbps, spec.fault_latency_ns);
+                    }
+                    ctx.attach_uvm(uvm);
+                }
+                let handle = match backend {
+                    BackendChoice::Sanitizer(cfg) if wants_device => Some(
+                        vendor_nv::sanitizer::attach(&mut ctx, cfg.with_sampling(self.sampling_rate)),
+                    ),
+                    BackendChoice::Nvbit(cfg) if wants_device => Some(vendor_nv::nvbit::attach(
+                        &mut ctx,
+                        cfg.with_sampling(self.sampling_rate),
+                    )),
+                    BackendChoice::HostOnly
+                    | BackendChoice::Sanitizer(_)
+                    | BackendChoice::Nvbit(_) => None,
+                    BackendChoice::RocProfiler(_) => {
+                        return Err(PastaError::Config(
+                            "ROCProfiler cannot attach to NVIDIA devices".into(),
+                        ))
+                    }
+                };
+                (RuntimeBox::Cuda(ctx), handle)
+            }
+        };
+
+        if let Some(handle) = &profiler {
+            handle.set_sink(Box::new(HubSink(Arc::clone(&hub))));
+        }
+
+        Ok(PastaSession {
+            runtime,
+            hub,
+            profiler,
+            managed_allocator,
+        })
+    }
+}
+
+/// A live PASTA profiling session.
+pub struct PastaSession {
+    runtime: RuntimeBox,
+    hub: SharedHub,
+    profiler: Option<ProfilerHandle>,
+    managed_allocator: bool,
+}
+
+impl std::fmt::Debug for PastaSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PastaSession")
+            .field("profiler_attached", &self.profiler.is_some())
+            .field("managed_allocator", &self.managed_allocator)
+            .finish()
+    }
+}
+
+impl PastaSession {
+    /// Runs `steps` batches/iterations of a zoo model at the paper's batch
+    /// size, under full instrumentation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation/launch failures.
+    pub fn run_model(
+        &mut self,
+        model: ModelZoo,
+        kind: RunKind,
+        steps: usize,
+    ) -> Result<SessionReport, PastaError> {
+        self.run_model_scaled(model, kind, steps, 1)
+    }
+
+    /// Like [`PastaSession::run_model`] with the batch divided by
+    /// `batch_divisor` (tests and quick runs).
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation/launch failures.
+    pub fn run_model_scaled(
+        &mut self,
+        model: ModelZoo,
+        kind: RunKind,
+        steps: usize,
+        batch_divisor: usize,
+    ) -> Result<SessionReport, PastaError> {
+        let overhead_before = self.overhead();
+        let records_before = self.records();
+        let hub = Arc::clone(&self.hub);
+        let managed = self.managed_allocator;
+        let rt = self.runtime.as_runtime_mut();
+        let alloc_config = if managed {
+            AllocatorConfig::managed()
+        } else {
+            AllocatorConfig::default()
+        };
+        let backend = dl_framework::backend::BackendProfile::for_vendor(rt.vendor());
+        let mut session = Session::with_config(rt, backend, alloc_config);
+        attach_session(&mut session, hub);
+        let t0 = session.runtime().host_time();
+        let report = runner::run_model(&mut session, model, kind, steps, batch_divisor)?;
+        let t1 = session.runtime().host_time();
+        let stats = session.allocator_stats();
+        Ok(SessionReport {
+            workload: format!("{} {}", report.abbr, kind.label()),
+            kernel_launches: report.kernel_launches,
+            profiled_time: accel_sim::SimTime(t1 - t0),
+            overhead: self.overhead_delta(overhead_before),
+            records: self.records() - records_before,
+            peak_allocated: stats.peak_allocated,
+            peak_reserved: stats.peak_reserved,
+        })
+    }
+
+    /// Runs an arbitrary workload against an instrumented framework
+    /// session.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from `f`.
+    pub fn run_custom<R>(
+        &mut self,
+        f: impl FnOnce(&mut Session<'_>) -> Result<R, accel_sim::AccelError>,
+    ) -> Result<R, PastaError> {
+        let hub = Arc::clone(&self.hub);
+        let managed = self.managed_allocator;
+        let rt = self.runtime.as_runtime_mut();
+        let alloc_config = if managed {
+            AllocatorConfig::managed()
+        } else {
+            AllocatorConfig::default()
+        };
+        let backend = dl_framework::backend::BackendProfile::for_vendor(rt.vendor());
+        let mut session = Session::with_config(rt, backend, alloc_config);
+        attach_session(&mut session, hub);
+        f(&mut session).map_err(PastaError::from)
+    }
+
+    /// Reports from all registered tools.
+    pub fn reports(&self) -> Vec<ToolReport> {
+        self.hub.lock().processor.tools.reports()
+    }
+
+    /// Runs `f` against the named tool downcast to `T`.
+    pub fn with_tool_mut<T: Tool + 'static, R>(
+        &mut self,
+        name: &str,
+        f: impl FnOnce(&mut T) -> R,
+    ) -> Option<R> {
+        self.hub.lock().processor.tools.with_tool_mut(name, f)
+    }
+
+    /// Cumulative instrumentation overhead so far.
+    pub fn overhead(&self) -> OverheadBreakdown {
+        self.profiler
+            .as_ref()
+            .map(ProfilerHandle::breakdown)
+            .unwrap_or_default()
+    }
+
+    fn overhead_delta(&self, before: OverheadBreakdown) -> OverheadBreakdown {
+        let now = self.overhead();
+        OverheadBreakdown {
+            collection_ns: now.collection_ns - before.collection_ns,
+            transfer_ns: now.transfer_ns - before.transfer_ns,
+            analysis_ns: now.analysis_ns - before.analysis_ns,
+            setup_ns: now.setup_ns - before.setup_ns,
+        }
+    }
+
+    /// Trace records observed so far (post-sampling).
+    pub fn records(&self) -> u64 {
+        self.profiler
+            .as_ref()
+            .map(ProfilerHandle::records_total)
+            .unwrap_or(0)
+    }
+
+    /// Events processed by the dispatch unit so far.
+    pub fn events_processed(&self) -> u64 {
+        self.hub.lock().processor.events_processed()
+    }
+
+    /// Installs a UVM prefetch plan to replay before upcoming launches.
+    pub fn set_prefetch_plan(&mut self, plan: PrefetchPlan) {
+        match &mut self.runtime {
+            RuntimeBox::Cuda(c) => c.set_prefetch_plan(plan),
+            RuntimeBox::Hip(h) => h.set_prefetch_plan(plan),
+        }
+    }
+
+    /// Restricts a device's usable memory (oversubscription methodology).
+    pub fn limit_device_memory(&mut self, device: DeviceId, bytes: u64) {
+        match &mut self.runtime {
+            RuntimeBox::Cuda(c) => c.engine_mut().device_mut(device).limit_usable_capacity(bytes),
+            RuntimeBox::Hip(h) => h.engine_mut().device_mut(device).limit_usable_capacity(bytes),
+        }
+    }
+
+    /// The knob-selected kernel and its aggregate.
+    pub fn knob_selection(&self, knob: Knob) -> Option<(String, KernelAggregate)> {
+        self.hub
+            .lock()
+            .processor
+            .knobs
+            .select(knob)
+            .map(|(n, a)| (n.to_owned(), a))
+    }
+
+    /// The captured cross-layer stack for a kernel, if any.
+    pub fn cross_layer_stack(&self, kernel: &str) -> Option<CrossLayerStack> {
+        self.hub
+            .lock()
+            .processor
+            .stacks
+            .stack_for(kernel)
+            .cloned()
+    }
+
+    /// Resets all tools, knobs and stacks (the runtime keeps running).
+    pub fn reset_analysis(&mut self) {
+        self.hub.lock().processor.reset();
+        if let Some(p) = &self.profiler {
+            p.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tool::LaunchCounter;
+
+    #[test]
+    fn build_defaults_to_one_a100() {
+        let session = Pasta::builder().build().unwrap();
+        assert!(format!("{session:?}").contains("PastaSession"));
+    }
+
+    #[test]
+    fn mixed_vendors_rejected() {
+        let r = Pasta::builder()
+            .devices(vec![DeviceSpec::a100_80gb(), DeviceSpec::mi300x()])
+            .build();
+        assert!(matches!(r, Err(PastaError::Config(_))));
+    }
+
+    #[test]
+    fn rocprofiler_on_nvidia_rejected() {
+        let r = Pasta::builder()
+            .a100()
+            .tool(DeviceHungry)
+            .backend(BackendChoice::RocProfiler(RocProfilerConfig::default()))
+            .build();
+        assert!(matches!(r, Err(PastaError::Config(_))));
+    }
+
+    struct DeviceHungry;
+    impl Tool for DeviceHungry {
+        fn name(&self) -> &str {
+            "hungry"
+        }
+        fn interest(&self) -> crate::tool::Interest {
+            crate::tool::Interest::all()
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    #[test]
+    fn coarse_tools_skip_device_instrumentation() {
+        let session = Pasta::builder()
+            .rtx_3060()
+            .tool(LaunchCounter::default())
+            .build()
+            .unwrap();
+        assert!(
+            session.profiler.is_none(),
+            "no device-event interest → no probe → near-zero overhead"
+        );
+    }
+
+    #[test]
+    fn device_tools_attach_profiler() {
+        let session = Pasta::builder()
+            .rtx_3060()
+            .tool(DeviceHungry)
+            .build()
+            .unwrap();
+        assert!(session.profiler.is_some());
+    }
+
+    #[test]
+    fn run_model_produces_report_and_tool_state() {
+        let mut session = Pasta::builder()
+            .rtx_3060()
+            .tool(LaunchCounter::default())
+            .build()
+            .unwrap();
+        let report = session
+            .run_model_scaled(ModelZoo::ResNet18, RunKind::Inference, 1, 16)
+            .unwrap();
+        assert!(report.kernel_launches > 40);
+        assert!(report.profiled_time.as_nanos() > 0);
+        let n = session
+            .with_tool_mut("launch-counter", |t: &mut LaunchCounter| t.launches)
+            .unwrap();
+        assert_eq!(n, report.kernel_launches);
+        assert!(session.events_processed() > report.kernel_launches);
+    }
+
+    #[test]
+    fn amd_session_runs_models_too() {
+        let mut session = Pasta::builder()
+            .mi300x()
+            .tool(LaunchCounter::default())
+            .build()
+            .unwrap();
+        let report = session
+            .run_model_scaled(ModelZoo::Bert, RunKind::Inference, 1, 8)
+            .unwrap();
+        assert!(report.kernel_launches > 50);
+    }
+
+    #[test]
+    fn knobs_and_stacks_populate_during_runs() {
+        let mut session = Pasta::builder()
+            .rtx_3060()
+            .tool(DeviceHungry)
+            .capture_knob(Some(Knob::MaxMemReferencedKernel))
+            .build()
+            .unwrap();
+        session
+            .run_model_scaled(ModelZoo::Bert, RunKind::Inference, 1, 8)
+            .unwrap();
+        let (kernel, agg) = session
+            .knob_selection(Knob::MaxMemReferencedKernel)
+            .expect("knob selects a kernel");
+        assert!(agg.memory_records > 0);
+        let stack = session
+            .cross_layer_stack(&kernel)
+            .expect("stack captured for the hot kernel");
+        assert!(!stack.native.is_empty());
+        assert!(stack.render().contains("Python"));
+    }
+}

@@ -1,0 +1,147 @@
+//! Report types returned by tools and sessions.
+
+use accel_sim::{OverheadBreakdown, SimTime};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A tool's findings: named metrics plus free-form rendered text.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ToolReport {
+    /// Tool name.
+    pub tool: String,
+    /// Named scalar metrics in insertion order.
+    pub metrics: Vec<(String, f64)>,
+    /// Human-readable body (tables, call stacks, …).
+    pub text: String,
+}
+
+impl ToolReport {
+    /// Creates an empty report for `tool`.
+    pub fn new(tool: impl Into<String>) -> Self {
+        ToolReport {
+            tool: tool.into(),
+            metrics: Vec::new(),
+            text: String::new(),
+        }
+    }
+
+    /// Appends a metric (builder style).
+    pub fn metric(mut self, name: impl Into<String>, value: f64) -> Self {
+        self.metrics.push((name.into(), value));
+        self
+    }
+
+    /// Sets the text body (builder style).
+    pub fn body(mut self, text: impl Into<String>) -> Self {
+        self.text = text.into();
+        self
+    }
+
+    /// Looks up a metric by name.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.metrics
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+}
+
+impl fmt::Display for ToolReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} ==", self.tool)?;
+        for (name, value) in &self.metrics {
+            writeln!(f, "  {name}: {value}")?;
+        }
+        if !self.text.is_empty() {
+            writeln!(f, "{}", self.text)?;
+        }
+        Ok(())
+    }
+}
+
+/// Summary of one profiled run through a [`crate::PastaSession`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionReport {
+    /// Workload label.
+    pub workload: String,
+    /// Kernels launched during the run.
+    pub kernel_launches: u64,
+    /// Wall (host virtual) time of the profiled run.
+    pub profiled_time: SimTime,
+    /// Instrumentation overhead breakdown (Fig. 10 components).
+    pub overhead: OverheadBreakdown,
+    /// Trace records observed (post-sampling).
+    pub records: u64,
+    /// Peak live tensor bytes on device 0.
+    pub peak_allocated: u64,
+    /// Peak reserved (footprint) bytes on device 0.
+    pub peak_reserved: u64,
+}
+
+impl SessionReport {
+    /// `profiled / (profiled - overhead)`: the Fig. 9 overhead factor,
+    /// computed against the run's implied uninstrumented time.
+    pub fn overhead_factor(&self) -> f64 {
+        let profiled = self.profiled_time.as_nanos() as f64;
+        let base = profiled - self.overhead.total_ns() as f64;
+        if base <= 0.0 {
+            return f64::INFINITY;
+        }
+        profiled / base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tool_report_builder_and_lookup() {
+        let r = ToolReport::new("kernel-freq")
+            .metric("kernels", 42.0)
+            .metric("unique", 7.0)
+            .body("top kernel: sgemm");
+        assert_eq!(r.get("kernels"), Some(42.0));
+        assert_eq!(r.get("nope"), None);
+        let s = r.to_string();
+        assert!(s.contains("== kernel-freq =="));
+        assert!(s.contains("unique: 7"));
+        assert!(s.contains("sgemm"));
+    }
+
+    #[test]
+    fn overhead_factor_math() {
+        let r = SessionReport {
+            workload: "w".into(),
+            kernel_launches: 1,
+            profiled_time: SimTime(1_000),
+            overhead: OverheadBreakdown {
+                collection_ns: 300,
+                transfer_ns: 100,
+                analysis_ns: 100,
+                setup_ns: 0,
+            },
+            records: 0,
+            peak_allocated: 0,
+            peak_reserved: 0,
+        };
+        assert!((r.overhead_factor() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overhead_factor_saturates_to_infinity() {
+        let r = SessionReport {
+            workload: "w".into(),
+            kernel_launches: 0,
+            profiled_time: SimTime(100),
+            overhead: OverheadBreakdown {
+                analysis_ns: 200,
+                ..OverheadBreakdown::default()
+            },
+            records: 0,
+            peak_allocated: 0,
+            peak_reserved: 0,
+        };
+        assert!(r.overhead_factor().is_infinite());
+    }
+}

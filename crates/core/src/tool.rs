@@ -1,0 +1,379 @@
+//! The tool-collection template.
+//!
+//! A [`Tool`] is "a customized analysis built by overriding functions in
+//! the PASTA tool collection template" (paper §III-B). Every callback has
+//! a no-op default; a tool overrides only what it needs and declares its
+//! [`Interest`]s so the framework instruments no more than necessary.
+
+use crate::event::Event;
+use crate::report::ToolReport;
+use accel_sim::{AccessBatch, KernelTraceSummary, LaunchId, ProbeConfig};
+use serde::{Deserialize, Serialize};
+use std::any::Any;
+
+/// Event classes a tool wants delivered.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Interest {
+    /// Global-memory access batches (fine-grained, device-side).
+    pub global_accesses: bool,
+    /// Shared-memory access batches.
+    pub shared_accesses: bool,
+    /// Barrier executions.
+    pub barriers: bool,
+    /// Thread-block boundaries.
+    pub block_boundaries: bool,
+    /// Dynamic-instruction counts (requires a full-coverage backend).
+    pub instructions: bool,
+    /// Coarse host events (launches, copies, allocs, syncs).
+    pub host_events: bool,
+    /// DL-framework events (ops, tensors, passes, annotations).
+    pub framework_events: bool,
+}
+
+impl Interest {
+    /// Host + framework events only — the cheap default.
+    pub fn coarse() -> Self {
+        Interest {
+            host_events: true,
+            framework_events: true,
+            ..Interest::default()
+        }
+    }
+
+    /// Everything, including fine-grained device events.
+    pub fn all() -> Self {
+        Interest {
+            global_accesses: true,
+            shared_accesses: true,
+            barriers: true,
+            block_boundaries: true,
+            instructions: true,
+            host_events: true,
+            framework_events: true,
+        }
+    }
+
+    /// Union of two interest sets.
+    pub fn union(self, o: Interest) -> Interest {
+        Interest {
+            global_accesses: self.global_accesses || o.global_accesses,
+            shared_accesses: self.shared_accesses || o.shared_accesses,
+            barriers: self.barriers || o.barriers,
+            block_boundaries: self.block_boundaries || o.block_boundaries,
+            instructions: self.instructions || o.instructions,
+            host_events: self.host_events || o.host_events,
+            framework_events: self.framework_events || o.framework_events,
+        }
+    }
+
+    /// Device-side probe configuration implied by this interest set.
+    pub fn probe_config(self) -> ProbeConfig {
+        let mut c = ProbeConfig::disabled();
+        c.global_accesses = self.global_accesses;
+        c.shared_accesses = self.shared_accesses;
+        c.barriers = self.barriers;
+        c.block_boundaries = self.block_boundaries;
+        c
+    }
+
+    /// True when any fine-grained device class is requested.
+    pub fn wants_device_events(self) -> bool {
+        self.global_accesses
+            || self.shared_accesses
+            || self.barriers
+            || self.block_boundaries
+            || self.instructions
+    }
+}
+
+/// The analysis-tool template. All handlers default to no-ops.
+pub trait Tool: Send {
+    /// Unique tool name (used for selection, like the paper's
+    /// `accelprof -t <tool>` flag).
+    fn name(&self) -> &str;
+
+    /// Which event classes to deliver (and therefore instrument).
+    fn interest(&self) -> Interest {
+        Interest::coarse()
+    }
+
+    /// Generic event delivery; the default demultiplexes to the typed
+    /// handlers below, so tools can override either granularity.
+    fn on_event(&mut self, event: &Event) {
+        match event {
+            Event::GlobalAccess { launch, kernel, batch } => {
+                self.on_global_access(*launch, kernel, batch)
+            }
+            Event::SharedAccess { launch, kernel, batch } => {
+                self.on_shared_access(*launch, kernel, batch)
+            }
+            Event::KernelTrace {
+                launch,
+                kernel,
+                summary,
+            } => self.on_kernel_trace(*launch, kernel, summary),
+            _ => {}
+        }
+    }
+
+    /// One batch of global-memory access records.
+    fn on_global_access(&mut self, launch: LaunchId, kernel: &str, batch: &AccessBatch) {
+        let _ = (launch, kernel, batch);
+    }
+
+    /// One batch of shared-memory access records.
+    fn on_shared_access(&mut self, launch: LaunchId, kernel: &str, batch: &AccessBatch) {
+        let _ = (launch, kernel, batch);
+    }
+
+    /// End-of-kernel trace summary.
+    fn on_kernel_trace(&mut self, launch: LaunchId, kernel: &str, summary: &KernelTraceSummary) {
+        let _ = (launch, kernel, summary);
+    }
+
+    /// Produces the tool's report.
+    fn report(&self) -> ToolReport {
+        ToolReport::new(self.name())
+    }
+
+    /// Clears accumulated state between runs.
+    fn reset(&mut self) {}
+
+    /// Downcasting support (used by
+    /// [`crate::PastaSession::with_tool_mut`]).
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable downcasting support.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// An ordered collection of tools sharing one event stream.
+#[derive(Default)]
+pub struct ToolCollection {
+    tools: Vec<Box<dyn Tool>>,
+}
+
+impl std::fmt::Debug for ToolCollection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ToolCollection")
+            .field(
+                "tools",
+                &self.tools.iter().map(|t| t.name().to_owned()).collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+impl ToolCollection {
+    /// An empty collection.
+    pub fn new() -> Self {
+        ToolCollection::default()
+    }
+
+    /// Registers a tool.
+    pub fn register(&mut self, tool: Box<dyn Tool>) {
+        self.tools.push(tool);
+    }
+
+    /// Number of registered tools.
+    pub fn len(&self) -> usize {
+        self.tools.len()
+    }
+
+    /// True when no tools are registered.
+    pub fn is_empty(&self) -> bool {
+        self.tools.is_empty()
+    }
+
+    /// Union of all tools' interests.
+    pub fn interest(&self) -> Interest {
+        self.tools
+            .iter()
+            .fold(Interest::default(), |acc, t| acc.union(t.interest()))
+    }
+
+    /// Delivers an event to every tool whose interest covers its class.
+    pub fn dispatch(&mut self, event: &Event) {
+        use crate::event::EventClass;
+        let class = event.class();
+        for tool in &mut self.tools {
+            let i = tool.interest();
+            let wants = match class {
+                EventClass::DeviceAccess => i.global_accesses || i.shared_accesses,
+                EventClass::DeviceControl => {
+                    i.barriers || i.block_boundaries || i.instructions
+                        || i.global_accesses // kernel summaries ride along
+                }
+                EventClass::Framework | EventClass::Annotation => i.framework_events,
+                _ => i.host_events,
+            };
+            if wants {
+                tool.on_event(event);
+            }
+        }
+    }
+
+    /// Reports from every tool, in registration order.
+    pub fn reports(&self) -> Vec<ToolReport> {
+        self.tools.iter().map(|t| t.report()).collect()
+    }
+
+    /// Resets every tool.
+    pub fn reset(&mut self) {
+        for t in &mut self.tools {
+            t.reset();
+        }
+    }
+
+    /// Runs `f` against the named tool downcast to `T`.
+    pub fn with_tool_mut<T: Tool + 'static, R>(
+        &mut self,
+        name: &str,
+        f: impl FnOnce(&mut T) -> R,
+    ) -> Option<R> {
+        self.tools
+            .iter_mut()
+            .find(|t| t.name() == name)
+            .and_then(|t| t.as_any_mut().downcast_mut::<T>())
+            .map(f)
+    }
+}
+
+/// The smallest useful tool: counts kernel launches. Doubles as the
+/// doc-example tool and a test fixture.
+#[derive(Debug, Default)]
+pub struct LaunchCounter {
+    /// Kernel launches observed.
+    pub launches: u64,
+}
+
+impl Tool for LaunchCounter {
+    fn name(&self) -> &str {
+        "launch-counter"
+    }
+
+    fn on_event(&mut self, event: &Event) {
+        if matches!(event, Event::KernelLaunchEnd { .. }) {
+            self.launches += 1;
+        }
+    }
+
+    fn report(&self) -> ToolReport {
+        ToolReport::new(self.name()).metric("launches", self.launches as f64)
+    }
+
+    fn reset(&mut self) {
+        self.launches = 0;
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accel_sim::{DeviceId, SimTime};
+
+    fn launch_end() -> Event {
+        Event::KernelLaunchEnd {
+            launch: LaunchId(0),
+            device: DeviceId(0),
+            name: "k".into(),
+            start: SimTime(0),
+            end: SimTime(10),
+        }
+    }
+
+    #[test]
+    fn interest_union_and_probe_config() {
+        let a = Interest {
+            global_accesses: true,
+            ..Interest::default()
+        };
+        let b = Interest {
+            barriers: true,
+            host_events: true,
+            ..Interest::default()
+        };
+        let u = a.union(b);
+        assert!(u.global_accesses && u.barriers && u.host_events);
+        assert!(u.wants_device_events());
+        let pc = u.probe_config();
+        assert!(pc.global_accesses && pc.barriers);
+        assert!(!pc.shared_accesses);
+        assert!(!Interest::coarse().wants_device_events());
+    }
+
+    #[test]
+    fn collection_dispatch_and_downcast() {
+        let mut c = ToolCollection::new();
+        c.register(Box::<LaunchCounter>::default());
+        assert_eq!(c.len(), 1);
+        c.dispatch(&launch_end());
+        c.dispatch(&launch_end());
+        let n = c
+            .with_tool_mut("launch-counter", |t: &mut LaunchCounter| t.launches)
+            .unwrap();
+        assert_eq!(n, 2);
+        assert!(c
+            .with_tool_mut("missing", |t: &mut LaunchCounter| t.launches)
+            .is_none());
+        let reports = c.reports();
+        assert_eq!(reports[0].get("launches"), Some(2.0));
+        c.reset();
+        let n = c
+            .with_tool_mut("launch-counter", |t: &mut LaunchCounter| t.launches)
+            .unwrap();
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn dispatch_respects_interest() {
+        #[derive(Default)]
+        struct FrameworkOnly {
+            framework: u64,
+            other: u64,
+        }
+        impl Tool for FrameworkOnly {
+            fn name(&self) -> &str {
+                "fw-only"
+            }
+            fn interest(&self) -> Interest {
+                Interest {
+                    framework_events: true,
+                    ..Interest::default()
+                }
+            }
+            fn on_event(&mut self, event: &Event) {
+                match event.class() {
+                    crate::event::EventClass::Framework => self.framework += 1,
+                    _ => self.other += 1,
+                }
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut c = ToolCollection::new();
+        c.register(Box::<FrameworkOnly>::default());
+        c.dispatch(&launch_end()); // Kernel class — filtered out
+        c.dispatch(&Event::PassBoundary {
+            pass: dl_framework::callbacks::Pass::Forward,
+            device: DeviceId(0),
+        });
+        let (fw, other) = c
+            .with_tool_mut("fw-only", |t: &mut FrameworkOnly| (t.framework, t.other))
+            .unwrap();
+        assert_eq!(fw, 1);
+        assert_eq!(other, 0, "uninterested classes never delivered");
+    }
+}

@@ -1,0 +1,489 @@
+//! Multi-GPU parallelism: Megatron GPT-2 345M under data, tensor and
+//! pipeline parallelism on two devices (paper §V-D2, Fig. 15).
+//!
+//! The three strategies shard differently and therefore leave different
+//! per-GPU memory signatures:
+//!
+//! * **Data parallelism** — full replicas on both GPUs, gradients
+//!   all-reduced: identical memory curves, full peak on each.
+//! * **Tensor parallelism** — attention heads and FFN columns split
+//!   (Megatron column/row parallel linear layers): identical curves at
+//!   roughly half the peak.
+//! * **Pipeline parallelism** — the block stack split at the midpoint;
+//!   GPU 1 additionally runs the final layer norm, the (large) logits
+//!   projection and the loss, producing the asymmetric tail of Fig. 15c.
+
+use crate::callbacks::Pass;
+use crate::dtype::DType;
+use crate::layers::{Layer, LayerNorm, Param, Sequential, TransformerBlock};
+use crate::models::transformer::{custom_lm, LmDims};
+use crate::models::{ModelKind, ModelSpec, Workload};
+use crate::ops::{self, Act};
+use crate::session::Session;
+use accel_sim::{AccelError, DeviceId};
+use serde::{Deserialize, Serialize};
+
+/// Parallelization strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Parallelism {
+    /// Replicated model, all-reduced gradients (DP).
+    Data,
+    /// Megatron tensor (intra-layer) parallelism (TP).
+    Tensor,
+    /// Pipeline (inter-layer) parallelism (PP).
+    Pipeline,
+}
+
+impl Parallelism {
+    /// Label used in experiment output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Parallelism::Data => "data-parallel",
+            Parallelism::Tensor => "tensor-parallel",
+            Parallelism::Pipeline => "pipeline-parallel",
+        }
+    }
+}
+
+/// Megatron GPT-2 345M dimensions (24 layers, d=1024, 16 heads).
+pub fn megatron_345m_dims() -> LmDims {
+    LmDims {
+        d: 1024,
+        heads: 16,
+        ffn: 4096,
+        vocab: 50257,
+        seq: 1024,
+        layers: 24,
+    }
+}
+
+/// Per-device outcome of a parallel training iteration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParallelReport {
+    /// Strategy executed.
+    pub strategy: Parallelism,
+    /// Peak live tensor bytes per device.
+    pub peak_allocated: Vec<u64>,
+    /// Peak reserved (footprint) bytes per device.
+    pub peak_reserved: Vec<u64>,
+    /// Kernels launched per device.
+    pub launches: Vec<u64>,
+}
+
+fn report(s: &Session<'_>, strategy: Parallelism) -> ParallelReport {
+    let devices = [DeviceId(0), DeviceId(1)];
+    ParallelReport {
+        strategy,
+        peak_allocated: devices
+            .iter()
+            .map(|&d| s.allocator_stats_for(d).peak_allocated)
+            .collect(),
+        peak_reserved: devices
+            .iter()
+            .map(|&d| s.allocator_stats_for(d).peak_reserved)
+            .collect(),
+        launches: devices
+            .iter()
+            .map(|&d| s.runtime().stats(d).launches)
+            .collect(),
+    }
+}
+
+fn megatron_spec() -> ModelSpec {
+    ModelSpec {
+        name: "Megatron GPT-2 345M",
+        abbr: "GPT2-345M",
+        kind: ModelKind::Transformer,
+        layers: 24,
+        batch: 4,
+    }
+}
+
+/// Runs one data-parallel training iteration on devices 0 and 1.
+///
+/// # Errors
+///
+/// Propagates allocation/launch failures; requires ≥ 2 devices.
+pub fn train_iter_data_parallel(
+    s: &mut Session<'_>,
+    batch: usize,
+) -> Result<ParallelReport, AccelError> {
+    let dims = megatron_345m_dims();
+    let mut replicas = Vec::new();
+    for dev in [DeviceId(0), DeviceId(1)] {
+        s.runtime_mut().set_device(dev)?;
+        replicas.push(custom_lm(
+            s,
+            megatron_spec(),
+            dims,
+            batch,
+            "megatron/pretrain_gpt2.py",
+        )?);
+    }
+    // Persistent DDP gradient buckets (the long-lived communication
+    // tensors the paper notes in §V-D2).
+    let bucket_elems = (32 << 20) / 4; // 32 MiB buckets
+    let mut buckets = Vec::new();
+    for dev in [DeviceId(0), DeviceId(1)] {
+        s.runtime_mut().set_device(dev)?;
+        buckets.push(s.alloc_tensor(&[bucket_elems], DType::F32)?);
+    }
+
+    for (i, replica) in replicas.iter_mut().enumerate() {
+        s.runtime_mut().set_device(DeviceId(i as u32))?;
+        replica.training_iter(s)?;
+    }
+    // All-reduce the gradients bucket by bucket.
+    let param_bytes = replicas[0].param_bytes();
+    let n_buckets = param_bytes.div_ceil(32 << 20);
+    for (i, bucket) in buckets.iter().enumerate() {
+        s.runtime_mut().set_device(DeviceId(i as u32))?;
+        for _ in 0..n_buckets {
+            ops::allreduce(s, bucket)?;
+        }
+    }
+
+    let rep = report(s, Parallelism::Data);
+    for (i, mut replica) in replicas.into_iter().enumerate() {
+        s.runtime_mut().set_device(DeviceId(i as u32))?;
+        replica.destroy(s);
+    }
+    for (i, bucket) in buckets.iter().enumerate() {
+        s.runtime_mut().set_device(DeviceId(i as u32))?;
+        s.free_tensor(bucket);
+    }
+    Ok(rep)
+}
+
+/// Runs one tensor-parallel training iteration (2-way Megatron sharding).
+///
+/// # Errors
+///
+/// Propagates allocation/launch failures; requires ≥ 2 devices.
+pub fn train_iter_tensor_parallel(
+    s: &mut Session<'_>,
+    batch: usize,
+) -> Result<ParallelReport, AccelError> {
+    let dims = megatron_345m_dims();
+    // Each shard keeps half the heads/FFN and half the vocabulary.
+    let shard_dims = LmDims {
+        heads: dims.heads / 2,
+        ffn: dims.ffn / 2,
+        vocab: dims.vocab / 2,
+        ..dims
+    };
+    let mut shards = Vec::new();
+    for dev in [DeviceId(0), DeviceId(1)] {
+        s.runtime_mut().set_device(dev)?;
+        shards.push(custom_lm(
+            s,
+            megatron_spec(),
+            shard_dims,
+            batch,
+            "megatron/pretrain_gpt2.py",
+        )?);
+    }
+    for (i, shard) in shards.iter_mut().enumerate() {
+        s.runtime_mut().set_device(DeviceId(i as u32))?;
+        shard.training_iter(s)?;
+        // Activation all-reduces: two per layer (after attention and after
+        // the MLP), on [batch, seq, d] activations.
+        let act = s.alloc_tensor(&[batch, dims.seq, dims.d], DType::F32)?;
+        for _ in 0..2 * dims.layers {
+            ops::allreduce(s, &act)?;
+        }
+        s.free_tensor(&act);
+    }
+    let rep = report(s, Parallelism::Tensor);
+    for (i, mut shard) in shards.into_iter().enumerate() {
+        s.runtime_mut().set_device(DeviceId(i as u32))?;
+        shard.destroy(s);
+    }
+    Ok(rep)
+}
+
+/// One pipeline stage: either the front (embeddings + first half of the
+/// blocks) or the back (second half + final norm + logits head).
+struct PipelineStage {
+    wte: Option<Param>,
+    wpe: Option<Param>,
+    blocks: Sequential,
+    ln_f: Option<LayerNorm>,
+    head: Option<Param>,
+}
+
+impl PipelineStage {
+    fn destroy(&mut self, s: &mut Session<'_>) {
+        if let Some(mut p) = self.wte.take() {
+            p.destroy(s);
+        }
+        if let Some(mut p) = self.wpe.take() {
+            p.destroy(s);
+        }
+        self.blocks.destroy(s);
+        if let Some(mut l) = self.ln_f.take() {
+            l.destroy(s);
+        }
+        if let Some(mut p) = self.head.take() {
+            p.destroy(s);
+        }
+    }
+
+    fn step(&mut self, s: &mut Session<'_>) -> Result<(), AccelError> {
+        if let Some(p) = self.wte.as_mut() {
+            p.step(s)?;
+        }
+        if let Some(p) = self.wpe.as_mut() {
+            p.step(s)?;
+        }
+        self.blocks.step(s)?;
+        if let Some(l) = self.ln_f.as_mut() {
+            l.step(s)?;
+        }
+        if let Some(p) = self.head.as_mut() {
+            p.step(s)?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs one pipeline-parallel training iteration: blocks 0–11 on GPU 0,
+/// blocks 12–23 plus the logits head on GPU 1.
+///
+/// # Errors
+///
+/// Propagates allocation/launch failures; requires ≥ 2 devices.
+pub fn train_iter_pipeline_parallel(
+    s: &mut Session<'_>,
+    batch: usize,
+) -> Result<ParallelReport, AccelError> {
+    let dims = megatron_345m_dims();
+    let half = dims.layers / 2;
+
+    s.runtime_mut().set_device(DeviceId(0))?;
+    let mut stage0 = PipelineStage {
+        wte: Some(Param::new(s, &[dims.vocab, dims.d])?),
+        wpe: Some(Param::new(s, &[dims.seq, dims.d])?),
+        blocks: {
+            let mut b = Sequential::new("pp.stage0");
+            for i in 0..half {
+                b.push(Box::new(TransformerBlock::new(
+                    s,
+                    format!("h.{i}"),
+                    dims.d,
+                    dims.heads,
+                    dims.ffn,
+                )?));
+            }
+            b
+        },
+        ln_f: None,
+        head: None,
+    };
+    s.runtime_mut().set_device(DeviceId(1))?;
+    let mut stage1 = PipelineStage {
+        wte: None,
+        wpe: None,
+        blocks: {
+            let mut b = Sequential::new("pp.stage1");
+            for i in half..dims.layers {
+                b.push(Box::new(TransformerBlock::new(
+                    s,
+                    format!("h.{i}"),
+                    dims.d,
+                    dims.heads,
+                    dims.ffn,
+                )?));
+            }
+            b
+        },
+        ln_f: Some(LayerNorm::new(s, "ln_f", dims.d)?),
+        head: Some(Param::new(s, &[dims.vocab, dims.d])?),
+    };
+
+    // ---- Forward: stage 0 ------------------------------------------------
+    s.runtime_mut().set_device(DeviceId(0))?;
+    s.pass_boundary(Pass::Forward);
+    let idx = s.alloc_tensor(&[batch, dims.seq], DType::I64)?;
+    let wte0 = stage0.wte.as_ref().expect("stage0 wte").tensor.clone();
+    let emb = ops::embedding(s, &wte0, &idx)?;
+    let wpe0 = stage0.wpe.as_ref().expect("stage0 wpe").tensor.clone();
+    let x0 = ops::elementwise(
+        s,
+        "at::native::vectorized_elementwise_kernel<add_pos>",
+        &[&emb, &wpe0],
+        &[batch, dims.seq, dims.d],
+    )?;
+    s.free_tensor(&emb);
+    let boundary = stage0.blocks.forward(s, x0, true)?;
+    ops::send_recv(s, &boundary)?;
+
+    // ---- Forward + loss + backward: stage 1 ------------------------------
+    s.runtime_mut().set_device(DeviceId(1))?;
+    let recv = s.alloc_tensor(&[batch, dims.seq, dims.d], DType::F32)?;
+    ops::send_recv(s, &recv)?;
+    let h1 = stage1.blocks.forward(s, recv, true)?;
+    let ln = stage1.ln_f.as_mut().expect("stage1 ln_f");
+    let hl = ln.forward(s, &h1, true)?;
+    let head_w = stage1.head.as_ref().expect("stage1 head").tensor.clone();
+    let logits = ops::linear(s, &hl, &head_w, None, Act::None)?;
+    let loss = ops::cross_entropy(s, &logits)?;
+    s.free_tensor(&loss);
+    s.pass_boundary(Pass::Backward);
+    let g_logits = ops::cross_entropy_backward(s, &logits)?;
+    let (g_hl, g_head, _) = ops::linear_backward(
+        s,
+        &hl,
+        &stage1.head.as_ref().expect("head").tensor,
+        &g_logits,
+        false,
+    )?;
+    stage1
+        .head
+        .as_mut()
+        .expect("head")
+        .set_grad(s, g_head)?;
+    s.free_tensor(&g_logits);
+    s.free_tensor(&logits);
+    let g_h1 = stage1
+        .ln_f
+        .as_mut()
+        .expect("ln_f")
+        .backward(s, &h1, &g_hl)?;
+    s.free_tensor(&g_hl);
+    s.free_tensor(&hl);
+    let g_boundary = stage1.blocks.backward(s, g_h1)?;
+    s.free_tensor(&h1);
+    ops::send_recv(s, &g_boundary)?;
+    s.free_tensor(&g_boundary);
+
+    // ---- Backward: stage 0 -----------------------------------------------
+    s.runtime_mut().set_device(DeviceId(0))?;
+    let g_recv = s.alloc_tensor(&[batch, dims.seq, dims.d], DType::F32)?;
+    ops::send_recv(s, &g_recv)?;
+    let g_x0 = stage0.blocks.backward(s, g_recv)?;
+    s.free_tensor(&boundary);
+    let g_wpe = ops::elementwise(
+        s,
+        "at::native::reduce_kernel<512, ReduceAdd>",
+        &[&g_x0],
+        &[dims.seq, dims.d],
+    )?;
+    stage0.wpe.as_mut().expect("wpe").set_grad(s, g_wpe)?;
+    let g_wte = ops::embedding_backward(
+        s,
+        &stage0.wte.as_ref().expect("wte").tensor,
+        &idx,
+        &g_x0,
+    )?;
+    stage0.wte.as_mut().expect("wte").set_grad(s, g_wte)?;
+    s.free_tensor(&g_x0);
+    s.free_tensor(&idx);
+
+    // ---- Optimizer on both stages -----------------------------------------
+    s.pass_boundary(Pass::Optimizer);
+    stage0.step(s)?;
+    s.runtime_mut().set_device(DeviceId(1))?;
+    stage1.step(s)?;
+
+    let rep = report(s, Parallelism::Pipeline);
+    s.runtime_mut().set_device(DeviceId(0))?;
+    stage0.destroy(s);
+    s.runtime_mut().set_device(DeviceId(1))?;
+    stage1.destroy(s);
+    Ok(rep)
+}
+
+/// Dispatches one training iteration under `strategy`.
+///
+/// # Errors
+///
+/// Propagates allocation/launch failures; requires ≥ 2 devices.
+pub fn train_iter(
+    s: &mut Session<'_>,
+    strategy: Parallelism,
+    batch: usize,
+) -> Result<ParallelReport, AccelError> {
+    match strategy {
+        Parallelism::Data => train_iter_data_parallel(s, batch),
+        Parallelism::Tensor => train_iter_tensor_parallel(s, batch),
+        Parallelism::Pipeline => train_iter_pipeline_parallel(s, batch),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accel_sim::DeviceSpec;
+    use vendor_nv::CudaContext;
+
+    fn two_gpu_session<T>(f: impl FnOnce(&mut Session<'_>) -> T) -> T {
+        let mut rt =
+            CudaContext::new(vec![DeviceSpec::a100_80gb(), DeviceSpec::a100_80gb()]);
+        let mut s = Session::new(&mut rt);
+        f(&mut s)
+    }
+
+    #[test]
+    fn dp_peaks_are_symmetric() {
+        two_gpu_session(|s| {
+            let r = train_iter_data_parallel(s, 1).unwrap();
+            let (a, b) = (r.peak_allocated[0], r.peak_allocated[1]);
+            let ratio = a as f64 / b as f64;
+            assert!((0.95..1.05).contains(&ratio), "DP must be symmetric: {a} vs {b}");
+        });
+    }
+
+    #[test]
+    fn tp_halves_the_peak() {
+        // Peaks are per-session high-water marks, so each strategy runs in
+        // a fresh session.
+        let dp = two_gpu_session(|s| train_iter_data_parallel(s, 1).unwrap());
+        let tp = two_gpu_session(|s| train_iter_tensor_parallel(s, 1).unwrap());
+        let ratio = tp.peak_allocated[0] as f64 / dp.peak_allocated[0] as f64;
+        assert!(
+            (0.35..0.75).contains(&ratio),
+            "TP peak should be roughly half of DP: ratio {ratio}"
+        );
+        // TP stays symmetric across GPUs.
+        let sym = tp.peak_allocated[0] as f64 / tp.peak_allocated[1] as f64;
+        assert!((0.95..1.05).contains(&sym));
+    }
+
+    #[test]
+    fn pp_is_asymmetric_with_heavier_tail_gpu() {
+        two_gpu_session(|s| {
+            let pp = train_iter_pipeline_parallel(s, 1).unwrap();
+            assert!(
+                pp.peak_allocated[1] > pp.peak_allocated[0],
+                "GPU1 runs the logits head: {} vs {}",
+                pp.peak_allocated[1],
+                pp.peak_allocated[0]
+            );
+        });
+    }
+
+    #[test]
+    fn all_strategies_clean_up() {
+        two_gpu_session(|s| {
+            for strategy in [Parallelism::Data, Parallelism::Tensor, Parallelism::Pipeline] {
+                train_iter(s, strategy, 1).unwrap();
+                s.release_workspaces();
+                for d in [DeviceId(0), DeviceId(1)] {
+                    assert_eq!(
+                        s.allocator_stats_for(d).allocated,
+                        0,
+                        "{strategy:?} leaked on {d}"
+                    );
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Parallelism::Data.label(), "data-parallel");
+        assert_eq!(Parallelism::Tensor.label(), "tensor-parallel");
+        assert_eq!(Parallelism::Pipeline.label(), "pipeline-parallel");
+    }
+}

@@ -1,0 +1,411 @@
+//! Execution session: allocator + callbacks + Python stack over a runtime.
+//!
+//! A [`Session`] is the glue the DL framework wraps around a device
+//! runtime: every tensor allocation flows through the caching allocator
+//! (emitting `reportMemoryUsage`-style events), every operator brackets its
+//! kernels with `RecordFunction`-style events, and the simulated Python
+//! stack is maintained for cross-layer call-stack capture.
+
+use crate::alloc::{AllocatorConfig, AllocatorStats, CachingAllocator};
+use crate::backend::BackendProfile;
+use crate::callbacks::{CallbackRegistry, FrameworkEvent, FrameworkSubscriber, Pass};
+use crate::dtype::DType;
+use crate::pycall::{PyFrame, PyStack};
+use crate::tensor::{Tensor, TensorId};
+use accel_sim::{AccelError, DeviceId, DeviceRuntime, KernelDesc, LaunchRecord};
+use std::collections::HashMap;
+
+/// A live framework session over a device runtime.
+pub struct Session<'rt> {
+    rt: &'rt mut dyn DeviceRuntime,
+    allocators: HashMap<DeviceId, CachingAllocator>,
+    allocator_config: AllocatorConfig,
+    callbacks: CallbackRegistry,
+    py: PyStack,
+    backend: BackendProfile,
+    next_tensor: u64,
+    op_seq: u64,
+    kernels_launched: u64,
+    /// cuBLASLt-style GEMM workspace per device: allocated lazily, grown
+    /// (free + realloc) when a larger GEMM arrives, and held for the
+    /// session — the fused NVIDIA path's "slightly higher peak memory"
+    /// of the paper's Fig. 14.
+    gemm_workspace: HashMap<DeviceId, Tensor>,
+}
+
+impl std::fmt::Debug for Session<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("backend", &self.backend.vendor)
+            .field("tensors_created", &self.next_tensor)
+            .field("kernels_launched", &self.kernels_launched)
+            .finish()
+    }
+}
+
+impl<'rt> Session<'rt> {
+    /// Creates a session over `rt` with the backend profile matching the
+    /// runtime's vendor.
+    pub fn new(rt: &'rt mut dyn DeviceRuntime) -> Self {
+        let backend = BackendProfile::for_vendor(rt.vendor());
+        Session::with_config(rt, backend, AllocatorConfig::default())
+    }
+
+    /// Creates a session with explicit backend profile and allocator config
+    /// (the UVM experiments pass [`AllocatorConfig::managed`]).
+    pub fn with_config(
+        rt: &'rt mut dyn DeviceRuntime,
+        backend: BackendProfile,
+        allocator_config: AllocatorConfig,
+    ) -> Self {
+        Session {
+            rt,
+            allocators: HashMap::new(),
+            allocator_config,
+            callbacks: CallbackRegistry::new(),
+            py: PyStack::new(),
+            backend,
+            next_tensor: 0,
+            op_seq: 0,
+            kernels_launched: 0,
+            gemm_workspace: HashMap::new(),
+        }
+    }
+
+    /// The backend profile in effect.
+    pub fn backend(&self) -> &BackendProfile {
+        &self.backend
+    }
+
+    /// The underlying runtime.
+    pub fn runtime(&self) -> &dyn DeviceRuntime {
+        &*self.rt
+    }
+
+    /// Mutable runtime access (device switching in multi-GPU runs).
+    pub fn runtime_mut(&mut self) -> &mut dyn DeviceRuntime {
+        &mut *self.rt
+    }
+
+    /// Subscribes to framework events (`at::addGlobalCallback` analogue).
+    pub fn subscribe(&mut self, subscriber: FrameworkSubscriber) {
+        self.callbacks.subscribe(subscriber);
+    }
+
+    /// Emits a framework event to all subscribers.
+    pub fn emit(&mut self, event: FrameworkEvent) {
+        self.callbacks.emit(&event);
+    }
+
+    /// Total kernels launched through this session.
+    pub fn kernels_launched(&self) -> u64 {
+        self.kernels_launched
+    }
+
+    /// Allocator statistics for the current device.
+    pub fn allocator_stats(&self) -> AllocatorStats {
+        self.allocator_stats_for(self.rt.current_device())
+    }
+
+    /// Allocator statistics for a specific device (multi-GPU reports).
+    pub fn allocator_stats_for(&self, device: DeviceId) -> AllocatorStats {
+        self.allocators
+            .get(&device)
+            .map(CachingAllocator::stats)
+            .unwrap_or_default()
+    }
+
+    /// Live allocator segment ranges on the current device — the memory
+    /// *objects* that object-level UVM prefetching moves wholesale.
+    pub fn allocator_segments(&self) -> Vec<(u64, u64)> {
+        let dev = self.rt.current_device();
+        self.allocators
+            .get(&dev)
+            .map(CachingAllocator::segments)
+            .unwrap_or_default()
+    }
+
+    /// Allocates a tensor on the current device, emitting a
+    /// [`FrameworkEvent::TensorAlloc`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocator out-of-memory.
+    pub fn alloc_tensor(&mut self, shape: &[usize], dtype: DType) -> Result<Tensor, AccelError> {
+        let bytes = Tensor::bytes_for(shape, dtype);
+        let dev = self.rt.current_device();
+        let config = self.allocator_config.clone();
+        let allocator = self
+            .allocators
+            .entry(dev)
+            .or_insert_with(|| CachingAllocator::new(config));
+        let (ptr, _rounded) = allocator.alloc(&mut *self.rt, bytes)?;
+        let stats = self.allocators[&dev].stats();
+        let id = TensorId(self.next_tensor);
+        self.next_tensor += 1;
+        let tensor = Tensor {
+            id,
+            shape: shape.to_vec(),
+            dtype,
+            ptr,
+            bytes,
+        };
+        self.callbacks.emit(&FrameworkEvent::TensorAlloc {
+            tensor: id,
+            addr: ptr.addr(),
+            bytes,
+            allocated_total: stats.allocated,
+            reserved_total: stats.reserved,
+            device: dev,
+        });
+        Ok(tensor)
+    }
+
+    /// Releases a tensor back to the pool, emitting a
+    /// [`FrameworkEvent::TensorFree`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on double-free (a framework bug, as in PyTorch).
+    pub fn free_tensor(&mut self, tensor: &Tensor) {
+        let dev = self.rt.current_device();
+        let allocator = self
+            .allocators
+            .get_mut(&dev)
+            .expect("free on a device that never allocated");
+        allocator.free(tensor.ptr);
+        let stats = allocator.stats();
+        self.callbacks.emit(&FrameworkEvent::TensorFree {
+            tensor: tensor.id,
+            addr: tensor.ptr.addr(),
+            bytes: tensor.bytes,
+            allocated_total: stats.allocated,
+            reserved_total: stats.reserved,
+            device: dev,
+        });
+    }
+
+    /// Brackets an operator: emits `OpStart`, runs `f`, emits `OpEnd`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from `f`.
+    pub fn with_op<T>(
+        &mut self,
+        name: &str,
+        f: impl FnOnce(&mut Session<'rt>) -> Result<T, AccelError>,
+    ) -> Result<T, AccelError> {
+        let seq = self.op_seq;
+        self.op_seq += 1;
+        let dev = self.rt.current_device();
+        let py_stack = self.py.snapshot();
+        self.callbacks.emit(&FrameworkEvent::OpStart {
+            seq,
+            name: name.to_owned(),
+            device: dev,
+            py_stack,
+        });
+        let out = f(self);
+        self.callbacks.emit(&FrameworkEvent::OpEnd {
+            seq,
+            name: name.to_owned(),
+            device: dev,
+        });
+        out
+    }
+
+    /// Launches a kernel on the current device.
+    ///
+    /// # Errors
+    ///
+    /// Propagates launch validation failures.
+    pub fn launch(&mut self, desc: KernelDesc) -> Result<LaunchRecord, AccelError> {
+        self.kernels_launched += 1;
+        self.rt.launch(desc)
+    }
+
+    /// Pushes a simulated Python frame.
+    pub fn py_push(&mut self, frame: PyFrame) {
+        self.py.push(frame);
+    }
+
+    /// Pops the top Python frame.
+    pub fn py_pop(&mut self) {
+        let _ = self.py.pop();
+    }
+
+    /// Snapshot of the simulated Python stack.
+    pub fn py_snapshot(&self) -> Vec<PyFrame> {
+        self.py.snapshot()
+    }
+
+    /// Emits a `pasta.start()`-style region annotation.
+    pub fn region_start(&mut self, label: &str) {
+        let device = self.rt.current_device();
+        self.callbacks.emit(&FrameworkEvent::RegionStart {
+            label: label.to_owned(),
+            device,
+        });
+    }
+
+    /// Emits a `pasta.stop()`-style region annotation.
+    pub fn region_end(&mut self, label: &str) {
+        let device = self.rt.current_device();
+        self.callbacks.emit(&FrameworkEvent::RegionEnd {
+            label: label.to_owned(),
+            device,
+        });
+    }
+
+    /// Emits a layer boundary.
+    pub fn layer_boundary(&mut self, name: &str, index: usize) {
+        let device = self.rt.current_device();
+        self.callbacks.emit(&FrameworkEvent::LayerBoundary {
+            name: name.to_owned(),
+            index,
+            device,
+        });
+    }
+
+    /// Emits a forward/backward/optimizer pass boundary.
+    pub fn pass_boundary(&mut self, pass: Pass) {
+        let device = self.rt.current_device();
+        self.callbacks
+            .emit(&FrameworkEvent::PassBoundary { pass, device });
+    }
+
+    /// Synchronizes the current device.
+    pub fn synchronize(&mut self) {
+        self.rt.synchronize();
+    }
+
+    /// Ensures the cached GEMM workspace on the current device holds at
+    /// least `bytes`, growing it cublas-handle style (free + realloc on
+    /// growth, reuse otherwise). Returns the workspace tensor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocator out-of-memory.
+    pub fn ensure_gemm_workspace(&mut self, bytes: u64) -> Result<Tensor, AccelError> {
+        let dev = self.rt.current_device();
+        if let Some(ws) = self.gemm_workspace.get(&dev) {
+            if ws.bytes >= bytes {
+                return Ok(ws.clone());
+            }
+            let old = ws.clone();
+            self.free_tensor(&old);
+            self.gemm_workspace.remove(&dev);
+        }
+        let ws = self.alloc_tensor(&[(bytes / 4).max(1) as usize], DType::F32)?;
+        self.gemm_workspace.insert(dev, ws.clone());
+        Ok(ws)
+    }
+
+    /// Frees all cached GEMM workspaces (call before final memory
+    /// accounting; the runner does this automatically).
+    pub fn release_workspaces(&mut self) {
+        let entries: Vec<(DeviceId, Tensor)> = self.gemm_workspace.drain().collect();
+        let current = self.rt.current_device();
+        for (dev, ws) in entries {
+            let _ = self.rt.set_device(dev);
+            self.free_tensor(&ws);
+        }
+        let _ = self.rt.set_device(current);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accel_sim::DeviceSpec;
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+    use vendor_nv::CudaContext;
+
+    #[test]
+    fn tensor_lifecycle_emits_events() {
+        let mut rt = CudaContext::new(vec![DeviceSpec::rtx_3060()]);
+        let mut s = Session::new(&mut rt);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let l2 = Arc::clone(&log);
+        s.subscribe(Box::new(move |e| {
+            let tag = match e {
+                FrameworkEvent::TensorAlloc { bytes, .. } => format!("alloc:{bytes}"),
+                FrameworkEvent::TensorFree { bytes, .. } => format!("free:{bytes}"),
+                _ => return,
+            };
+            l2.lock().push(tag);
+        }));
+        let t = s.alloc_tensor(&[128, 128], DType::F32).unwrap();
+        assert_eq!(t.bytes, 128 * 128 * 4);
+        s.free_tensor(&t);
+        let log = log.lock();
+        assert_eq!(*log, vec!["alloc:65536", "free:65536"]);
+    }
+
+    #[test]
+    fn with_op_brackets_events() {
+        let mut rt = CudaContext::new(vec![DeviceSpec::rtx_3060()]);
+        let mut s = Session::new(&mut rt);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let l2 = Arc::clone(&log);
+        s.subscribe(Box::new(move |e| match e {
+            FrameworkEvent::OpStart { name, .. } => l2.lock().push(format!("start:{name}")),
+            FrameworkEvent::OpEnd { name, .. } => l2.lock().push(format!("end:{name}")),
+            _ => {}
+        }));
+        s.with_op("aten::linear", |s| {
+            s.with_op("aten::addmm", |_s| Ok(()))
+        })
+        .unwrap();
+        let log = log.lock();
+        assert_eq!(
+            *log,
+            vec![
+                "start:aten::linear",
+                "start:aten::addmm",
+                "end:aten::addmm",
+                "end:aten::linear"
+            ]
+        );
+    }
+
+    #[test]
+    fn op_events_capture_python_stack() {
+        let mut rt = CudaContext::new(vec![DeviceSpec::rtx_3060()]);
+        let mut s = Session::new(&mut rt);
+        let captured = Arc::new(Mutex::new(Vec::new()));
+        let c2 = Arc::clone(&captured);
+        s.subscribe(Box::new(move |e| {
+            if let FrameworkEvent::OpStart { py_stack, .. } = e {
+                c2.lock().push(py_stack.len());
+            }
+        }));
+        s.py_push(PyFrame::new("run.py", 10, "main"));
+        s.py_push(PyFrame::new("model.py", 20, "forward"));
+        s.with_op("aten::relu", |_s| Ok(())).unwrap();
+        s.py_pop();
+        s.with_op("aten::sum", |_s| Ok(())).unwrap();
+        assert_eq!(*captured.lock(), vec![2, 1]);
+    }
+
+    #[test]
+    fn backend_follows_runtime_vendor() {
+        let mut rt = vendor_amd::HipContext::new(vec![DeviceSpec::mi300x()]);
+        let s = Session::new(&mut rt);
+        assert_eq!(s.backend().vendor, accel_sim::Vendor::Amd);
+        assert!(!s.backend().fused_epilogue);
+    }
+
+    #[test]
+    fn allocator_stats_visible() {
+        let mut rt = CudaContext::new(vec![DeviceSpec::rtx_3060()]);
+        let mut s = Session::new(&mut rt);
+        let t = s.alloc_tensor(&[1024], DType::F32).unwrap();
+        assert!(s.allocator_stats().allocated >= 4096);
+        assert!(!s.allocator_segments().is_empty());
+        s.free_tensor(&t);
+        assert_eq!(s.allocator_stats().allocated, 0);
+        assert!(s.allocator_stats().reserved > 0, "segments stay cached");
+    }
+}

@@ -1,0 +1,210 @@
+//! Memory-usage timelines over logical event time (paper Figs. 14–15).
+//!
+//! Records the allocator's live-bytes total at every tensor
+//! allocation/reclamation event, per device. Plotting the series
+//! reproduces Fig. 14 (NVIDIA vs AMD GPT-2 training) and Fig. 15
+//! (per-GPU curves under DP/TP/PP).
+
+use accel_sim::DeviceId;
+use pasta_core::{Event, Interest, Tool, ToolReport};
+use serde::{Deserialize, Serialize};
+use std::any::Any;
+use std::collections::HashMap;
+
+/// One point of the timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimelinePoint {
+    /// Logical timestamp: tensor alloc/free event index (the paper's
+    /// x-axis).
+    pub event_index: u64,
+    /// Live tensor bytes after the event.
+    pub allocated: u64,
+    /// True for an allocation, false for a reclamation.
+    pub is_alloc: bool,
+}
+
+/// The memory-timeline tool.
+#[derive(Debug, Default)]
+pub struct MemoryTimelineTool {
+    series: HashMap<DeviceId, Vec<TimelinePoint>>,
+    counter: u64,
+}
+
+impl MemoryTimelineTool {
+    /// Creates the tool.
+    pub fn new() -> Self {
+        MemoryTimelineTool::default()
+    }
+
+    /// The timeline of one device.
+    pub fn series_for(&self, device: DeviceId) -> &[TimelinePoint] {
+        self.series.get(&device).map_or(&[], Vec::as_slice)
+    }
+
+    /// Devices with recorded activity.
+    pub fn devices(&self) -> Vec<DeviceId> {
+        let mut v: Vec<DeviceId> = self.series.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Peak live bytes on one device.
+    pub fn peak_for(&self, device: DeviceId) -> u64 {
+        self.series_for(device)
+            .iter()
+            .map(|p| p.allocated)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total alloc+free events on one device.
+    pub fn events_for(&self, device: DeviceId) -> usize {
+        self.series_for(device).len()
+    }
+
+    /// Pointwise difference between two devices' series (the Δ subplots
+    /// of Figs. 14–15), sampled at the shorter series' length.
+    pub fn delta(&self, a: DeviceId, b: DeviceId) -> Vec<i64> {
+        let sa = self.series_for(a);
+        let sb = self.series_for(b);
+        sa.iter()
+            .zip(sb.iter())
+            .map(|(x, y)| x.allocated as i64 - y.allocated as i64)
+            .collect()
+    }
+}
+
+impl Tool for MemoryTimelineTool {
+    fn name(&self) -> &str {
+        "memory-timeline"
+    }
+
+    fn interest(&self) -> Interest {
+        Interest {
+            framework_events: true,
+            ..Interest::default()
+        }
+    }
+
+    fn on_event(&mut self, event: &Event) {
+        let (device, allocated, is_alloc) = match event {
+            Event::TensorAlloc {
+                device,
+                allocated_total,
+                ..
+            } => (*device, *allocated_total, true),
+            Event::TensorFree {
+                device,
+                allocated_total,
+                ..
+            } => (*device, *allocated_total, false),
+            _ => return,
+        };
+        let series = self.series.entry(device).or_default();
+        let event_index = series.len() as u64;
+        self.counter += 1;
+        series.push(TimelinePoint {
+            event_index,
+            allocated,
+            is_alloc,
+        });
+    }
+
+    fn report(&self) -> ToolReport {
+        let mut report = ToolReport::new(self.name());
+        for device in self.devices() {
+            report = report
+                .metric(
+                    format!("{device}_events"),
+                    self.events_for(device) as f64,
+                )
+                .metric(
+                    format!("{device}_peak_mb"),
+                    crate::util::mb(self.peak_for(device)),
+                );
+        }
+        report
+    }
+
+    fn reset(&mut self) {
+        self.series.clear();
+        self.counter = 0;
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dl_framework::tensor::TensorId;
+
+    fn alloc(device: u32, total: u64) -> Event {
+        Event::TensorAlloc {
+            tensor: TensorId(0),
+            addr: 0,
+            bytes: 1,
+            allocated_total: total,
+            reserved_total: total,
+            device: DeviceId(device),
+        }
+    }
+
+    fn free(device: u32, total: u64) -> Event {
+        Event::TensorFree {
+            tensor: TensorId(0),
+            addr: 0,
+            bytes: 1,
+            allocated_total: total,
+            reserved_total: total,
+            device: DeviceId(device),
+        }
+    }
+
+    #[test]
+    fn ramp_up_peak_ramp_down() {
+        let mut t = MemoryTimelineTool::new();
+        for total in [100, 200, 300] {
+            t.on_event(&alloc(0, total));
+        }
+        for total in [200, 100, 0] {
+            t.on_event(&free(0, total));
+        }
+        let series = t.series_for(DeviceId(0));
+        assert_eq!(series.len(), 6);
+        assert_eq!(t.peak_for(DeviceId(0)), 300);
+        assert!(series[2].is_alloc);
+        assert!(!series[3].is_alloc);
+        assert_eq!(series.last().unwrap().allocated, 0);
+    }
+
+    #[test]
+    fn per_device_series_and_delta() {
+        let mut t = MemoryTimelineTool::new();
+        t.on_event(&alloc(0, 100));
+        t.on_event(&alloc(1, 60));
+        t.on_event(&alloc(0, 200));
+        t.on_event(&alloc(1, 160));
+        assert_eq!(t.devices(), vec![DeviceId(0), DeviceId(1)]);
+        assert_eq!(t.delta(DeviceId(0), DeviceId(1)), vec![40, 40]);
+        let r = t.report();
+        assert_eq!(r.get("gpu0_events"), Some(2.0));
+        assert_eq!(r.get("gpu1_events"), Some(2.0));
+    }
+
+    #[test]
+    fn event_index_is_per_device() {
+        let mut t = MemoryTimelineTool::new();
+        t.on_event(&alloc(0, 1));
+        t.on_event(&alloc(1, 1));
+        t.on_event(&alloc(0, 2));
+        assert_eq!(t.series_for(DeviceId(0))[1].event_index, 1);
+        assert_eq!(t.series_for(DeviceId(1))[0].event_index, 0);
+    }
+}

@@ -1,0 +1,281 @@
+//! The tensor-aware UVM prefetch advisor (paper §V-C1).
+//!
+//! PASTA's cross-layer capture is what makes this tool possible: it sees
+//! *low-level* managed-memory objects (`cudaMallocManaged` segments of the
+//! caching allocator) **and** *high-level* tensors (framework allocation
+//! events) **and** the per-kernel access extents, so it can correlate all
+//! three. From one profiled run it generates:
+//!
+//! * an **object-level** plan — before each kernel, prefetch every managed
+//!   segment the kernel touches (the strategy of prior UVM work); or
+//! * a **tensor-level** plan — prefetch only the tensors the kernel
+//!   touches, skipping the dead weight that shares their segments.
+//!
+//! Replaying the plan through the runtime's prefetch hook produces the
+//! Fig. 11/12 comparisons.
+
+use pasta_core::{Event, Interest, Tool, ToolReport};
+use std::any::Any;
+use std::collections::BTreeMap;
+use uvm_sim::{PrefetchGranularity, PrefetchPlan, Range};
+
+/// The profiling-side advisor.
+#[derive(Debug, Default)]
+pub struct UvmPrefetchAdvisor {
+    /// Live managed objects: base → len.
+    objects: BTreeMap<u64, u64>,
+    /// Live tensors: base → len.
+    tensors: BTreeMap<u64, u64>,
+    /// Per-launch-index touched object ranges.
+    launch_objects: Vec<Vec<Range>>,
+    /// Per-launch-index touched tensor ranges.
+    launch_tensors: Vec<Vec<Range>>,
+}
+
+fn containing(map: &BTreeMap<u64, u64>, addr: u64) -> Option<Range> {
+    map.range(..=addr)
+        .next_back()
+        .filter(|&(&base, &len)| addr < base + len)
+        .map(|(&base, &len)| Range::new(base, len))
+}
+
+impl UvmPrefetchAdvisor {
+    /// Creates the advisor.
+    pub fn new() -> Self {
+        UvmPrefetchAdvisor::default()
+    }
+
+    fn slot(&mut self, launch: usize) -> (&mut Vec<Range>, &mut Vec<Range>) {
+        if launch >= self.launch_objects.len() {
+            self.launch_objects.resize(launch + 1, Vec::new());
+            self.launch_tensors.resize(launch + 1, Vec::new());
+        }
+        (
+            &mut self.launch_objects[launch],
+            &mut self.launch_tensors[launch],
+        )
+    }
+
+    /// Number of launches profiled.
+    pub fn launches_profiled(&self) -> usize {
+        self.launch_objects.len()
+    }
+
+    /// Builds the prefetch plan at the requested granularity.
+    pub fn build_plan(&self, granularity: PrefetchGranularity) -> PrefetchPlan {
+        let mut plan = PrefetchPlan::with_capacity(self.launch_objects.len());
+        plan.granularity = Some(granularity);
+        let source = match granularity {
+            PrefetchGranularity::None => return plan,
+            PrefetchGranularity::Object => &self.launch_objects,
+            PrefetchGranularity::Tensor => &self.launch_tensors,
+        };
+        for (i, ranges) in source.iter().enumerate() {
+            for r in ranges {
+                plan.add(i, *r);
+            }
+        }
+        plan
+    }
+
+    /// Total bytes an object-level plan would move versus a tensor-level
+    /// one — the "dead weight" factor.
+    pub fn object_vs_tensor_bytes(&self) -> (u64, u64) {
+        (
+            self.build_plan(PrefetchGranularity::Object).total_bytes(),
+            self.build_plan(PrefetchGranularity::Tensor).total_bytes(),
+        )
+    }
+}
+
+impl Tool for UvmPrefetchAdvisor {
+    fn name(&self) -> &str {
+        "uvm-prefetch-advisor"
+    }
+
+    fn interest(&self) -> Interest {
+        Interest {
+            global_accesses: true,
+            host_events: true,
+            framework_events: true,
+            ..Interest::default()
+        }
+    }
+
+    fn on_event(&mut self, event: &Event) {
+        match event {
+            Event::ResourceAlloc {
+                addr,
+                bytes,
+                managed: true,
+                ..
+            } => {
+                self.objects.insert(*addr, *bytes);
+            }
+            Event::ResourceFree { addr, .. } => {
+                self.objects.remove(addr);
+            }
+            Event::TensorAlloc { addr, bytes, .. } => {
+                self.tensors.insert(*addr, *bytes);
+            }
+            Event::TensorFree { addr, .. } => {
+                self.tensors.remove(addr);
+            }
+            Event::GlobalAccess { launch, batch, .. } => {
+                let object = containing(&self.objects, batch.base);
+                let tensor = containing(&self.tensors, batch.base)
+                    .unwrap_or(Range::new(batch.base, batch.len));
+                let idx = launch.value() as usize;
+                let (objs, tens) = self.slot(idx);
+                if let Some(o) = object {
+                    if !objs.contains(&o) {
+                        objs.push(o);
+                    }
+                }
+                if !tens.contains(&tensor) {
+                    tens.push(tensor);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn report(&self) -> ToolReport {
+        let (obj, ten) = self.object_vs_tensor_bytes();
+        ToolReport::new(self.name())
+            .metric("launches", self.launches_profiled() as f64)
+            .metric("object_plan_mb", crate::util::mb(obj))
+            .metric("tensor_plan_mb", crate::util::mb(ten))
+            .metric(
+                "object_overfetch_factor",
+                if ten > 0 { obj as f64 / ten as f64 } else { 0.0 },
+            )
+    }
+
+    fn reset(&mut self) {
+        self.objects.clear();
+        self.tensors.clear();
+        self.launch_objects.clear();
+        self.launch_tensors.clear();
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accel_sim::{AccessBatch, AccessKind, AccessPattern, DeviceId, LaunchId, MemSpace, SimTime};
+    use dl_framework::tensor::TensorId;
+
+    fn managed_alloc(addr: u64, bytes: u64) -> Event {
+        Event::ResourceAlloc {
+            device: DeviceId(0),
+            addr,
+            bytes,
+            managed: true,
+            at: SimTime(0),
+        }
+    }
+
+    fn tensor_alloc(addr: u64, bytes: u64) -> Event {
+        Event::TensorAlloc {
+            tensor: TensorId(addr),
+            addr,
+            bytes,
+            allocated_total: 0,
+            reserved_total: 0,
+            device: DeviceId(0),
+        }
+    }
+
+    fn access(launch: u64, base: u64, len: u64) -> Event {
+        Event::GlobalAccess {
+            launch: LaunchId(launch),
+            kernel: "k".into(),
+            batch: AccessBatch {
+                launch: LaunchId(launch),
+                spec_index: 0,
+                base,
+                len,
+                records: 1,
+                bytes: len,
+                elem_size: 4,
+                kind: AccessKind::Load,
+                space: MemSpace::Global,
+                pattern: AccessPattern::Sequential,
+            },
+        }
+    }
+
+    #[test]
+    fn object_plan_overfetches_tensor_plan() {
+        let mut a = UvmPrefetchAdvisor::new();
+        // One 20 MiB segment holding a 1 MiB tensor that kernel 0 touches.
+        a.on_event(&managed_alloc(0x1000_0000, 20 << 20));
+        a.on_event(&tensor_alloc(0x1000_0000, 1 << 20));
+        a.on_event(&access(0, 0x1000_0000, 1 << 20));
+        let (obj, ten) = a.object_vs_tensor_bytes();
+        assert_eq!(obj, 20 << 20, "object plan moves the whole segment");
+        assert_eq!(ten, 1 << 20, "tensor plan moves just the tensor");
+        let r = a.report();
+        assert_eq!(r.get("object_overfetch_factor"), Some(20.0));
+    }
+
+    #[test]
+    fn plans_index_by_launch() {
+        let mut a = UvmPrefetchAdvisor::new();
+        a.on_event(&managed_alloc(0, 4 << 20));
+        a.on_event(&tensor_alloc(0, 1 << 20));
+        a.on_event(&tensor_alloc(1 << 20, 1 << 20));
+        a.on_event(&access(0, 0, 1 << 20));
+        a.on_event(&access(2, 1 << 20, 1 << 20));
+        let plan = a.build_plan(PrefetchGranularity::Tensor);
+        assert_eq!(plan.ranges_for(0), &[Range::new(0, 1 << 20)]);
+        assert!(plan.ranges_for(1).is_empty());
+        assert_eq!(plan.ranges_for(2), &[Range::new(1 << 20, 1 << 20)]);
+    }
+
+    #[test]
+    fn duplicate_touches_dedup() {
+        let mut a = UvmPrefetchAdvisor::new();
+        a.on_event(&managed_alloc(0, 4 << 20));
+        a.on_event(&tensor_alloc(0, 1 << 20));
+        a.on_event(&access(0, 0, 512 << 10));
+        a.on_event(&access(0, 0, 512 << 10));
+        let plan = a.build_plan(PrefetchGranularity::Object);
+        assert_eq!(plan.ranges_for(0).len(), 1);
+    }
+
+    #[test]
+    fn freed_objects_stop_matching() {
+        let mut a = UvmPrefetchAdvisor::new();
+        a.on_event(&managed_alloc(0, 4 << 20));
+        a.on_event(&Event::ResourceFree {
+            device: DeviceId(0),
+            addr: 0,
+            bytes: 4 << 20,
+            at: SimTime(1),
+        });
+        a.on_event(&access(0, 0, 1 << 20));
+        let plan = a.build_plan(PrefetchGranularity::Object);
+        assert!(plan.ranges_for(0).is_empty());
+        // Tensor plan falls back to the raw batch extent.
+        let tplan = a.build_plan(PrefetchGranularity::Tensor);
+        assert_eq!(tplan.ranges_for(0).len(), 1);
+    }
+
+    #[test]
+    fn none_granularity_is_empty() {
+        let mut a = UvmPrefetchAdvisor::new();
+        a.on_event(&managed_alloc(0, 1 << 20));
+        a.on_event(&access(0, 0, 1 << 20));
+        assert!(a.build_plan(PrefetchGranularity::None).is_empty());
+    }
+}

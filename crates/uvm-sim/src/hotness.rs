@@ -1,0 +1,180 @@
+//! Per-block access-hotness tracking over logical time.
+//!
+//! Reproduces the data behind the paper's Fig. 13: access counts per 2 MiB
+//! virtual block, binned by logical time (access-event index), revealing
+//! long-lived hot blocks (parameters — prefetch/pin candidates) versus
+//! short-lived bursts (transient data — eviction candidates).
+
+use crate::page::{block_of_addr, BLOCK_SIZE};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Running hotness accumulator.
+#[derive(Debug, Default, Clone)]
+pub struct BlockHotness {
+    /// (block index, time bin) → access records.
+    counts: BTreeMap<(u64, u64), u64>,
+    events_seen: u64,
+    bin_events: u64,
+}
+
+impl BlockHotness {
+    /// Creates a tracker that bins logical time every `bin_events` events.
+    pub fn new(bin_events: u64) -> Self {
+        BlockHotness {
+            counts: BTreeMap::new(),
+            events_seen: 0,
+            bin_events: bin_events.max(1),
+        }
+    }
+
+    /// Records `records` accesses spread uniformly over `[base, base+len)`.
+    pub fn record(&mut self, base: u64, len: u64, records: u64) {
+        let bin = self.events_seen / self.bin_events;
+        self.events_seen += 1;
+        if len == 0 || records == 0 {
+            return;
+        }
+        let first = block_of_addr(base);
+        let last = block_of_addr(base + len - 1);
+        let nblocks = last - first + 1;
+        let per_block = (records / nblocks).max(1);
+        for b in first..=last {
+            *self.counts.entry((b, bin)).or_insert(0) += per_block;
+        }
+    }
+
+    /// Number of record() calls so far (the logical clock).
+    pub fn events_seen(&self) -> u64 {
+        self.events_seen
+    }
+
+    /// Finalizes into a dense series for reporting.
+    pub fn series(&self) -> HotnessSeries {
+        let blocks: Vec<u64> = {
+            let mut v: Vec<u64> = self.counts.keys().map(|&(b, _)| b).collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        let bins = self
+            .counts
+            .keys()
+            .map(|&(_, t)| t + 1)
+            .max()
+            .unwrap_or(0);
+        let mut grid = vec![vec![0u64; bins as usize]; blocks.len()];
+        for (&(b, t), &c) in &self.counts {
+            let bi = blocks.binary_search(&b).expect("block present");
+            grid[bi][t as usize] += c;
+        }
+        HotnessSeries { blocks, grid }
+    }
+}
+
+/// Dense (block × time-bin) hotness matrix.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HotnessSeries {
+    /// Block indices (rows), ascending.
+    pub blocks: Vec<u64>,
+    /// `grid[row][bin]` = access records of `blocks[row]` in that bin.
+    pub grid: Vec<Vec<u64>>,
+}
+
+impl HotnessSeries {
+    /// Number of time bins.
+    pub fn bins(&self) -> usize {
+        self.grid.first().map_or(0, Vec::len)
+    }
+
+    /// Total records of one block across all bins.
+    pub fn block_total(&self, row: usize) -> u64 {
+        self.grid[row].iter().sum()
+    }
+
+    /// Fraction of bins in which the block was accessed at all; near 1.0
+    /// means long-lived hot data (pin candidates), near 0 bursty data
+    /// (eviction candidates).
+    pub fn block_liveness(&self, row: usize) -> f64 {
+        let bins = self.bins();
+        if bins == 0 {
+            return 0.0;
+        }
+        let live = self.grid[row].iter().filter(|&&c| c > 0).count();
+        live as f64 / bins as f64
+    }
+
+    /// Rows whose liveness is at least `threshold`, i.e. the paper's
+    /// "frequently accessed throughout the entire execution" blocks.
+    pub fn persistent_blocks(&self, threshold: f64) -> Vec<u64> {
+        (0..self.blocks.len())
+            .filter(|&r| self.block_liveness(r) >= threshold)
+            .map(|r| self.blocks[r])
+            .collect()
+    }
+
+    /// Base address of row `row`'s block.
+    pub fn block_addr(&self, row: usize) -> u64 {
+        self.blocks[row] * BLOCK_SIZE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_land_in_right_block_and_bin() {
+        let mut h = BlockHotness::new(2);
+        h.record(0, 100, 10); // block 0, bin 0
+        h.record(BLOCK_SIZE, 100, 20); // block 1, bin 0
+        h.record(0, 100, 30); // block 0, bin 1
+        let s = h.series();
+        assert_eq!(s.blocks, vec![0, 1]);
+        assert_eq!(s.bins(), 2);
+        assert_eq!(s.grid[0], vec![10, 30]);
+        assert_eq!(s.grid[1], vec![20, 0]);
+    }
+
+    #[test]
+    fn multi_block_ranges_spread_records() {
+        let mut h = BlockHotness::new(10);
+        h.record(0, 4 * BLOCK_SIZE, 400);
+        let s = h.series();
+        assert_eq!(s.blocks.len(), 4);
+        for row in 0..4 {
+            assert_eq!(s.block_total(row), 100);
+        }
+    }
+
+    #[test]
+    fn liveness_separates_persistent_from_bursty() {
+        let mut h = BlockHotness::new(1);
+        for _ in 0..10 {
+            h.record(0, 100, 5); // block 0 hot in every bin
+        }
+        h.record(BLOCK_SIZE, 100, 500); // block 1 hot once
+        let s = h.series();
+        let b0 = s.blocks.iter().position(|&b| b == 0).unwrap();
+        let b1 = s.blocks.iter().position(|&b| b == 1).unwrap();
+        assert!(s.block_liveness(b0) > 0.8);
+        assert!(s.block_liveness(b1) < 0.2);
+        assert_eq!(s.persistent_blocks(0.8), vec![0]);
+    }
+
+    #[test]
+    fn zero_records_only_advance_clock() {
+        let mut h = BlockHotness::new(1);
+        h.record(0, 0, 0);
+        h.record(0, 100, 0);
+        assert_eq!(h.events_seen(), 2);
+        assert_eq!(h.series().blocks.len(), 0);
+    }
+
+    #[test]
+    fn empty_series_is_sane() {
+        let s = BlockHotness::new(4).series();
+        assert_eq!(s.bins(), 0);
+        assert!(s.persistent_blocks(0.5).is_empty());
+    }
+}

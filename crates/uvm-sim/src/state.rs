@@ -1,0 +1,244 @@
+//! Per-device residency state with LRU eviction.
+
+use crate::page::PAGE_SIZE;
+use std::collections::{BTreeMap, HashMap};
+
+/// Residency metadata of one device-resident page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PageInfo {
+    /// LRU stamp (global sequence number of the last touch).
+    seq: u64,
+    /// Pinned pages are never evicted (`cudaMemAdvise` preferred-location).
+    pinned: bool,
+    /// Read-mostly pages evict without write-back.
+    read_mostly: bool,
+}
+
+/// Result of an eviction pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvictResult {
+    /// Pages evicted.
+    pub pages: u64,
+    /// Bytes that required write-back (dirty, not read-mostly).
+    pub writeback_bytes: u64,
+}
+
+/// Residency and LRU bookkeeping for one device.
+///
+/// Invariant: `resident.len() * PAGE_SIZE == resident_bytes`, and `lru`
+/// mirrors `resident` exactly (one entry per unpinned or pinned page; the
+/// pinned flag is honoured at eviction time).
+#[derive(Debug, Default)]
+pub struct DeviceState {
+    /// Memory budget for managed pages, bytes.
+    pub budget: u64,
+    /// Host-link bandwidth, GB/s.
+    pub link_bandwidth_gbps: f64,
+    /// Latency of one fault group, ns.
+    pub fault_latency_ns: u64,
+    resident: HashMap<u64, PageInfo>,
+    /// seq → page index; BTreeMap gives O(log n) oldest-first scans.
+    lru: BTreeMap<u64, u64>,
+}
+
+impl DeviceState {
+    /// Creates a state with the given budget and link characteristics.
+    pub fn new(budget: u64, link_bandwidth_gbps: f64, fault_latency_ns: u64) -> Self {
+        DeviceState {
+            budget,
+            link_bandwidth_gbps,
+            fault_latency_ns,
+            resident: HashMap::new(),
+            lru: BTreeMap::new(),
+        }
+    }
+
+    /// Bytes of managed pages currently resident.
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident.len() as u64 * PAGE_SIZE
+    }
+
+    /// Number of resident pages.
+    pub fn resident_pages(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// True when `page` is resident on this device.
+    pub fn is_resident(&self, page: u64) -> bool {
+        self.resident.contains_key(&page)
+    }
+
+    /// True when `page` is pinned.
+    pub fn is_pinned(&self, page: u64) -> bool {
+        self.resident.get(&page).is_some_and(|p| p.pinned)
+    }
+
+    /// Marks `page` resident with LRU stamp `seq`.
+    pub fn insert(&mut self, page: u64, seq: u64) {
+        if let Some(old) = self.resident.insert(
+            page,
+            PageInfo {
+                seq,
+                pinned: false,
+                read_mostly: false,
+            },
+        ) {
+            self.lru.remove(&old.seq);
+        }
+        self.lru.insert(seq, page);
+    }
+
+    /// Refreshes the LRU stamp of a resident page; no-op otherwise.
+    pub fn touch(&mut self, page: u64, seq: u64) {
+        if let Some(info) = self.resident.get_mut(&page) {
+            self.lru.remove(&info.seq);
+            info.seq = seq;
+            self.lru.insert(seq, page);
+        }
+    }
+
+    /// Pins or unpins a resident page.
+    pub fn set_pinned(&mut self, page: u64, pinned: bool) {
+        if let Some(info) = self.resident.get_mut(&page) {
+            info.pinned = pinned;
+        }
+    }
+
+    /// Marks a resident page read-mostly (no write-back on eviction).
+    pub fn set_read_mostly(&mut self, page: u64, read_mostly: bool) {
+        if let Some(info) = self.resident.get_mut(&page) {
+            info.read_mostly = read_mostly;
+        }
+    }
+
+    /// Drops a page outright (allocation freed), without write-back.
+    pub fn remove(&mut self, page: u64) {
+        if let Some(info) = self.resident.remove(&page) {
+            self.lru.remove(&info.seq);
+        }
+    }
+
+    /// Evicts least-recently-used unpinned pages until `need_bytes` fit in
+    /// the budget. Returns how many pages went and how many bytes need
+    /// write-back. `writeback_fraction` models the dirty ratio for pages
+    /// not marked read-mostly.
+    pub fn make_room(&mut self, need_bytes: u64, writeback_fraction: f64) -> EvictResult {
+        let mut result = EvictResult::default();
+        if need_bytes > self.budget {
+            // The kernel's own working set exceeds the budget; evict
+            // everything evictable and let intra-kernel thrashing follow.
+        }
+        while self.resident_bytes() + need_bytes > self.budget {
+            // Oldest unpinned page.
+            let victim = self
+                .lru
+                .iter()
+                .map(|(_, &p)| p)
+                .find(|p| !self.is_pinned(*p));
+            let Some(page) = victim else {
+                break; // everything left is pinned
+            };
+            let info = self.resident.remove(&page).expect("victim resident");
+            self.lru.remove(&info.seq);
+            result.pages += 1;
+            if !info.read_mostly {
+                result.writeback_bytes += (PAGE_SIZE as f64 * writeback_fraction) as u64;
+            }
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(pages: u64) -> DeviceState {
+        DeviceState::new(pages * PAGE_SIZE, 24.0, 25_000)
+    }
+
+    #[test]
+    fn insert_touch_remove_round_trip() {
+        let mut s = state(4);
+        s.insert(10, 1);
+        assert!(s.is_resident(10));
+        assert_eq!(s.resident_bytes(), PAGE_SIZE);
+        s.touch(10, 5);
+        s.remove(10);
+        assert!(!s.is_resident(10));
+        assert_eq!(s.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_first() {
+        let mut s = state(2);
+        s.insert(1, 1);
+        s.insert(2, 2);
+        // Touch page 1 so page 2 becomes the LRU victim.
+        s.touch(1, 3);
+        let r = s.make_room(PAGE_SIZE, 0.5);
+        assert_eq!(r.pages, 1);
+        assert!(s.is_resident(1), "recently-touched page survives");
+        assert!(!s.is_resident(2), "LRU page evicted");
+    }
+
+    #[test]
+    fn pinned_pages_survive_eviction() {
+        let mut s = state(2);
+        s.insert(1, 1);
+        s.insert(2, 2);
+        s.set_pinned(1, true);
+        let r = s.make_room(PAGE_SIZE, 0.5);
+        assert_eq!(r.pages, 1);
+        assert!(s.is_resident(1));
+        assert!(!s.is_resident(2));
+    }
+
+    #[test]
+    fn read_mostly_pages_skip_writeback() {
+        let mut s = state(1);
+        s.insert(1, 1);
+        s.set_read_mostly(1, true);
+        let r = s.make_room(PAGE_SIZE, 0.5);
+        assert_eq!(r.pages, 1);
+        assert_eq!(r.writeback_bytes, 0);
+    }
+
+    #[test]
+    fn writeback_fraction_applies() {
+        let mut s = state(1);
+        s.insert(1, 1);
+        let r = s.make_room(PAGE_SIZE, 0.5);
+        assert_eq!(r.writeback_bytes, PAGE_SIZE / 2);
+    }
+
+    #[test]
+    fn make_room_is_noop_when_space_exists() {
+        let mut s = state(10);
+        s.insert(1, 1);
+        let r = s.make_room(PAGE_SIZE, 0.5);
+        assert_eq!(r.pages, 0);
+        assert!(s.is_resident(1));
+    }
+
+    #[test]
+    fn all_pinned_stops_eviction() {
+        let mut s = state(1);
+        s.insert(1, 1);
+        s.set_pinned(1, true);
+        let r = s.make_room(PAGE_SIZE, 0.5);
+        assert_eq!(r.pages, 0, "pinned page may not be evicted");
+        assert!(s.is_resident(1));
+    }
+
+    #[test]
+    fn reinsert_updates_stamp_without_duplicating() {
+        let mut s = state(4);
+        s.insert(7, 1);
+        s.insert(7, 9);
+        assert_eq!(s.resident_pages(), 1);
+        // The old stamp must be gone from the LRU index.
+        let r = s.make_room(4 * PAGE_SIZE, 0.0);
+        assert_eq!(r.pages, 1);
+    }
+}

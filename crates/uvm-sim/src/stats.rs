@@ -1,0 +1,63 @@
+//! UVM activity counters.
+
+use serde::{Deserialize, Serialize};
+
+/// Aggregate UVM statistics across a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UvmStats {
+    /// Fault groups serviced.
+    pub fault_groups: u64,
+    /// Pages migrated host→device by demand faulting.
+    pub demand_pages_in: u64,
+    /// Pages migrated host→device by prefetch.
+    pub prefetch_pages_in: u64,
+    /// Pages evicted device→host.
+    pub pages_evicted: u64,
+    /// Device stall caused by demand faults, ns.
+    pub fault_stall_ns: u64,
+    /// Device stall caused by non-overlapped prefetch, ns.
+    pub prefetch_stall_ns: u64,
+    /// Device stall caused by eviction write-back, ns.
+    pub evict_stall_ns: u64,
+    /// Prefetch requests that found all pages already resident.
+    pub prefetch_noops: u64,
+}
+
+impl UvmStats {
+    /// Total pages migrated in, by either mechanism.
+    pub fn pages_in(&self) -> u64 {
+        self.demand_pages_in + self.prefetch_pages_in
+    }
+
+    /// Total device stall attributable to UVM, ns.
+    pub fn total_stall_ns(&self) -> u64 {
+        self.fault_stall_ns + self.prefetch_stall_ns + self.evict_stall_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_components() {
+        let s = UvmStats {
+            fault_groups: 2,
+            demand_pages_in: 10,
+            prefetch_pages_in: 5,
+            pages_evicted: 3,
+            fault_stall_ns: 100,
+            prefetch_stall_ns: 50,
+            evict_stall_ns: 25,
+            prefetch_noops: 1,
+        };
+        assert_eq!(s.pages_in(), 15);
+        assert_eq!(s.total_stall_ns(), 175);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(UvmStats::default().pages_in(), 0);
+        assert_eq!(UvmStats::default().total_stall_ns(), 0);
+    }
+}

@@ -1,0 +1,41 @@
+//! Multi-GPU memory-behaviour comparison (the Fig. 15 workflow): run one
+//! Megatron GPT-2 345M training iteration under data, tensor and pipeline
+//! parallelism on two simulated A100s, watching per-GPU memory timelines.
+//!
+//! ```sh
+//! cargo run --example multi_gpu
+//! ```
+
+use pasta::core::Pasta;
+use pasta::dl::parallel::{self, Parallelism};
+use pasta::sim::DeviceId;
+use pasta::tools::MemoryTimelineTool;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for strategy in [Parallelism::Data, Parallelism::Tensor, Parallelism::Pipeline] {
+        let mut session = Pasta::builder()
+            .a100_x2()
+            .tool(MemoryTimelineTool::new())
+            .build()?;
+        session.run_custom(|s| parallel::train_iter(s, strategy, 1).map(|_| ()))?;
+        let (peaks, events) = session
+            .with_tool_mut("memory-timeline", |t: &mut MemoryTimelineTool| {
+                (
+                    [t.peak_for(DeviceId(0)), t.peak_for(DeviceId(1))],
+                    [t.events_for(DeviceId(0)), t.events_for(DeviceId(1))],
+                )
+            })
+            .expect("tool registered");
+        println!("{}:", strategy.label());
+        for gpu in 0..2 {
+            println!(
+                "  GPU{gpu}: peak {:>6} MB over {:>6} tensor events",
+                peaks[gpu] >> 20,
+                events[gpu]
+            );
+        }
+        let ratio = peaks[1] as f64 / peaks[0].max(1) as f64;
+        println!("  GPU1/GPU0 peak ratio: {ratio:.2}\n");
+    }
+    Ok(())
+}

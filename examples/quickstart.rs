@@ -1,0 +1,39 @@
+//! Quickstart: profile BERT inference with two tools on a simulated A100.
+//!
+//! Mirrors the paper's `accelprof -v -t <tool> <executable>` flow: pick a
+//! device, pick tools, run a workload, read the reports.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use pasta::core::{AnalysisMode, Pasta};
+use pasta::dl::models::{ModelZoo, RunKind};
+use pasta::tools::{KernelFrequencyTool, LaunchCensusTool};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut session = Pasta::builder()
+        .a100()
+        .tool(KernelFrequencyTool::new())
+        .tool(LaunchCensusTool::new())
+        .analysis_mode(AnalysisMode::GpuResident)
+        .build()?;
+
+    println!("profiling one BERT inference batch on a simulated A100 …");
+    let report = session.run_model(ModelZoo::Bert, RunKind::Inference, 1)?;
+
+    println!();
+    println!("workload        : {}", report.workload);
+    println!("kernel launches : {}", report.kernel_launches);
+    println!("profiled time   : {}", report.profiled_time);
+    println!(
+        "overhead        : collection {}ns / transfer {}ns / analysis {}ns",
+        report.overhead.collection_ns, report.overhead.transfer_ns, report.overhead.analysis_ns
+    );
+    println!();
+
+    for tool_report in session.reports() {
+        println!("{tool_report}");
+    }
+    Ok(())
+}

@@ -1,0 +1,44 @@
+//! # PASTA — Program AnalysiS Tool framework for Accelerators
+//!
+//! This is the facade crate of the PASTA reproduction (CGO 2026,
+//! arXiv:2602.22103). It re-exports the whole workspace so downstream users
+//! and the examples can depend on a single crate:
+//!
+//! * [`sim`] — the GPU accelerator simulator substrate ([`accel_sim`]).
+//! * [`nv`] — simulated CUDA runtime + Compute Sanitizer + NVBit
+//!   ([`vendor_nv`]).
+//! * [`amd`] — simulated HIP runtime + ROCProfiler-SDK ([`vendor_amd`]).
+//! * [`dl`] — the "tensorlite" deep-learning framework with the six paper
+//!   models ([`dl_framework`]).
+//! * [`uvm`] — the unified-virtual-memory subsystem ([`uvm_sim`]).
+//! * [`core`] — the PASTA framework itself: events, handler, processor,
+//!   tool templates ([`pasta_core`]).
+//! * [`tools`] — the paper's case-study tools ([`pasta_tools`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pasta::core::{Pasta, AnalysisMode};
+//! use pasta::tools::KernelFrequencyTool;
+//! use pasta::dl::models::{ModelZoo, RunKind};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Profile one inference batch of BERT on a simulated A100.
+//! let mut session = Pasta::builder()
+//!     .a100()
+//!     .tool(KernelFrequencyTool::new())
+//!     .analysis_mode(AnalysisMode::GpuResident)
+//!     .build()?;
+//! let report = session.run_model(ModelZoo::bert(), RunKind::Inference, 1)?;
+//! assert!(report.kernel_launches > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use accel_sim as sim;
+pub use dl_framework as dl;
+pub use pasta_core as core;
+pub use pasta_tools as tools;
+pub use uvm_sim as uvm;
+pub use vendor_amd as amd;
+pub use vendor_nv as nv;
