@@ -78,8 +78,8 @@ impl CostModel {
 
     /// Device time for GPU-resident analysis of `records` records, ns.
     pub fn gpu_analysis_ns(&self, records: u64) -> u64 {
-        (records as f64 * self.gpu_analysis_ns_per_record / self.gpu_analysis_threads as f64)
-            .ceil() as u64
+        (records as f64 * self.gpu_analysis_ns_per_record / self.gpu_analysis_threads as f64).ceil()
+            as u64
     }
 
     /// Host time for single-thread CPU analysis of `records` records, ns.

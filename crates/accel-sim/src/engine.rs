@@ -160,6 +160,11 @@ impl Engine {
         self.residency.as_deref_mut().map(|m| m as _)
     }
 
+    /// Shared access to the residency model, if attached.
+    pub fn residency(&self) -> Option<&(dyn ResidencyModel + '_)> {
+        self.residency.as_deref().map(|m| m as _)
+    }
+
     /// Aggregate runtime counters for `device`.
     pub fn stats(&self, device: DeviceId) -> RuntimeStats {
         self.stats[device.index()]
@@ -187,11 +192,7 @@ impl Engine {
     /// # Errors
     ///
     /// [`AccelError::UnknownDevice`] or [`AccelError::OutOfMemory`].
-    pub fn malloc_info(
-        &mut self,
-        device: DeviceId,
-        bytes: u64,
-    ) -> Result<Allocation, AccelError> {
+    pub fn malloc_info(&mut self, device: DeviceId, bytes: u64) -> Result<Allocation, AccelError> {
         self.check_device(device)?;
         self.host_clock += self.cost.host_api_overhead_ns;
         let dev = &mut self.devices[device.index()];
@@ -313,8 +314,8 @@ impl Engine {
     ) -> Result<u64, AccelError> {
         self.check_device(device)?;
         let spec = self.devices[device.index()].spec();
-        let dur = (bytes as f64 / spec.mem_bandwidth_gbps) as u64
-            + self.cost.kernel_fixed_overhead_ns;
+        let dur =
+            (bytes as f64 / spec.mem_bandwidth_gbps) as u64 + self.cost.kernel_fixed_overhead_ns;
         self.host_clock += self.cost.host_api_overhead_ns;
         let start = self.devices[device.index()]
             .stream_time(0)
@@ -390,9 +391,8 @@ impl Engine {
                 let arg = desc.args[a.arg_index];
                 let base = arg.ptr.addr() + a.offset;
                 if residency.is_managed(base) {
-                    uvm = uvm.merge(residency.on_kernel_access(
-                        device, base, a.len, a.bytes, a.kind,
-                    ));
+                    uvm =
+                        uvm.merge(residency.on_kernel_access(device, base, a.len, a.bytes, a.kind));
                 }
             }
         }
@@ -587,11 +587,7 @@ mod tests {
                 self.0.lock().kernels += 1;
                 crate::probe::ProbeConfig::all()
             }
-            fn on_access_batch(
-                &mut self,
-                _ctx: &KernelCtx<'_>,
-                batch: &AccessBatch,
-            ) -> ProbeCosts {
+            fn on_access_batch(&mut self, _ctx: &KernelCtx<'_>, batch: &AccessBatch) -> ProbeCosts {
                 let mut s = self.0.lock();
                 s.batches += 1;
                 s.records += batch.records;
@@ -628,7 +624,13 @@ mod tests {
         let buf = e.malloc(dev, 1 << 20).unwrap();
         let before = e.host_now();
         let dur = e
-            .memcpy(dev, buf, DevicePtr(0x1000), 1 << 20, CopyDirection::HostToDevice)
+            .memcpy(
+                dev,
+                buf,
+                DevicePtr(0x1000),
+                1 << 20,
+                CopyDirection::HostToDevice,
+            )
             .unwrap();
         assert!(dur > 0);
         assert!(e.host_now().as_nanos() >= before.as_nanos() + dur);
@@ -672,11 +674,7 @@ mod tests {
             fn on_kernel_begin(&mut self, _ctx: &KernelCtx<'_>) -> crate::probe::ProbeConfig {
                 crate::probe::ProbeConfig::global_only().with_sampling(10)
             }
-            fn on_access_batch(
-                &mut self,
-                _ctx: &KernelCtx<'_>,
-                batch: &AccessBatch,
-            ) -> ProbeCosts {
+            fn on_access_batch(&mut self, _ctx: &KernelCtx<'_>, batch: &AccessBatch) -> ProbeCosts {
                 self.records += batch.records;
                 ProbeCosts::FREE
             }

@@ -241,8 +241,7 @@ impl TraceProfiler {
 
     /// Cost of one batch in the current mode; also updates the breakdown.
     fn charge_records(&mut self, device: usize, records: u64) -> ProbeCosts {
-        let callback =
-            (records as f64 * self.costs.device_callback_ns_per_record).ceil() as u64;
+        let callback = (records as f64 * self.costs.device_callback_ns_per_record).ceil() as u64;
         let mut costs = ProbeCosts {
             device_ns: callback,
             host_ns: 0,
@@ -266,18 +265,14 @@ impl TraceProfiler {
                 let new_flushes = flushes_now - self.cur_flushes;
                 self.cur_flushes = flushes_now;
                 if new_flushes > 0 {
-                    let bytes_per_flush =
-                        self.costs.buffer.capacity_records * TRACE_RECORD_BYTES;
-                    let xfer =
-                        (bytes_per_flush as f64 / self.link_bw(device)) as u64;
-                    let stall =
-                        new_flushes * (self.costs.buffer_flush_latency_ns + xfer);
+                    let bytes_per_flush = self.costs.buffer.capacity_records * TRACE_RECORD_BYTES;
+                    let xfer = (bytes_per_flush as f64 / self.link_bw(device)) as u64;
+                    let stall = new_flushes * (self.costs.buffer_flush_latency_ns + xfer);
                     costs.device_ns += stall;
                     shared.breakdown.transfer_ns += stall;
                 }
                 let host = (records as f64
-                    * (self.costs.cpu_drain_ns_per_record
-                        + self.costs.cpu_analysis_ns_per_record))
+                    * (self.costs.cpu_drain_ns_per_record + self.costs.cpu_analysis_ns_per_record))
                     .ceil() as u64;
                 costs.host_ns += host;
                 shared.breakdown.analysis_ns += host;
@@ -357,10 +352,9 @@ impl DeviceProbe for TraceProfiler {
             AnalysisMode::CpuPostProcess => {
                 // Final partial buffer drains after the kernel completes; the
                 // host pays the transfer but the kernel does not stall.
-                let leftover = self.cur_records
-                    - self.cur_flushes * self.costs.buffer.capacity_records;
-                let xfer =
-                    (leftover * TRACE_RECORD_BYTES) as f64 / self.link_bw(device);
+                let leftover =
+                    self.cur_records - self.cur_flushes * self.costs.buffer.capacity_records;
+                let xfer = (leftover * TRACE_RECORD_BYTES) as f64 / self.link_bw(device);
                 costs.host_ns += xfer as u64;
                 self.shared.lock().breakdown.transfer_ns += xfer as u64;
             }
@@ -409,8 +403,7 @@ mod tests {
     }
 
     fn desc() -> KernelDesc {
-        KernelDesc::new("k", Dim3::linear(8), Dim3::linear(128))
-            .body(KernelBody::compute(1_000))
+        KernelDesc::new("k", Dim3::linear(8), Dim3::linear(128)).body(KernelBody::compute(1_000))
     }
 
     #[test]

@@ -69,7 +69,9 @@ pub use dim::Dim3;
 pub use engine::Engine;
 pub use error::AccelError;
 pub use id::{AllocId, DeviceId, LaunchId, StreamId, Vendor};
-pub use instrument::{BackendCosts, DeviceTraceSink, OverheadBreakdown, ProfilerHandle, TraceCtx, TraceProfiler};
+pub use instrument::{
+    BackendCosts, DeviceTraceSink, OverheadBreakdown, ProfilerHandle, TraceCtx, TraceProfiler,
+};
 pub use kernel::{AccessKind, AccessPattern, AccessSpec, KernelBody, KernelDesc, MemSpace};
 pub use mem::{Allocation, DevicePtr};
 pub use probe::{AnalysisMode, DeviceProbe, InstrCoverage, ProbeConfig, ProbeCosts};

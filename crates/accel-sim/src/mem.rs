@@ -124,7 +124,12 @@ impl DeviceAllocator {
     ///
     /// Returns [`AccelError::OutOfMemory`] when no free chunk can hold the
     /// aligned size.
-    pub fn alloc(&mut self, device: DeviceId, size: u64, managed: bool) -> Result<Allocation, AccelError> {
+    pub fn alloc(
+        &mut self,
+        device: DeviceId,
+        size: u64,
+        managed: bool,
+    ) -> Result<Allocation, AccelError> {
         let size = size.max(1);
         let padded = size.div_ceil(ALLOC_ALIGN) * ALLOC_ALIGN;
         let slot = self

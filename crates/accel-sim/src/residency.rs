@@ -99,6 +99,13 @@ pub trait ResidencyModel: Send {
     fn advise(&mut self, device: DeviceId, base: u64, len: u64, advice: ResidencyAdvice) {
         let _ = (device, base, len, advice);
     }
+
+    /// Downcasting support, so session layers can reach the concrete
+    /// model (e.g. `uvm_sim::UvmManager`) behind the trait object.
+    fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Mutable downcasting support.
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
 }
 
 /// A trivial residency model where everything is always resident; useful
@@ -120,6 +127,14 @@ impl ResidencyModel for AlwaysResident {
         _kind: AccessKind,
     ) -> AccessOutcome {
         AccessOutcome::HIT
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
     }
 }
 

@@ -175,7 +175,8 @@ pub trait DeviceRuntime {
     /// # Errors
     ///
     /// Fails on empty grids or unbound kernel arguments.
-    fn launch_on(&mut self, stream: StreamId, desc: KernelDesc) -> Result<LaunchRecord, AccelError>;
+    fn launch_on(&mut self, stream: StreamId, desc: KernelDesc)
+        -> Result<LaunchRecord, AccelError>;
 
     /// Blocks the host until the current device is idle.
     fn synchronize(&mut self);
@@ -214,6 +215,17 @@ pub trait DeviceRuntime {
 
     /// Aggregate counters for `device`.
     fn stats(&self, device: DeviceId) -> RuntimeStats;
+
+    /// The attached managed-memory residency model (the UVM manager), if
+    /// any. Default: none — runtimes without UVM support stay simple.
+    fn residency(&self) -> Option<&dyn crate::residency::ResidencyModel> {
+        None
+    }
+
+    /// Mutable access to the attached residency model, if any.
+    fn residency_mut(&mut self) -> Option<&mut dyn crate::residency::ResidencyModel> {
+        None
+    }
 }
 
 #[cfg(test)]

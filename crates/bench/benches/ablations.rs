@@ -60,13 +60,10 @@ fn ablate_trace_buffer(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_trace_buffer_bytes");
     group.sample_size(10);
     for bytes in [256u64 << 10, 1 << 20, 4 << 20, 16 << 20] {
-        let overhead =
-            overhead_with(SanitizerConfig::cpu_post_process().with_buffer_bytes(bytes));
+        let overhead = overhead_with(SanitizerConfig::cpu_post_process().with_buffer_bytes(bytes));
         println!("trace_buffer={bytes}B: simulated overhead {overhead} ns");
         group.bench_with_input(BenchmarkId::from_parameter(bytes), &bytes, |bench, &b| {
-            bench.iter(|| {
-                overhead_with(SanitizerConfig::cpu_post_process().with_buffer_bytes(b))
-            });
+            bench.iter(|| overhead_with(SanitizerConfig::cpu_post_process().with_buffer_bytes(b)));
         });
     }
     group.finish();
@@ -129,8 +126,14 @@ fn uvm_cell(oversubscription: f64) -> (f64, f64) {
     let (_, _, footprint) = run(u64::MAX >> 1, None);
     let budget = ((footprint as f64 / oversubscription) as u64).max(8 << 20);
     let (base, advisor, _) = run(budget, None);
-    let (obj, _, _) = run(budget, Some(advisor.build_plan(PrefetchGranularity::Object)));
-    let (ten, _, _) = run(budget, Some(advisor.build_plan(PrefetchGranularity::Tensor)));
+    let (obj, _, _) = run(
+        budget,
+        Some(advisor.build_plan(PrefetchGranularity::Object)),
+    );
+    let (ten, _, _) = run(
+        budget,
+        Some(advisor.build_plan(PrefetchGranularity::Tensor)),
+    );
     (obj as f64 / base as f64, ten as f64 / base as f64)
 }
 
@@ -139,16 +142,10 @@ fn ablate_oversubscription(c: &mut Criterion) {
     group.sample_size(10);
     for factor in [1.0f64, 2.0, 3.0, 4.0] {
         let (obj, ten) = uvm_cell(factor);
-        println!(
-            "oversubscription={factor}: object {obj:.2}x  tensor {ten:.2}x of baseline"
-        );
-        group.bench_with_input(
-            BenchmarkId::from_parameter(factor),
-            &factor,
-            |bench, &f| {
-                bench.iter(|| uvm_cell(f));
-            },
-        );
+        println!("oversubscription={factor}: object {obj:.2}x  tensor {ten:.2}x of baseline");
+        group.bench_with_input(BenchmarkId::from_parameter(factor), &factor, |bench, &f| {
+            bench.iter(|| uvm_cell(f));
+        });
     }
     group.finish();
 }

@@ -11,8 +11,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let overheads = b::fig9_10::run(scale)?;
     print!("{}\n\n", b::fig9_10::render_fig9(&overheads));
     print!("{}\n\n", b::fig9_10::render_fig10(&overheads));
-    print!("{}\n\n", b::fig11_12::render("Figure 11", &b::fig11_12::run(1.0, scale)?));
-    print!("{}\n\n", b::fig11_12::render("Figure 12", &b::fig11_12::run(3.0, scale)?));
+    print!(
+        "{}\n\n",
+        b::fig11_12::render("Figure 11", &b::fig11_12::run(1.0, scale)?)
+    );
+    print!(
+        "{}\n\n",
+        b::fig11_12::render("Figure 12", &b::fig11_12::run(3.0, scale)?)
+    );
     print!("{}\n\n", b::fig13::render(&b::fig13::run(scale)?));
     print!("{}\n\n", b::fig14::render(&b::fig14::run(scale)?));
     print!("{}\n\n", b::fig15::render(&b::fig15::run(scale)?));

@@ -42,10 +42,7 @@ impl PrefetchResult {
     }
 }
 
-fn uvm_session(
-    spec: DeviceSpec,
-    budget: u64,
-) -> Result<pasta_core::PastaSession, PastaError> {
+fn uvm_session(spec: DeviceSpec, budget: u64) -> Result<pasta_core::PastaSession, PastaError> {
     Pasta::builder()
         .devices(vec![spec])
         .tool(UvmPrefetchAdvisor::new())
@@ -90,8 +87,14 @@ pub fn measure(
     let budget = ((footprint as f64 / oversubscription) as u64).max(8 << 20);
 
     let (baseline_ns, advisor, _) = run(budget, None)?;
-    let (object_ns, _, _) = run(budget, Some(advisor.build_plan(PrefetchGranularity::Object)))?;
-    let (tensor_ns, _, _) = run(budget, Some(advisor.build_plan(PrefetchGranularity::Tensor)))?;
+    let (object_ns, _, _) = run(
+        budget,
+        Some(advisor.build_plan(PrefetchGranularity::Object)),
+    )?;
+    let (tensor_ns, _, _) = run(
+        budget,
+        Some(advisor.build_plan(PrefetchGranularity::Tensor)),
+    )?;
     Ok(PrefetchResult {
         model: model.spec().abbr.to_owned(),
         device: device_name.to_owned(),

@@ -26,10 +26,7 @@ pub struct HotnessResult {
 ///
 /// Propagates session failures.
 pub fn run(scale: ExpScale) -> Result<HotnessResult, PastaError> {
-    let mut session = Pasta::builder()
-        .a100()
-        .tool(HotnessTool::new(32))
-        .build()?;
+    let mut session = Pasta::builder().a100().tool(HotnessTool::new(32)).build()?;
     session.run_model_scaled(
         ModelZoo::Bert,
         RunKind::Inference,

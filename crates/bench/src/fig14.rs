@@ -31,10 +31,7 @@ pub struct Fig14Result {
     pub amd: BackendCurve,
 }
 
-fn run_backend(
-    amd: bool,
-    scale: ExpScale,
-) -> Result<BackendCurve, PastaError> {
+fn run_backend(amd: bool, scale: ExpScale) -> Result<BackendCurve, PastaError> {
     let builder = if amd {
         Pasta::builder().mi300x()
     } else {
@@ -99,7 +96,12 @@ pub fn render(r: &Fig14Result) -> String {
             let idx = i * n / cols;
             let v = c.series[idx].allocated;
             let level = (v as f64 / c.peak.max(1) as f64 * 7.0).round() as usize;
-            line.push(['\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}'][level.min(7)]);
+            line.push(
+                [
+                    '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}',
+                    '\u{2587}', '\u{2588}',
+                ][level.min(7)],
+            );
         }
         s.push_str(&format!("  {:<6} {line}\n", c.backend));
     }

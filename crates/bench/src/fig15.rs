@@ -66,10 +66,14 @@ pub fn measure(strategy: Parallelism, scale: ExpScale) -> Result<StrategyCurves,
 ///
 /// Propagates session failures.
 pub fn run(scale: ExpScale) -> Result<Vec<StrategyCurves>, PastaError> {
-    [Parallelism::Data, Parallelism::Tensor, Parallelism::Pipeline]
-        .into_iter()
-        .map(|s| measure(s, scale))
-        .collect()
+    [
+        Parallelism::Data,
+        Parallelism::Tensor,
+        Parallelism::Pipeline,
+    ]
+    .into_iter()
+    .map(|s| measure(s, scale))
+    .collect()
 }
 
 /// Renders the Fig. 15 summary.

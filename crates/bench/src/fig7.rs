@@ -59,9 +59,8 @@ pub fn run(scale: ExpScale) -> Result<Vec<FreqResult>, PastaError> {
 /// Renders the Fig. 7 rows (bubble sizes = counts in the paper; here the
 /// counts themselves, per model × run).
 pub fn render(results: &[FreqResult]) -> String {
-    let mut s = String::from(
-        "Figure 7: kernel invocation frequency (per model, inference+training)\n",
-    );
+    let mut s =
+        String::from("Figure 7: kernel invocation frequency (per model, inference+training)\n");
     for r in results {
         s.push_str(&format!(
             "\n{} [{}] — {} launches, {} unique kernels\n",

@@ -249,8 +249,7 @@ mod tests {
         let spec = DeviceSpec::a100_80gb();
         let gpu = measure(ModelZoo::Bert, "A100", spec.clone(), Variant::CsGpu, scale).unwrap();
         let cpu = measure(ModelZoo::Bert, "A100", spec.clone(), Variant::CsCpu, scale).unwrap();
-        let nvbit =
-            measure(ModelZoo::Bert, "A100", spec, Variant::NvbitCpu, scale).unwrap();
+        let nvbit = measure(ModelZoo::Bert, "A100", spec, Variant::NvbitCpu, scale).unwrap();
 
         let g = gpu.overhead.expect("CS-GPU finishes");
         assert!(g > 1.0, "instrumentation costs something: {g}");

@@ -32,11 +32,8 @@ impl StackCapture {
             self.current_py = py_stack.clone();
             // The operator itself becomes the innermost Python-side frame,
             // mirroring how torch displays `aten::` ops under module code.
-            self.current_py.push(PyFrame::new(
-                "torch/_ops.py",
-                502,
-                name.clone(),
-            ));
+            self.current_py
+                .push(PyFrame::new("torch/_ops.py", 502, name.clone()));
         }
     }
 

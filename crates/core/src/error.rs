@@ -50,7 +50,9 @@ mod tests {
         let e = PastaError::from(AccelError::UnknownDevice(DeviceId(3)));
         assert!(e.to_string().contains("gpu3"));
         assert!(e.source().is_some());
-        assert!(PastaError::NoSuchTool("x".into()).to_string().contains("`x`"));
+        assert!(PastaError::NoSuchTool("x".into())
+            .to_string()
+            .contains("`x`"));
         assert!(PastaError::Config("bad".into()).source().is_none());
     }
 

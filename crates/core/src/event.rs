@@ -6,7 +6,9 @@
 //! are gone by the time an `Event` exists — that is [`crate::normalize`]'s
 //! job.
 
-use accel_sim::{AccessBatch, CopyDirection, DeviceId, Dim3, KernelTraceSummary, LaunchId, SimTime, StreamId};
+use accel_sim::{
+    AccessBatch, CopyDirection, DeviceId, Dim3, KernelTraceSummary, LaunchId, SimTime, StreamId,
+};
 use dl_framework::callbacks::Pass;
 use dl_framework::pycall::PyFrame;
 use dl_framework::tensor::TensorId;
@@ -351,9 +353,7 @@ impl Event {
             | TensorAlloc { .. }
             | TensorFree { .. }
             | PassBoundary { .. } => EventClass::Framework,
-            LayerBoundary { .. } | RegionStart { .. } | RegionEnd { .. } => {
-                EventClass::Annotation
-            }
+            LayerBoundary { .. } | RegionStart { .. } | RegionEnd { .. } => EventClass::Annotation,
         }
     }
 }
@@ -387,7 +387,10 @@ mod tests {
             ("Remote Shared Memory Access", EventClass::DeviceAccess),
             ("Cluster Barrier", EventClass::DeviceControl),
             ("Any Specific Instruction", EventClass::DeviceControl),
-            ("Operator Start/End + Tensors + Passes", EventClass::Framework),
+            (
+                "Operator Start/End + Tensors + Passes",
+                EventClass::Framework,
+            ),
             ("Layer/Region Annotations", EventClass::Annotation),
         ];
         assert_eq!(rows.len(), 22);

@@ -22,35 +22,33 @@ use vendor_nv::{CudaContext, NvCallback};
 pub fn attach_nv(ctx: &mut CudaContext, hub: SharedHub) {
     let hub = Arc::clone(&hub);
     let mut pending: HashMap<LaunchId, (String, SimTime)> = HashMap::new();
-    ctx.subscribe(Box::new(move |cb: &NvCallback| {
-        match cb {
-            NvCallback::LaunchBegin {
-                launch,
-                name,
-                start,
-                ..
-            } => {
-                pending.insert(*launch, (name.clone(), *start));
+    ctx.subscribe(Box::new(move |cb: &NvCallback| match cb {
+        NvCallback::LaunchBegin {
+            launch,
+            name,
+            start,
+            ..
+        } => {
+            pending.insert(*launch, (name.clone(), *start));
+        }
+        NvCallback::LaunchEnd {
+            launch,
+            device,
+            end,
+        } => {
+            if let Some((name, start)) = pending.remove(launch) {
+                hub.lock().processor.process(&Event::KernelLaunchEnd {
+                    launch: *launch,
+                    device: *device,
+                    name,
+                    start,
+                    end: *end,
+                });
             }
-            NvCallback::LaunchEnd {
-                launch,
-                device,
-                end,
-            } => {
-                if let Some((name, start)) = pending.remove(launch) {
-                    hub.lock().processor.process(&Event::KernelLaunchEnd {
-                        launch: *launch,
-                        device: *device,
-                        name,
-                        start,
-                        end: *end,
-                    });
-                }
-            }
-            other => {
-                if let Some(event) = normalize_nv(other) {
-                    hub.lock().processor.process(&event);
-                }
+        }
+        other => {
+            if let Some(event) = normalize_nv(other) {
+                hub.lock().processor.process(&event);
             }
         }
     }));
@@ -60,35 +58,33 @@ pub fn attach_nv(ctx: &mut CudaContext, hub: SharedHub) {
 pub fn attach_roc(ctx: &mut HipContext, hub: SharedHub) {
     let hub = Arc::clone(&hub);
     let mut pending: HashMap<LaunchId, (String, SimTime)> = HashMap::new();
-    ctx.subscribe(Box::new(move |cb: &RocCallback| {
-        match cb {
-            RocCallback::KernelDispatch {
-                launch,
-                name,
-                start,
-                ..
-            } => {
-                pending.insert(*launch, (name.clone(), *start));
+    ctx.subscribe(Box::new(move |cb: &RocCallback| match cb {
+        RocCallback::KernelDispatch {
+            launch,
+            name,
+            start,
+            ..
+        } => {
+            pending.insert(*launch, (name.clone(), *start));
+        }
+        RocCallback::KernelComplete {
+            launch,
+            device,
+            end,
+        } => {
+            if let Some((name, start)) = pending.remove(launch) {
+                hub.lock().processor.process(&Event::KernelLaunchEnd {
+                    launch: *launch,
+                    device: *device,
+                    name,
+                    start,
+                    end: *end,
+                });
             }
-            RocCallback::KernelComplete {
-                launch,
-                device,
-                end,
-            } => {
-                if let Some((name, start)) = pending.remove(launch) {
-                    hub.lock().processor.process(&Event::KernelLaunchEnd {
-                        launch: *launch,
-                        device: *device,
-                        name,
-                        start,
-                        end: *end,
-                    });
-                }
-            }
-            other => {
-                if let Some(event) = normalize_roc(other) {
-                    hub.lock().processor.process(&event);
-                }
+        }
+        other => {
+            if let Some(event) = normalize_roc(other) {
+                hub.lock().processor.process(&event);
             }
         }
     }));

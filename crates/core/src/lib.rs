@@ -62,6 +62,7 @@ pub mod profiler;
 pub mod range;
 pub mod report;
 pub mod tool;
+pub mod workload;
 
 pub use accel_sim::{AnalysisMode, OverheadBreakdown};
 pub use error::PastaError;
@@ -71,3 +72,6 @@ pub use profiler::{BackendChoice, Pasta, PastaBuilder, PastaSession, UvmSetup};
 pub use range::RangeFilter;
 pub use report::{SessionReport, ToolReport};
 pub use tool::{Interest, Tool, ToolCollection};
+pub use workload::{
+    FnWorkload, KernelSweepWorkload, ModelWorkload, Workload, WorkloadCx, WorkloadStats,
+};

@@ -4,21 +4,31 @@
 //! analysis mode, an optional UVM configuration and a set of tools into a
 //! [`PastaSession`] — the programmatic equivalent of the paper's
 //! `accelprof -v -t <tool> <executable>` launcher.
+//!
+//! The primary run API is [`PastaSession::run`], which profiles anything
+//! implementing the object-safe [`Workload`] trait against a fresh
+//! instrumented framework session: zoo models via
+//! [`crate::ModelWorkload`], raw kernel sweeps via
+//! [`crate::KernelSweepWorkload`], ad-hoc closures via
+//! [`crate::FnWorkload`], or user-defined types. The historical
+//! [`PastaSession::run_model`] / [`PastaSession::run_model_scaled`] entry
+//! points are thin wrappers that forward a [`crate::ModelWorkload`]
+//! through the same path and produce identical [`SessionReport`]s.
 
 use crate::error::PastaError;
 use crate::handler::{attach_nv, attach_roc, attach_session};
 use crate::hub::{new_shared, HubSink, SharedHub};
-use crate::knob::{Knob, KernelAggregate};
+use crate::knob::{KernelAggregate, Knob};
 use crate::processor::EventProcessor;
 use crate::range::RangeFilter;
 use crate::report::{SessionReport, ToolReport};
 use crate::tool::Tool;
+use crate::workload::{ModelWorkload, Workload, WorkloadCx};
 use accel_sim::instrument::ProfilerHandle;
 use accel_sim::{AnalysisMode, DeviceId, DeviceRuntime, DeviceSpec, OverheadBreakdown, Vendor};
 use dl_framework::alloc::AllocatorConfig;
 use dl_framework::models::{ModelZoo, RunKind};
 use dl_framework::pycall::CrossLayerStack;
-use dl_framework::runner;
 use dl_framework::session::Session;
 use std::sync::Arc;
 use uvm_sim::{PrefetchPlan, UvmConfig, UvmManager};
@@ -93,7 +103,7 @@ impl Pasta {
 
 /// Builder for [`PastaSession`].
 pub struct PastaBuilder {
-    specs: Vec<DeviceSpec>,
+    specs: Option<Vec<DeviceSpec>>,
     backend: Option<BackendChoice>,
     analysis_mode: AnalysisMode,
     sampling_rate: u32,
@@ -106,7 +116,7 @@ pub struct PastaBuilder {
 impl Default for PastaBuilder {
     fn default() -> Self {
         PastaBuilder {
-            specs: Vec::new(),
+            specs: None,
             backend: None,
             analysis_mode: AnalysisMode::GpuResident,
             sampling_rate: 1,
@@ -121,7 +131,10 @@ impl Default for PastaBuilder {
 impl std::fmt::Debug for PastaBuilder {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PastaBuilder")
-            .field("devices", &self.specs.len())
+            .field(
+                "devices",
+                &self.specs.as_ref().map_or(0, |specs| specs.len()),
+            )
             .field("tools", &self.tools.len())
             .field("analysis_mode", &self.analysis_mode)
             .finish()
@@ -131,31 +144,31 @@ impl std::fmt::Debug for PastaBuilder {
 impl PastaBuilder {
     /// One NVIDIA A100 80 GB (Table III machine A).
     pub fn a100(mut self) -> Self {
-        self.specs = vec![DeviceSpec::a100_80gb()];
+        self.specs = Some(vec![DeviceSpec::a100_80gb()]);
         self
     }
 
     /// Two A100s (the multi-GPU experiments).
     pub fn a100_x2(mut self) -> Self {
-        self.specs = vec![DeviceSpec::a100_80gb(), DeviceSpec::a100_80gb()];
+        self.specs = Some(vec![DeviceSpec::a100_80gb(), DeviceSpec::a100_80gb()]);
         self
     }
 
     /// One RTX 3060 (machine B).
     pub fn rtx_3060(mut self) -> Self {
-        self.specs = vec![DeviceSpec::rtx_3060()];
+        self.specs = Some(vec![DeviceSpec::rtx_3060()]);
         self
     }
 
     /// One MI300X (machine C) — selects the HIP runtime.
     pub fn mi300x(mut self) -> Self {
-        self.specs = vec![DeviceSpec::mi300x()];
+        self.specs = Some(vec![DeviceSpec::mi300x()]);
         self
     }
 
-    /// Explicit device list (all same vendor).
+    /// Explicit device list (all same vendor, non-empty).
     pub fn devices(mut self, specs: Vec<DeviceSpec>) -> Self {
-        self.specs = specs;
+        self.specs = Some(specs);
         self
     }
 
@@ -211,19 +224,32 @@ impl PastaBuilder {
     ///
     /// # Errors
     ///
-    /// [`PastaError::Config`] on an empty device list, mixed vendors, or a
-    /// backend/vendor mismatch.
+    /// [`PastaError::Config`] on an explicitly empty device list, mixed
+    /// vendors, duplicate tool names, or a backend/vendor mismatch.
+    /// (No device selection at all defaults to one A100.)
     pub fn build(self) -> Result<PastaSession, PastaError> {
-        let specs = if self.specs.is_empty() {
-            vec![DeviceSpec::a100_80gb()]
-        } else {
-            self.specs
+        let specs = match self.specs {
+            None => vec![DeviceSpec::a100_80gb()],
+            Some(specs) if specs.is_empty() => {
+                return Err(PastaError::Config(
+                    "device list is empty: pass at least one DeviceSpec".into(),
+                ))
+            }
+            Some(specs) => specs,
         };
         let vendor = specs[0].vendor;
         if specs.iter().any(|s| s.vendor != vendor) {
             return Err(PastaError::Config(
                 "all devices in one session must share a vendor".into(),
             ));
+        }
+        for (i, tool) in self.tools.iter().enumerate() {
+            if self.tools[..i].iter().any(|t| t.name() == tool.name()) {
+                return Err(PastaError::Config(format!(
+                    "duplicate tool name `{}`: tool names select tools and must be unique",
+                    tool.name()
+                )));
+            }
         }
 
         let mut processor = EventProcessor::new();
@@ -294,9 +320,12 @@ impl PastaBuilder {
                     ctx.attach_uvm(uvm);
                 }
                 let handle = match backend {
-                    BackendChoice::Sanitizer(cfg) if wants_device => Some(
-                        vendor_nv::sanitizer::attach(&mut ctx, cfg.with_sampling(self.sampling_rate)),
-                    ),
+                    BackendChoice::Sanitizer(cfg) if wants_device => {
+                        Some(vendor_nv::sanitizer::attach(
+                            &mut ctx,
+                            cfg.with_sampling(self.sampling_rate),
+                        ))
+                    }
                     BackendChoice::Nvbit(cfg) if wants_device => Some(vendor_nv::nvbit::attach(
                         &mut ctx,
                         cfg.with_sampling(self.sampling_rate),
@@ -345,8 +374,67 @@ impl std::fmt::Debug for PastaSession {
 }
 
 impl PastaSession {
+    /// Creates a fresh instrumented framework session over the runtime
+    /// and hands it to `f` — the shared substrate of every run path.
+    fn with_instrumented_session<R>(
+        &mut self,
+        f: impl FnOnce(&mut Session<'_>) -> Result<R, PastaError>,
+    ) -> Result<R, PastaError> {
+        let hub = Arc::clone(&self.hub);
+        let managed = self.managed_allocator;
+        let rt = self.runtime.as_runtime_mut();
+        let alloc_config = if managed {
+            AllocatorConfig::managed()
+        } else {
+            AllocatorConfig::default()
+        };
+        let backend = dl_framework::backend::BackendProfile::for_vendor(rt.vendor());
+        let mut session = Session::with_config(rt, backend, alloc_config);
+        attach_session(&mut session, hub);
+        f(&mut session)
+    }
+
+    /// Profiles an arbitrary [`Workload`] — the primary entry point.
+    ///
+    /// The workload runs against a fresh instrumented framework session;
+    /// everything it does (tensor traffic, operators, kernel launches,
+    /// region annotations) flows through the event pipeline to the
+    /// registered tools, and the run is summarized as a
+    /// [`SessionReport`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates workload failures.
+    pub fn run(&mut self, workload: &mut dyn Workload) -> Result<SessionReport, PastaError> {
+        let overhead_before = self.overhead();
+        let records_before = self.records();
+        let name = workload.name().to_owned();
+        let (result, elapsed, alloc) = self.with_instrumented_session(|session| {
+            let t0 = session.runtime().host_time();
+            let result = workload.run(&mut WorkloadCx::new(session));
+            // Drain in-flight device work — also on failure — so
+            // profiled_time covers it and it cannot leak into the next
+            // run's measurement window; workloads themselves need not
+            // synchronize.
+            session.synchronize();
+            let t1 = session.runtime().host_time();
+            Ok((result, t1 - t0, session.allocator_stats()))
+        })?;
+        let stats = result?;
+        Ok(SessionReport {
+            workload: stats.label.unwrap_or(name),
+            kernel_launches: stats.kernel_launches,
+            profiled_time: accel_sim::SimTime(elapsed),
+            overhead: self.overhead_delta(overhead_before),
+            records: self.records() - records_before,
+            peak_allocated: alloc.peak_allocated,
+            peak_reserved: alloc.peak_reserved,
+        })
+    }
+
     /// Runs `steps` batches/iterations of a zoo model at the paper's batch
-    /// size, under full instrumentation.
+    /// size, under full instrumentation. Forwards a
+    /// [`ModelWorkload`] through [`PastaSession::run`].
     ///
     /// # Errors
     ///
@@ -373,36 +461,16 @@ impl PastaSession {
         steps: usize,
         batch_divisor: usize,
     ) -> Result<SessionReport, PastaError> {
-        let overhead_before = self.overhead();
-        let records_before = self.records();
-        let hub = Arc::clone(&self.hub);
-        let managed = self.managed_allocator;
-        let rt = self.runtime.as_runtime_mut();
-        let alloc_config = if managed {
-            AllocatorConfig::managed()
-        } else {
-            AllocatorConfig::default()
-        };
-        let backend = dl_framework::backend::BackendProfile::for_vendor(rt.vendor());
-        let mut session = Session::with_config(rt, backend, alloc_config);
-        attach_session(&mut session, hub);
-        let t0 = session.runtime().host_time();
-        let report = runner::run_model(&mut session, model, kind, steps, batch_divisor)?;
-        let t1 = session.runtime().host_time();
-        let stats = session.allocator_stats();
-        Ok(SessionReport {
-            workload: format!("{} {}", report.abbr, kind.label()),
-            kernel_launches: report.kernel_launches,
-            profiled_time: accel_sim::SimTime(t1 - t0),
-            overhead: self.overhead_delta(overhead_before),
-            records: self.records() - records_before,
-            peak_allocated: stats.peak_allocated,
-            peak_reserved: stats.peak_reserved,
-        })
+        let mut workload = ModelWorkload::new(model, kind)
+            .steps(steps)
+            .batch_divisor(batch_divisor);
+        self.run(&mut workload)
     }
 
-    /// Runs an arbitrary workload against an instrumented framework
-    /// session.
+    /// Runs a closure against an instrumented framework session,
+    /// returning its value directly (no [`SessionReport`]). Prefer
+    /// [`crate::FnWorkload`] + [`PastaSession::run`] when a report is
+    /// wanted.
     ///
     /// # Errors
     ///
@@ -411,18 +479,7 @@ impl PastaSession {
         &mut self,
         f: impl FnOnce(&mut Session<'_>) -> Result<R, accel_sim::AccelError>,
     ) -> Result<R, PastaError> {
-        let hub = Arc::clone(&self.hub);
-        let managed = self.managed_allocator;
-        let rt = self.runtime.as_runtime_mut();
-        let alloc_config = if managed {
-            AllocatorConfig::managed()
-        } else {
-            AllocatorConfig::default()
-        };
-        let backend = dl_framework::backend::BackendProfile::for_vendor(rt.vendor());
-        let mut session = Session::with_config(rt, backend, alloc_config);
-        attach_session(&mut session, hub);
-        f(&mut session).map_err(PastaError::from)
+        self.with_instrumented_session(|session| f(session).map_err(PastaError::from))
     }
 
     /// Reports from all registered tools.
@@ -481,8 +538,14 @@ impl PastaSession {
     /// Restricts a device's usable memory (oversubscription methodology).
     pub fn limit_device_memory(&mut self, device: DeviceId, bytes: u64) {
         match &mut self.runtime {
-            RuntimeBox::Cuda(c) => c.engine_mut().device_mut(device).limit_usable_capacity(bytes),
-            RuntimeBox::Hip(h) => h.engine_mut().device_mut(device).limit_usable_capacity(bytes),
+            RuntimeBox::Cuda(c) => c
+                .engine_mut()
+                .device_mut(device)
+                .limit_usable_capacity(bytes),
+            RuntimeBox::Hip(h) => h
+                .engine_mut()
+                .device_mut(device)
+                .limit_usable_capacity(bytes),
         }
     }
 
@@ -498,12 +561,7 @@ impl PastaSession {
 
     /// The captured cross-layer stack for a kernel, if any.
     pub fn cross_layer_stack(&self, kernel: &str) -> Option<CrossLayerStack> {
-        self.hub
-            .lock()
-            .processor
-            .stacks
-            .stack_for(kernel)
-            .cloned()
+        self.hub.lock().processor.stacks.stack_for(kernel).cloned()
     }
 
     /// Resets all tools, knobs and stacks (the runtime keeps running).
@@ -532,6 +590,28 @@ mod tests {
             .devices(vec![DeviceSpec::a100_80gb(), DeviceSpec::mi300x()])
             .build();
         assert!(matches!(r, Err(PastaError::Config(_))));
+    }
+
+    #[test]
+    fn explicitly_empty_device_list_rejected() {
+        let r = Pasta::builder().devices(vec![]).build();
+        let Err(PastaError::Config(msg)) = r else {
+            panic!("empty device list must be a config error");
+        };
+        assert!(msg.contains("empty"), "unhelpful message: {msg}");
+    }
+
+    #[test]
+    fn duplicate_tool_names_rejected() {
+        let r = Pasta::builder()
+            .a100()
+            .tool(LaunchCounter::default())
+            .tool(LaunchCounter::default())
+            .build();
+        let Err(PastaError::Config(msg)) = r else {
+            panic!("duplicate tool names must be a config error");
+        };
+        assert!(msg.contains("launch-counter"), "unhelpful message: {msg}");
     }
 
     #[test]
@@ -600,6 +680,124 @@ mod tests {
             .unwrap();
         assert_eq!(n, report.kernel_launches);
         assert!(session.events_processed() > report.kernel_launches);
+    }
+
+    #[test]
+    fn run_model_and_run_workload_report_identically() {
+        let run_via = |use_trait: bool| {
+            let mut session = Pasta::builder()
+                .rtx_3060()
+                .tool(LaunchCounter::default())
+                .build()
+                .unwrap();
+            if use_trait {
+                let mut w = ModelWorkload::new(ModelZoo::ResNet18, RunKind::Inference)
+                    .steps(1)
+                    .batch_divisor(16);
+                session.run(&mut w).unwrap()
+            } else {
+                session
+                    .run_model_scaled(ModelZoo::ResNet18, RunKind::Inference, 1, 16)
+                    .unwrap()
+            }
+        };
+        assert_eq!(
+            run_via(false),
+            run_via(true),
+            "run_model must forward through run() byte-identically"
+        );
+    }
+
+    #[test]
+    fn kernel_sweep_workload_profiles_raw_kernels() {
+        use crate::workload::KernelSweepWorkload;
+        use accel_sim::{Dim3, KernelBody, KernelDesc};
+        let mut session = Pasta::builder()
+            .rtx_3060()
+            .tool(LaunchCounter::default())
+            .build()
+            .unwrap();
+        let mut sweep = KernelSweepWorkload::new("sweep")
+            .kernel(
+                KernelDesc::new("custom_a", Dim3::linear(8), Dim3::linear(128))
+                    .body(KernelBody::compute(1 << 20)),
+            )
+            .kernel(
+                KernelDesc::new("custom_b", Dim3::linear(4), Dim3::linear(64))
+                    .body(KernelBody::compute(1 << 18)),
+            )
+            .repeats(3);
+        let report = session.run(&mut sweep).unwrap();
+        assert_eq!(report.workload, "sweep");
+        assert_eq!(report.kernel_launches, 6);
+        assert!(report.profiled_time.as_nanos() > 0);
+        let n = session
+            .with_tool_mut("launch-counter", |t: &mut LaunchCounter| t.launches)
+            .unwrap();
+        assert_eq!(n, 6, "raw launches reach the tools like model kernels");
+    }
+
+    #[test]
+    fn fn_workload_runs_and_labels_report() {
+        use crate::workload::{FnWorkload, WorkloadStats};
+        let mut session = Pasta::builder().rtx_3060().build().unwrap();
+        let mut w = FnWorkload::new("closure", |cx| {
+            let t = cx
+                .alloc_tensor(&[256], dl_framework::dtype::DType::F32)
+                .map_err(PastaError::from)?;
+            cx.free_tensor(&t);
+            Ok(WorkloadStats::new(0).labeled("relabeled"))
+        });
+        let report = session.run(&mut w).unwrap();
+        assert_eq!(report.workload, "relabeled");
+        assert!(report.peak_allocated >= 1024);
+    }
+
+    #[test]
+    fn failed_workload_device_time_does_not_leak_into_next_run() {
+        use crate::workload::{FnWorkload, WorkloadStats};
+        use accel_sim::{Dim3, KernelBody, KernelDesc};
+        let mut session = Pasta::builder().rtx_3060().build().unwrap();
+        let mut failing = FnWorkload::new("fails-mid-flight", |cx| {
+            // A long kernel is in flight when the workload errors out.
+            let desc = KernelDesc::new("long_kernel", Dim3::linear(4096), Dim3::linear(256))
+                .body(KernelBody::compute(1 << 28));
+            cx.launch_kernel(desc)?;
+            Err(PastaError::Config("injected failure".into()))
+        });
+        let failed = session.run(&mut failing);
+        assert!(failed.is_err());
+        let mut idle = FnWorkload::new("idle", |_cx| Ok(WorkloadStats::new(0)));
+        let report = session.run(&mut idle).unwrap();
+        assert!(
+            report.profiled_time.as_nanos() < 10_000,
+            "stale device time from the failed run leaked into the idle run: {}",
+            report.profiled_time
+        );
+    }
+
+    #[test]
+    fn workload_cx_exposes_uvm_manager() {
+        use crate::workload::{FnWorkload, WorkloadStats};
+        let mut with_uvm = Pasta::builder()
+            .rtx_3060()
+            .uvm(UvmSetup::default())
+            .build()
+            .unwrap();
+        let mut probe = FnWorkload::new("uvm-probe", |cx| {
+            assert!(cx.uvm().is_some(), "UVM sessions expose the manager");
+            let resident = cx.uvm_mut().unwrap().resident_bytes(accel_sim::DeviceId(0));
+            let _ = resident;
+            Ok(WorkloadStats::new(0))
+        });
+        with_uvm.run(&mut probe).unwrap();
+
+        let mut without = Pasta::builder().rtx_3060().build().unwrap();
+        let mut probe = FnWorkload::new("no-uvm-probe", |cx| {
+            assert!(cx.uvm().is_none(), "no UVM setup → no manager");
+            Ok(WorkloadStats::new(0))
+        });
+        without.run(&mut probe).unwrap();
     }
 
     #[test]

@@ -14,8 +14,7 @@ use accel_sim::LaunchId;
 use serde::{Deserialize, Serialize};
 
 /// Decides which launches/events fall inside the analyzed range.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub struct RangeFilter {
     /// First launch id to analyze (`START_GRID_ID`).
     pub start_grid_id: Option<u64>,
@@ -27,7 +26,6 @@ pub struct RangeFilter {
     /// Current region nesting depth.
     region_depth: u32,
 }
-
 
 impl RangeFilter {
     /// An unrestricted filter.
@@ -57,9 +55,7 @@ impl RangeFilter {
     pub fn observe(&mut self, event: &Event) {
         match event {
             Event::RegionStart { .. } => self.region_depth += 1,
-            Event::RegionEnd { .. } => {
-                self.region_depth = self.region_depth.saturating_sub(1)
-            }
+            Event::RegionEnd { .. } => self.region_depth = self.region_depth.saturating_sub(1),
             _ => {}
         }
     }

@@ -101,12 +101,16 @@ pub trait Tool: Send {
     /// handlers below, so tools can override either granularity.
     fn on_event(&mut self, event: &Event) {
         match event {
-            Event::GlobalAccess { launch, kernel, batch } => {
-                self.on_global_access(*launch, kernel, batch)
-            }
-            Event::SharedAccess { launch, kernel, batch } => {
-                self.on_shared_access(*launch, kernel, batch)
-            }
+            Event::GlobalAccess {
+                launch,
+                kernel,
+                batch,
+            } => self.on_global_access(*launch, kernel, batch),
+            Event::SharedAccess {
+                launch,
+                kernel,
+                batch,
+            } => self.on_shared_access(*launch, kernel, batch),
             Event::KernelTrace {
                 launch,
                 kernel,
@@ -158,7 +162,11 @@ impl std::fmt::Debug for ToolCollection {
         f.debug_struct("ToolCollection")
             .field(
                 "tools",
-                &self.tools.iter().map(|t| t.name().to_owned()).collect::<Vec<_>>(),
+                &self
+                    .tools
+                    .iter()
+                    .map(|t| t.name().to_owned())
+                    .collect::<Vec<_>>(),
             )
             .finish()
     }
@@ -201,8 +209,8 @@ impl ToolCollection {
             let wants = match class {
                 EventClass::DeviceAccess => i.global_accesses || i.shared_accesses,
                 EventClass::DeviceControl => {
-                    i.barriers || i.block_boundaries || i.instructions
-                        || i.global_accesses // kernel summaries ride along
+                    i.barriers || i.block_boundaries || i.instructions || i.global_accesses
+                    // kernel summaries ride along
                 }
                 EventClass::Framework | EventClass::Annotation => i.framework_events,
                 _ => i.host_events,
@@ -308,6 +316,48 @@ mod tests {
         assert!(pc.global_accesses && pc.barriers);
         assert!(!pc.shared_accesses);
         assert!(!Interest::coarse().wants_device_events());
+    }
+
+    #[test]
+    fn interest_union_is_commutative_and_idempotent() {
+        let a = Interest {
+            shared_accesses: true,
+            instructions: true,
+            ..Interest::default()
+        };
+        let b = Interest {
+            block_boundaries: true,
+            framework_events: true,
+            ..Interest::default()
+        };
+        assert_eq!(a.union(b), b.union(a));
+        assert_eq!(a.union(a), a);
+        // The empty interest is the identity element.
+        assert_eq!(a.union(Interest::default()), a);
+        // `all` absorbs everything.
+        assert_eq!(a.union(Interest::all()), Interest::all());
+    }
+
+    #[test]
+    fn probe_config_covers_exactly_the_device_access_classes() {
+        // Every probe-visible class maps through; the host/framework/
+        // instruction classes never enable device probes.
+        let pc = Interest::all().probe_config();
+        assert!(pc.global_accesses && pc.shared_accesses && pc.barriers && pc.block_boundaries);
+        let none = Interest {
+            instructions: true,
+            host_events: true,
+            framework_events: true,
+            ..Interest::default()
+        }
+        .probe_config();
+        assert!(
+            !none.global_accesses
+                && !none.shared_accesses
+                && !none.barriers
+                && !none.block_boundaries
+        );
+        assert_eq!(Interest::default().probe_config(), ProbeConfig::disabled());
     }
 
     #[test]

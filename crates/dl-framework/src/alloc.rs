@@ -430,7 +430,11 @@ mod tests {
         let (p2, _) = a.alloc(&mut rt, 512 << 10).unwrap();
         assert_eq!(p1, p2, "cached block reused");
         assert_eq!(a.stats().reserved, reserved, "no new segment");
-        assert_eq!(rt.stats(accel_sim::DeviceId(0)).frees, 0, "nothing freed to runtime");
+        assert_eq!(
+            rt.stats(accel_sim::DeviceId(0)).frees,
+            0,
+            "nothing freed to runtime"
+        );
     }
 
     #[test]
@@ -443,8 +447,8 @@ mod tests {
         a.free(p1);
         a.free(p3);
         a.free(p2); // middle free merges all three + the tail
-        // The whole 2 MiB segment is one free block again: a 1.5 MiB small
-        // request would not fit the small pool, but 1 MiB does.
+                    // The whole 2 MiB segment is one free block again: a 1.5 MiB small
+                    // request would not fit the small pool, but 1 MiB does.
         let (p4, _) = a.alloc(&mut rt, 1 << 20).unwrap();
         assert_eq!(p4, p1, "coalesced run starts at the segment base");
     }
@@ -493,7 +497,7 @@ mod tests {
         let mut a = CachingAllocator::new(AllocatorConfig::default());
         let (p, _) = a.alloc(&mut rt, 40 << 20).unwrap();
         a.free(p); // cached, still reserved
-        // 40 MiB is cached; a 60 MiB request cannot fit alongside it.
+                   // 40 MiB is cached; a 60 MiB request cannot fit alongside it.
         let r = a.alloc(&mut rt, 60 << 20);
         assert!(r.is_ok(), "cache flush must free room: {r:?}");
         assert_eq!(a.stats().cache_flushes, 1);

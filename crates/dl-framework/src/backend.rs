@@ -96,7 +96,9 @@ mod tests {
             BackendProfile::nvidia().gemm_kernel("128x64_tn"),
             "ampere_sgemm_128x64_tn"
         );
-        assert!(BackendProfile::amd().gemm_kernel("128x64_tn").starts_with("Cijk_"));
+        assert!(BackendProfile::amd()
+            .gemm_kernel("128x64_tn")
+            .starts_with("Cijk_"));
         assert!(BackendProfile::nvidia()
             .collective_kernel("AllReduce")
             .starts_with("ncclDevKernel"));

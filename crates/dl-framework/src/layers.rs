@@ -50,11 +50,7 @@ impl Param {
             Some(existing) => {
                 // Accumulate: existing += grad, then drop the new tensor.
                 let e = existing.clone();
-                ops::elementwise_inplace(
-                    s,
-                    "at::native::vectorized_elementwise_kernel<add>",
-                    &e,
-                )?;
+                ops::elementwise_inplace(s, "at::native::vectorized_elementwise_kernel<add>", &e)?;
                 s.free_tensor(&grad);
             }
         }
@@ -235,8 +231,7 @@ impl Layer for Linear {
                 grad_out,
             )?;
         }
-        let (gx, gw, gb) =
-            ops::linear_backward(s, x, &self.w.tensor, grad_out, self.b.is_some())?;
+        let (gx, gw, gb) = ops::linear_backward(s, x, &self.w.tensor, grad_out, self.b.is_some())?;
         self.w.set_grad(s, gw)?;
         if let (Some(bp), Some(gb)) = (self.b.as_mut(), gb) {
             bp.set_grad(s, gb)?;
@@ -1072,8 +1067,22 @@ impl TransformerBlock {
             ln1: LayerNorm::new(s, format!("{name}.ln1"), dim)?,
             attn: MultiHeadAttention::new_sharded(s, format!("{name}.attn"), dim, heads, shard)?,
             ln2: LayerNorm::new(s, format!("{name}.ln2"), dim)?,
-            fc1: Linear::new(s, format!("{name}.mlp.fc1"), dim, ffn_local, true, Act::Gelu)?,
-            fc2: Linear::new(s, format!("{name}.mlp.fc2"), ffn_local, dim, true, Act::None)?,
+            fc1: Linear::new(
+                s,
+                format!("{name}.mlp.fc1"),
+                dim,
+                ffn_local,
+                true,
+                Act::Gelu,
+            )?,
+            fc2: Linear::new(
+                s,
+                format!("{name}.mlp.fc2"),
+                ffn_local,
+                dim,
+                true,
+                Act::None,
+            )?,
             name,
             saved: Vec::new(),
         })
@@ -1303,11 +1312,7 @@ impl Layer for BasicBlock {
     ) -> Result<Tensor, AccelError> {
         let c1 = self.conv1.forward(s, x, train)?;
         let b1 = self.bn1.forward(s, &c1, train)?;
-        ops::elementwise_inplace(
-            s,
-            "at::native::vectorized_elementwise_kernel<relu>",
-            &b1,
-        )?;
+        ops::elementwise_inplace(s, "at::native::vectorized_elementwise_kernel<relu>", &b1)?;
         let c2 = self.conv2.forward(s, &b1, train)?;
         let b2 = self.bn2.forward(s, &c2, train)?;
         // Shortcut path: the bn output `u` is consumed by the add below and

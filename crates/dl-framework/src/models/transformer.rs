@@ -567,7 +567,11 @@ impl AudioEncoder {
             + self.proj2.param_bytes()
             + self.blocks.param_bytes()
             + self.ln.param_bytes()
-            + self.cross.iter().map(CrossAttention::param_bytes).sum::<u64>()
+            + self
+                .cross
+                .iter()
+                .map(CrossAttention::param_bytes)
+                .sum::<u64>()
     }
 }
 

@@ -11,7 +11,9 @@
 use crate::dtype::DType;
 use crate::session::Session;
 use crate::tensor::Tensor;
-use accel_sim::{AccelError, AccessKind, AccessPattern, AccessSpec, Dim3, KernelBody, KernelDesc, MemSpace};
+use accel_sim::{
+    AccelError, AccessKind, AccessPattern, AccessSpec, Dim3, KernelBody, KernelDesc, MemSpace,
+};
 
 /// Fused activation applied in a GEMM epilogue (when the backend fuses).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -188,11 +190,7 @@ fn unfused_epilogue(
 }
 
 /// In-place elementwise kernel over one tensor (activation, scale, …).
-pub fn elementwise_inplace(
-    s: &mut Session<'_>,
-    name: &str,
-    t: &Tensor,
-) -> Result<(), AccelError> {
+pub fn elementwise_inplace(s: &mut Session<'_>, name: &str, t: &Tensor) -> Result<(), AccelError> {
     let (g, blk) = launch_cfg(t.numel() / 4);
     let desc = KernelDesc::new(name, g, blk).arg(t.ptr, t.bytes).body(
         KernelBody::default()
@@ -274,10 +272,32 @@ pub fn linear_backward(
     s.with_op("aten::linear_backward", |s| {
         // dX[m,k] = dY[m,n] × W[n,k]  (data-grad GEMM, "nt" flavour).
         let grad_x = s.alloc_tensor(&x.shape, DType::F32)?;
-        gemm_kernel(s, "128x64_dgrad", grad_out, w, &grad_x, m, in_f, out_f, None, Act::None)?;
+        gemm_kernel(
+            s,
+            "128x64_dgrad",
+            grad_out,
+            w,
+            &grad_x,
+            m,
+            in_f,
+            out_f,
+            None,
+            Act::None,
+        )?;
         // dW[n,k] = dYᵀ[n,m] × X[m,k]  (weight-grad GEMM, "nn" flavour).
         let grad_w = s.alloc_tensor(&w.shape, DType::F32)?;
-        gemm_kernel(s, "128x64_wgrad", grad_out, x, &grad_w, out_f, in_f, m, None, Act::None)?;
+        gemm_kernel(
+            s,
+            "128x64_wgrad",
+            grad_out,
+            x,
+            &grad_w,
+            out_f,
+            in_f,
+            m,
+            None,
+            Act::None,
+        )?;
         // db = column-reduce dY.
         let grad_b = if want_bias {
             let gb = s.alloc_tensor(&[out_f as usize], DType::F32)?;
@@ -366,8 +386,8 @@ pub fn conv2d(
             // Implicit GEMM with a cuDNN-style workspace whose size depends
             // on the backend's workspace factor (the Fig. 14 peak-memory
             // contrast).
-            let ws_bytes = ((kk * nn.min(4096) * 4) as f64
-                * s.backend().conv_workspace_factor) as u64;
+            let ws_bytes =
+                ((kk * nn.min(4096) * 4) as f64 * s.backend().conv_workspace_factor) as u64;
             let ws = s.alloc_tensor(&[(ws_bytes / 4) as usize], DType::F32)?;
             let grid = Dim3::plane(
                 ceil_div(nn, TILE).max(1) as u32,
@@ -426,7 +446,18 @@ pub fn conv2d_backward(
         let grad_w = s.alloc_tensor(&w.shape, DType::F32)?;
         let grad_b = s.alloc_tensor(&[cfg.cout], DType::F32)?;
         // dgrad: dX = Wᵀ ⊛ dY (col2im path for the large-kernel flavour).
-        gemm_kernel(s, "128x64_dgrad", w, grad_out, &grad_x, kk, nn, m, None, Act::None)?;
+        gemm_kernel(
+            s,
+            "128x64_dgrad",
+            w,
+            grad_out,
+            &grad_x,
+            kk,
+            nn,
+            m,
+            None,
+            Act::None,
+        )?;
         if cfg.k >= 5 {
             let (g, blk) = launch_cfg(grad_x.numel() / 4);
             let desc = KernelDesc::new("at::native::col2im_kernel", g, blk)
@@ -440,7 +471,18 @@ pub fn conv2d_backward(
             s.launch(desc)?;
         }
         // wgrad: dW = dY × Xᵀ.
-        gemm_kernel(s, "128x64_wgrad", grad_out, x, &grad_w, m, kk, nn, None, Act::None)?;
+        gemm_kernel(
+            s,
+            "128x64_wgrad",
+            grad_out,
+            x,
+            &grad_w,
+            m,
+            kk,
+            nn,
+            None,
+            Act::None,
+        )?;
         // bias grad.
         let (g, blk) = launch_cfg(m);
         let desc = KernelDesc::new("at::native::reduce_kernel<512, ReduceAdd>", g, blk)
@@ -540,23 +582,19 @@ pub fn batchnorm2d(
                 .access(AccessSpec::load(0, x.bytes)),
         );
         s.launch(stats)?;
-        let transform = KernelDesc::new(
-            "at::native::batch_norm_transform_input_kernel",
-            g,
-            blk,
-        )
-        .arg(x.ptr, x.bytes)
-        .arg(y.ptr, y.bytes)
-        .arg(gamma.ptr, gamma.bytes)
-        .arg(beta.ptr, beta.bytes)
-        .body(
-            KernelBody::default()
-                .with_flops(2 * x.numel())
-                .access(AccessSpec::load(0, x.bytes))
-                .access(AccessSpec::store(1, y.bytes))
-                .access(AccessSpec::load(2, gamma.bytes))
-                .access(AccessSpec::load(3, beta.bytes)),
-        );
+        let transform = KernelDesc::new("at::native::batch_norm_transform_input_kernel", g, blk)
+            .arg(x.ptr, x.bytes)
+            .arg(y.ptr, y.bytes)
+            .arg(gamma.ptr, gamma.bytes)
+            .arg(beta.ptr, beta.bytes)
+            .body(
+                KernelBody::default()
+                    .with_flops(2 * x.numel())
+                    .access(AccessSpec::load(0, x.bytes))
+                    .access(AccessSpec::store(1, y.bytes))
+                    .access(AccessSpec::load(2, gamma.bytes))
+                    .access(AccessSpec::load(3, beta.bytes)),
+            );
         s.launch(transform)?;
         Ok(y)
     })
@@ -807,22 +845,23 @@ pub fn cross_entropy(s: &mut Session<'_>, logits: &Tensor) -> Result<Tensor, Acc
 }
 
 /// Cross-entropy backward: gradient of the logits.
-pub fn cross_entropy_backward(
-    s: &mut Session<'_>,
-    logits: &Tensor,
-) -> Result<Tensor, AccelError> {
+pub fn cross_entropy_backward(s: &mut Session<'_>, logits: &Tensor) -> Result<Tensor, AccelError> {
     s.with_op("aten::nll_loss_backward", |s| {
         let grad = s.alloc_tensor(&logits.shape, DType::F32)?;
         let (g, blk) = launch_cfg(grad.numel() / 4);
-        let desc = KernelDesc::new("at::native::nll_loss_backward_reduce_cuda_kernel_2d", g, blk)
-            .arg(logits.ptr, logits.bytes)
-            .arg(grad.ptr, grad.bytes)
-            .body(
-                KernelBody::default()
-                    .with_flops(grad.numel())
-                    .access(AccessSpec::load(0, logits.bytes))
-                    .access(AccessSpec::store(1, grad.bytes)),
-            );
+        let desc = KernelDesc::new(
+            "at::native::nll_loss_backward_reduce_cuda_kernel_2d",
+            g,
+            blk,
+        )
+        .arg(logits.ptr, logits.bytes)
+        .arg(grad.ptr, grad.bytes)
+        .body(
+            KernelBody::default()
+                .with_flops(grad.numel())
+                .access(AccessSpec::load(0, logits.bytes))
+                .access(AccessSpec::store(1, grad.bytes)),
+        );
         s.launch(desc)?;
         Ok(grad)
     })
@@ -869,13 +908,15 @@ pub fn allreduce(s: &mut Session<'_>, t: &Tensor) -> Result<(), AccelError> {
     let name = s.backend().collective_kernel("AllReduce_RING_LL");
     s.with_op("c10d::allreduce_", |s| {
         let (g, blk) = launch_cfg(t.numel() / 8);
-        let desc = KernelDesc::new(name.clone(), g, blk).arg(t.ptr, t.bytes).body(
-            KernelBody::default()
-                .with_flops(t.numel())
-                // Ring all-reduce moves ~2× the payload per rank.
-                .access(AccessSpec::load(0, t.bytes).with_bytes(2 * t.bytes))
-                .access(AccessSpec::store(0, t.bytes)),
-        );
+        let desc = KernelDesc::new(name.clone(), g, blk)
+            .arg(t.ptr, t.bytes)
+            .body(
+                KernelBody::default()
+                    .with_flops(t.numel())
+                    // Ring all-reduce moves ~2× the payload per rank.
+                    .access(AccessSpec::load(0, t.bytes).with_bytes(2 * t.bytes))
+                    .access(AccessSpec::store(0, t.bytes)),
+            );
         s.launch(desc)?;
         Ok(())
     })
@@ -886,11 +927,13 @@ pub fn send_recv(s: &mut Session<'_>, t: &Tensor) -> Result<(), AccelError> {
     let name = s.backend().collective_kernel("SendRecv");
     s.with_op("c10d::send", |s| {
         let (g, blk) = launch_cfg(t.numel() / 8);
-        let desc = KernelDesc::new(name.clone(), g, blk).arg(t.ptr, t.bytes).body(
-            KernelBody::default()
-                .access(AccessSpec::load(0, t.bytes))
-                .access(AccessSpec::store(0, t.bytes)),
-        );
+        let desc = KernelDesc::new(name.clone(), g, blk)
+            .arg(t.ptr, t.bytes)
+            .body(
+                KernelBody::default()
+                    .access(AccessSpec::load(0, t.bytes))
+                    .access(AccessSpec::store(0, t.bytes)),
+            );
         s.launch(desc)?;
         Ok(())
     })

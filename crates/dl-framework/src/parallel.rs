@@ -338,11 +338,7 @@ pub fn train_iter_pipeline_parallel(
         &g_logits,
         false,
     )?;
-    stage1
-        .head
-        .as_mut()
-        .expect("head")
-        .set_grad(s, g_head)?;
+    stage1.head.as_mut().expect("head").set_grad(s, g_head)?;
     s.free_tensor(&g_logits);
     s.free_tensor(&logits);
     let g_h1 = stage1
@@ -370,12 +366,7 @@ pub fn train_iter_pipeline_parallel(
         &[dims.seq, dims.d],
     )?;
     stage0.wpe.as_mut().expect("wpe").set_grad(s, g_wpe)?;
-    let g_wte = ops::embedding_backward(
-        s,
-        &stage0.wte.as_ref().expect("wte").tensor,
-        &idx,
-        &g_x0,
-    )?;
+    let g_wte = ops::embedding_backward(s, &stage0.wte.as_ref().expect("wte").tensor, &idx, &g_x0)?;
     stage0.wte.as_mut().expect("wte").set_grad(s, g_wte)?;
     s.free_tensor(&g_x0);
     s.free_tensor(&idx);
@@ -418,8 +409,7 @@ mod tests {
     use vendor_nv::CudaContext;
 
     fn two_gpu_session<T>(f: impl FnOnce(&mut Session<'_>) -> T) -> T {
-        let mut rt =
-            CudaContext::new(vec![DeviceSpec::a100_80gb(), DeviceSpec::a100_80gb()]);
+        let mut rt = CudaContext::new(vec![DeviceSpec::a100_80gb(), DeviceSpec::a100_80gb()]);
         let mut s = Session::new(&mut rt);
         f(&mut s)
     }
@@ -430,7 +420,10 @@ mod tests {
             let r = train_iter_data_parallel(s, 1).unwrap();
             let (a, b) = (r.peak_allocated[0], r.peak_allocated[1]);
             let ratio = a as f64 / b as f64;
-            assert!((0.95..1.05).contains(&ratio), "DP must be symmetric: {a} vs {b}");
+            assert!(
+                (0.95..1.05).contains(&ratio),
+                "DP must be symmetric: {a} vs {b}"
+            );
         });
     }
 
@@ -466,7 +459,11 @@ mod tests {
     #[test]
     fn all_strategies_clean_up() {
         two_gpu_session(|s| {
-            for strategy in [Parallelism::Data, Parallelism::Tensor, Parallelism::Pipeline] {
+            for strategy in [
+                Parallelism::Data,
+                Parallelism::Tensor,
+                Parallelism::Pipeline,
+            ] {
                 train_iter(s, strategy, 1).unwrap();
                 s.release_workspaces();
                 for d in [DeviceId(0), DeviceId(1)] {

@@ -128,14 +128,34 @@ impl CrossLayerStack {
 pub fn native_frames_for_kernel(kernel: &str) -> Vec<NativeFrame> {
     if kernel.contains("sgemm") || kernel.contains("gemm") {
         vec![
-            NativeFrame::new("aten/src/ATen/cuda/CUDABlas.cpp", 771, "at::cuda::blas::gemm_and_bias"),
-            NativeFrame::new("aten/src/ATen/native/cuda/Blas.cpp", 281, "addmm_out_cuda_impl"),
-            NativeFrame::new("build/aten/src/ATen/RegisterCUDA.cpp", 17434, "wrapper_CUDA_addmm"),
+            NativeFrame::new(
+                "aten/src/ATen/cuda/CUDABlas.cpp",
+                771,
+                "at::cuda::blas::gemm_and_bias",
+            ),
+            NativeFrame::new(
+                "aten/src/ATen/native/cuda/Blas.cpp",
+                281,
+                "addmm_out_cuda_impl",
+            ),
+            NativeFrame::new(
+                "build/aten/src/ATen/RegisterCUDA.cpp",
+                17434,
+                "wrapper_CUDA_addmm",
+            ),
         ]
     } else if kernel.contains("im2col") || kernel.contains("col2im") {
         vec![
-            NativeFrame::new("aten/src/ATen/native/cuda/im2col.cuh", 98, "at::native::im2col_kernel"),
-            NativeFrame::new("aten/src/ATen/native/Convolution.cpp", 1104, "at::native::_convolution"),
+            NativeFrame::new(
+                "aten/src/ATen/native/cuda/im2col.cuh",
+                98,
+                "at::native::im2col_kernel",
+            ),
+            NativeFrame::new(
+                "aten/src/ATen/native/Convolution.cpp",
+                1104,
+                "at::native::_convolution",
+            ),
         ]
     } else if kernel.contains("elementwise") {
         vec![NativeFrame::new(
@@ -177,9 +197,10 @@ mod tests {
     #[test]
     fn gemm_kernels_map_to_cublas_frames() {
         let frames = native_frames_for_kernel("ampere_sgemm_128x64_tn");
-        assert!(frames
-            .iter()
-            .any(|f| f.symbol.contains("gemm_and_bias")), "Fig. 4's hot frame");
+        assert!(
+            frames.iter().any(|f| f.symbol.contains("gemm_and_bias")),
+            "Fig. 4's hot frame"
+        );
     }
 
     #[test]

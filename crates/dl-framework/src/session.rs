@@ -354,10 +354,8 @@ mod tests {
             FrameworkEvent::OpEnd { name, .. } => l2.lock().push(format!("end:{name}")),
             _ => {}
         }));
-        s.with_op("aten::linear", |s| {
-            s.with_op("aten::addmm", |_s| Ok(()))
-        })
-        .unwrap();
+        s.with_op("aten::linear", |s| s.with_op("aten::addmm", |_s| Ok(())))
+            .unwrap();
         let log = log.lock();
         assert_eq!(
             *log,

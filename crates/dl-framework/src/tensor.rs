@@ -58,7 +58,11 @@ impl Tensor {
 
 impl fmt::Display for Tensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}<{:?}, {}>@{}", self.id, self.shape, self.dtype, self.ptr)
+        write!(
+            f,
+            "{}<{:?}, {}>@{}",
+            self.id, self.shape, self.dtype, self.ptr
+        )
     }
 }
 

@@ -1,0 +1,18 @@
+//! No-op `#[derive(Serialize, Deserialize)]` shim.
+//!
+//! The workspace derives serde traits for forward compatibility with wire
+//! formats, but nothing in-tree serializes yet, so the derives expand to
+//! nothing. `attributes(serde)` is declared so field attributes would not
+//! break compilation if one ever appears.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

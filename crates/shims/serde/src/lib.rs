@@ -1,0 +1,15 @@
+//! Marker-trait shim for serde.
+//!
+//! Provides the `Serialize`/`Deserialize` names in both the type and macro
+//! namespaces so `use serde::{Deserialize, Serialize};` plus
+//! `#[derive(Serialize, Deserialize)]` compile unchanged against the
+//! upstream import paths. No serialization machinery exists — nothing in
+//! the workspace serializes yet.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -61,7 +61,11 @@ impl BarrierStallTool {
             .iter()
             .map(|(k, &s)| (k.clone(), s))
             .collect();
-        v.sort_by(|a, b| b.1.stall_ns().cmp(&a.1.stall_ns()).then_with(|| a.0.cmp(&b.0)));
+        v.sort_by(|a, b| {
+            b.1.stall_ns()
+                .cmp(&a.1.stall_ns())
+                .then_with(|| a.0.cmp(&b.0))
+        });
         v
     }
 }

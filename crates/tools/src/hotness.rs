@@ -64,7 +64,11 @@ impl Tool for HotnessTool {
         let persistent = series.persistent_blocks(0.75);
         let mut text = String::new();
         for (row, &block) in series.blocks.iter().enumerate().take(20) {
-            let marker = if persistent.contains(&block) { "HOT" } else { "   " };
+            let marker = if persistent.contains(&block) {
+                "HOT"
+            } else {
+                "   "
+            };
             text.push_str(&format!(
                 "  block {block:>8} {marker} liveness {:.2} total {}\n",
                 series.block_liveness(row),

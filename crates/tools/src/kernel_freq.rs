@@ -40,11 +40,7 @@ impl KernelFrequencyTool {
     /// `(kernel, count)` pairs sorted by descending count (name breaks
     /// ties deterministically).
     pub fn ranking(&self) -> Vec<(String, u64)> {
-        let mut v: Vec<(String, u64)> = self
-            .counts
-            .iter()
-            .map(|(k, &c)| (k.clone(), c))
-            .collect();
+        let mut v: Vec<(String, u64)> = self.counts.iter().map(|(k, &c)| (k.clone(), c)).collect();
         v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         v
     }

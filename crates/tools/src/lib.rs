@@ -33,8 +33,8 @@ pub mod memchar;
 pub mod op_kernel_map;
 pub mod overflow_sanitizer;
 pub mod transfer;
-pub mod uvm_advisor;
 pub mod util;
+pub mod uvm_advisor;
 
 pub use barrier_stall::BarrierStallTool;
 pub use hotness::HotnessTool;

@@ -114,10 +114,7 @@ impl Tool for MemoryTimelineTool {
         let mut report = ToolReport::new(self.name());
         for device in self.devices() {
             report = report
-                .metric(
-                    format!("{device}_events"),
-                    self.events_for(device) as f64,
-                )
+                .metric(format!("{device}_events"), self.events_for(device) as f64)
                 .metric(
                     format!("{device}_peak_mb"),
                     crate::util::mb(self.peak_for(device)),

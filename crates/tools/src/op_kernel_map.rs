@@ -60,7 +60,11 @@ impl OpKernelMapTool {
             .iter()
             .map(|(k, p)| (k.clone(), p.clone()))
             .collect();
-        v.sort_by(|a, b| b.1.device_ns.cmp(&a.1.device_ns).then_with(|| a.0.cmp(&b.0)));
+        v.sort_by(|a, b| {
+            b.1.device_ns
+                .cmp(&a.1.device_ns)
+                .then_with(|| a.0.cmp(&b.0))
+        });
         v
     }
 

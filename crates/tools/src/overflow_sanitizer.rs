@@ -53,8 +53,7 @@ impl OverflowSanitizerTool {
             .iter()
             .filter(|(_, c)| {
                 c.bytes_stored > 0
-                    && c.instructions_checked as f64 / c.bytes_stored as f64
-                        > RISK_FLOPS_PER_BYTE
+                    && c.instructions_checked as f64 / c.bytes_stored as f64 > RISK_FLOPS_PER_BYTE
             })
             .map(|(k, _)| k.clone())
             .collect();
@@ -91,14 +90,15 @@ impl Tool for OverflowSanitizerTool {
                 }
             }
             Event::GlobalAccess { launch, batch, .. }
-                if batch.kind == accel_sim::AccessKind::Store => {
-                    if let Some(name) = self.current_kernel.get(&launch.value()) {
-                        self.per_kernel
-                            .entry(name.clone())
-                            .or_default()
-                            .bytes_stored += batch.bytes;
-                    }
+                if batch.kind == accel_sim::AccessKind::Store =>
+            {
+                if let Some(name) = self.current_kernel.get(&launch.value()) {
+                    self.per_kernel
+                        .entry(name.clone())
+                        .or_default()
+                        .bytes_stored += batch.bytes;
                 }
+            }
             Event::KernelLaunchEnd { launch, .. } => {
                 self.current_kernel.remove(&launch.value());
             }
@@ -136,9 +136,7 @@ impl Tool for OverflowSanitizerTool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use accel_sim::{
-        AccessBatch, AccessKind, AccessPattern, DeviceId, Dim3, LaunchId, MemSpace,
-    };
+    use accel_sim::{AccessBatch, AccessKind, AccessPattern, DeviceId, Dim3, LaunchId, MemSpace};
 
     fn begin(launch: u64, name: &str) -> Event {
         Event::KernelLaunchBegin {

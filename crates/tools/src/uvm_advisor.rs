@@ -148,7 +148,11 @@ impl Tool for UvmPrefetchAdvisor {
             .metric("tensor_plan_mb", crate::util::mb(ten))
             .metric(
                 "object_overfetch_factor",
-                if ten > 0 { obj as f64 / ten as f64 } else { 0.0 },
+                if ten > 0 {
+                    obj as f64 / ten as f64
+                } else {
+                    0.0
+                },
             )
     }
 
@@ -171,7 +175,9 @@ impl Tool for UvmPrefetchAdvisor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use accel_sim::{AccessBatch, AccessKind, AccessPattern, DeviceId, LaunchId, MemSpace, SimTime};
+    use accel_sim::{
+        AccessBatch, AccessKind, AccessPattern, DeviceId, LaunchId, MemSpace, SimTime,
+    };
     use dl_framework::tensor::TensorId;
 
     fn managed_alloc(addr: u64, bytes: u64) -> Event {

@@ -57,12 +57,7 @@ impl BlockHotness {
             v.dedup();
             v
         };
-        let bins = self
-            .counts
-            .keys()
-            .map(|&(_, t)| t + 1)
-            .max()
-            .unwrap_or(0);
+        let bins = self.counts.keys().map(|&(_, t)| t + 1).max().unwrap_or(0);
         let mut grid = vec![vec![0u64; bins as usize]; blocks.len()];
         for (&(b, t), &c) in &self.counts {
             let bi = blocks.binary_search(&b).expect("block present");

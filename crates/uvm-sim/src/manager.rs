@@ -48,8 +48,11 @@ impl UvmManager {
     /// link bandwidth (GB/s), and fault-group latency (ns). Devices are
     /// indexed in registration order, matching engine device ids.
     pub fn add_device(&mut self, budget: u64, link_bandwidth_gbps: f64, fault_latency_ns: u64) {
-        self.devices
-            .push(DeviceState::new(budget, link_bandwidth_gbps, fault_latency_ns));
+        self.devices.push(DeviceState::new(
+            budget,
+            link_bandwidth_gbps,
+            fault_latency_ns,
+        ));
     }
 
     /// Shrinks or grows a device's managed budget (oversubscription knob).
@@ -279,6 +282,14 @@ impl ResidencyModel for UvmManager {
             }
         }
     }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
 }
 
 #[cfg(test)]
@@ -298,12 +309,10 @@ mod tests {
     fn cold_access_faults_warm_access_hits() {
         let mut m = manager(512);
         m.register(BASE, 64 * MB);
-        let cold =
-            m.on_kernel_access(DeviceId(0), BASE, 64 * MB, 64 * MB, AccessKind::Load);
+        let cold = m.on_kernel_access(DeviceId(0), BASE, 64 * MB, 64 * MB, AccessKind::Load);
         assert!(cold.faults > 0);
         assert_eq!(cold.migrated_in_bytes, 64 * MB);
-        let warm =
-            m.on_kernel_access(DeviceId(0), BASE, 64 * MB, 64 * MB, AccessKind::Load);
+        let warm = m.on_kernel_access(DeviceId(0), BASE, 64 * MB, 64 * MB, AccessKind::Load);
         assert_eq!(warm, AccessOutcome::HIT);
     }
 
@@ -319,8 +328,7 @@ mod tests {
     fn oversubscription_causes_eviction_and_thrash() {
         let mut m = manager(32); // 32 MiB budget
         m.register(BASE, 128 * MB); // 4x oversubscribed
-        let first =
-            m.on_kernel_access(DeviceId(0), BASE, 64 * MB, 64 * MB, AccessKind::Load);
+        let first = m.on_kernel_access(DeviceId(0), BASE, 64 * MB, 64 * MB, AccessKind::Load);
         assert!(first.evicted_bytes > 0, "64 MiB through 32 MiB must evict");
         // Re-touching the start now misses again: thrashing.
         let again = m.on_kernel_access(DeviceId(0), BASE, MB, MB, AccessKind::Load);
@@ -331,8 +339,7 @@ mod tests {
     fn prefetch_is_cheaper_than_demand_fault() {
         let mut a = manager(512);
         a.register(BASE, 64 * MB);
-        let demand =
-            a.on_kernel_access(DeviceId(0), BASE, 64 * MB, 64 * MB, AccessKind::Load);
+        let demand = a.on_kernel_access(DeviceId(0), BASE, 64 * MB, 64 * MB, AccessKind::Load);
 
         let mut b = manager(512);
         b.register(BASE, 64 * MB);
@@ -362,7 +369,13 @@ mod tests {
         m.register(BASE, 16 * MB);
         m.advise(DeviceId(0), BASE, 2 * MB, ResidencyAdvice::PinOnDevice);
         // Flood the rest of the budget several times over.
-        m.on_kernel_access(DeviceId(0), BASE + 4 * MB, 12 * MB, 12 * MB, AccessKind::Load);
+        m.on_kernel_access(
+            DeviceId(0),
+            BASE + 4 * MB,
+            12 * MB,
+            12 * MB,
+            AccessKind::Load,
+        );
         // The pinned prefix must still be resident: re-access is free.
         let out = m.on_kernel_access(DeviceId(0), BASE, 2 * MB, 2 * MB, AccessKind::Load);
         assert_eq!(out, AccessOutcome::HIT, "pinned pages never evicted");

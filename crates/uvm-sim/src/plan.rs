@@ -94,9 +94,7 @@ impl PrefetchPlan {
 
     /// Ranges planned before launch `index` (empty when past the plan).
     pub fn ranges_for(&self, index: usize) -> &[Range] {
-        self.per_launch
-            .get(index)
-            .map_or(&[], Vec::as_slice)
+        self.per_launch.get(index).map_or(&[], Vec::as_slice)
     }
 
     /// Number of launches covered.
@@ -111,11 +109,7 @@ impl PrefetchPlan {
 
     /// Total bytes the plan will prefetch (ignoring residency).
     pub fn total_bytes(&self) -> u64 {
-        self.per_launch
-            .iter()
-            .flatten()
-            .map(|r| r.len)
-            .sum()
+        self.per_launch.iter().flatten().map(|r| r.len).sum()
     }
 }
 

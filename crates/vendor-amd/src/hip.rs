@@ -9,8 +9,7 @@ use crate::callbacks::{RocCallback, RocSubscriber};
 use accel_sim::runtime::MemAdvise;
 use accel_sim::{
     AccelError, CopyDirection, DeviceId, DeviceProbe, DeviceRuntime, DeviceSpec, Engine,
-    KernelDesc, LaunchRecord, ResidencyAdvice, RuntimeStats, SimTime, StreamId,
-    Vendor,
+    KernelDesc, LaunchRecord, ResidencyAdvice, RuntimeStats, SimTime, StreamId, Vendor,
 };
 use uvm_sim::{PrefetchPlan, UvmManager};
 
@@ -127,8 +126,7 @@ impl HipContext {
         let Some(plan) = self.prefetch_plan.as_ref() else {
             return;
         };
-        let ranges: Vec<uvm_sim::Range> =
-            plan.ranges_for(self.launches_seen as usize).to_vec();
+        let ranges: Vec<uvm_sim::Range> = plan.ranges_for(self.launches_seen as usize).to_vec();
         if ranges.is_empty() {
             return;
         }
@@ -364,6 +362,14 @@ impl DeviceRuntime for HipContext {
 
     fn stats(&self, device: DeviceId) -> RuntimeStats {
         self.engine.stats(device)
+    }
+
+    fn residency(&self) -> Option<&dyn accel_sim::ResidencyModel> {
+        self.engine.residency()
+    }
+
+    fn residency_mut(&mut self) -> Option<&mut dyn accel_sim::ResidencyModel> {
+        self.engine.residency_mut()
     }
 }
 

@@ -12,8 +12,7 @@ use crate::callbacks::{NvCallback, NvSubscriber};
 use accel_sim::runtime::MemAdvise;
 use accel_sim::{
     AccelError, CopyDirection, DeviceId, DeviceProbe, DeviceRuntime, DeviceSpec, Engine,
-    KernelDesc, LaunchRecord, ResidencyAdvice, RuntimeStats, SimTime, StreamId,
-    Vendor,
+    KernelDesc, LaunchRecord, ResidencyAdvice, RuntimeStats, SimTime, StreamId, Vendor,
 };
 use uvm_sim::{PrefetchPlan, UvmManager};
 
@@ -149,9 +148,7 @@ impl CudaContext {
         let Some(plan) = self.prefetch_plan.as_ref() else {
             return;
         };
-        let ranges: Vec<uvm_sim::Range> = plan
-            .ranges_for(self.launches_seen as usize)
-            .to_vec();
+        let ranges: Vec<uvm_sim::Range> = plan.ranges_for(self.launches_seen as usize).to_vec();
         if ranges.is_empty() {
             return;
         }
@@ -396,6 +393,14 @@ impl DeviceRuntime for CudaContext {
     fn stats(&self, device: DeviceId) -> RuntimeStats {
         self.engine.stats(device)
     }
+
+    fn residency(&self) -> Option<&dyn accel_sim::ResidencyModel> {
+        self.engine.residency()
+    }
+
+    fn residency_mut(&mut self) -> Option<&mut dyn accel_sim::ResidencyModel> {
+        self.engine.residency_mut()
+    }
 }
 
 #[cfg(test)]
@@ -516,8 +521,13 @@ mod tests {
     fn stats_accumulate_across_ops() {
         let mut c = ctx();
         let p = c.malloc(1 << 20).unwrap();
-        c.memcpy(p, accel_sim::DevicePtr(0x1000), 1 << 20, CopyDirection::HostToDevice)
-            .unwrap();
+        c.memcpy(
+            p,
+            accel_sim::DevicePtr(0x1000),
+            1 << 20,
+            CopyDirection::HostToDevice,
+        )
+        .unwrap();
         c.synchronize();
         let s = c.stats(DeviceId(0));
         assert_eq!(s.allocs, 1);

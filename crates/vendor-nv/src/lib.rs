@@ -33,4 +33,6 @@ pub use sanitizer::SanitizerConfig;
 
 // Re-export the shared instrumentation machinery under the vendor crate so
 // downstream code can name it next to the configs that drive it.
-pub use accel_sim::instrument::{DeviceTraceSink, OverheadBreakdown, ProfilerHandle, TraceCtx, TraceProfiler};
+pub use accel_sim::instrument::{
+    DeviceTraceSink, OverheadBreakdown, ProfilerHandle, TraceCtx, TraceProfiler,
+};

@@ -1,0 +1,114 @@
+//! Custom workloads: profiling things the model zoo cannot express.
+//!
+//! Three scenarios, all through the same `PastaSession::run(&mut dyn
+//! Workload)` entry point the figures use:
+//!
+//! 1. a raw [`KernelSweepWorkload`] of synthetic compute kernels;
+//! 2. an [`FnWorkload`] closure staging tensor traffic by hand;
+//! 3. a hand-written [`Workload`] type mixing both, with region
+//!    annotations so range-filtered tools see structure.
+//!
+//! ```sh
+//! cargo run --example custom_workload
+//! ```
+
+use pasta::dl::dtype::DType;
+use pasta::prelude::*;
+
+/// A hand-rolled workload: a two-phase pipeline whose second phase is
+/// bracketed with `pasta.start()/stop()`-style region annotations.
+struct StagedPipeline {
+    rounds: usize,
+}
+
+impl Workload for StagedPipeline {
+    fn name(&self) -> &str {
+        "staged-pipeline"
+    }
+
+    fn run(&mut self, cx: &mut WorkloadCx<'_, '_>) -> Result<WorkloadStats, PastaError> {
+        let mut launches = 0;
+        let input = cx.alloc_tensor(&[1 << 20], DType::F32)?;
+        for round in 0..self.rounds {
+            // Phase 1: a streaming pass over the input.
+            let desc = KernelDesc::new(
+                format!("pipeline_stream_{round}"),
+                Dim3::linear(256),
+                Dim3::linear(256),
+            )
+            .arg(input.ptr, input.bytes)
+            .body(KernelBody::streaming(input.bytes, 0));
+            cx.launch_kernel(desc)?;
+            launches += 1;
+
+            // Phase 2: the annotated hot region a range filter can gate on.
+            cx.region_start("reduce");
+            let desc = KernelDesc::new("pipeline_reduce", Dim3::linear(64), Dim3::linear(256))
+                .arg(input.ptr, input.bytes)
+                .body(KernelBody::compute(1 << 22));
+            cx.launch_kernel(desc)?;
+            launches += 1;
+            cx.region_end("reduce");
+        }
+        cx.synchronize();
+        cx.free_tensor(&input);
+        Ok(WorkloadStats::new(launches))
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut session = Pasta::builder()
+        .rtx_3060()
+        .tool(KernelFrequencyTool::new())
+        .tool(MemoryCharacteristicsTool::new())
+        .build()?;
+
+    // 1. Raw kernel sweep: pure-compute kernels need no buffers, so the
+    //    descriptors can be staged up front.
+    let mut sweep = KernelSweepWorkload::new("gemm-shape-sweep")
+        .kernels((0..4).map(|i| {
+            KernelDesc::new(
+                format!("synthetic_gemm_{}x{}", 128 << i, 128 << i),
+                Dim3::linear(64 << i),
+                Dim3::linear(256),
+            )
+            .body(KernelBody::compute((1 << 24) << i))
+        }))
+        .repeats(2);
+    let report = session.run(&mut sweep)?;
+    println!(
+        "{:<18} {:>4} launches, {}",
+        report.workload, report.kernel_launches, report.profiled_time
+    );
+
+    // 2. Closure workload: tensor traffic without defining a type.
+    let mut staging = FnWorkload::new("h2d-staging", |cx| {
+        let t = cx.alloc_tensor(&[4096, 1024], DType::F32)?;
+        let desc = KernelDesc::new("zero_fill", Dim3::linear(128), Dim3::linear(256))
+            .arg(t.ptr, t.bytes)
+            .body(KernelBody::streaming(0, t.bytes));
+        cx.launch_kernel(desc)?;
+        cx.free_tensor(&t);
+        Ok(WorkloadStats::new(1))
+    });
+    let report = session.run(&mut staging)?;
+    println!(
+        "{:<18} {:>4} launches, {}",
+        report.workload, report.kernel_launches, report.profiled_time
+    );
+
+    // 3. Hand-written type, dispatched dynamically like the others.
+    let mut pipeline = StagedPipeline { rounds: 3 };
+    let workloads: &mut dyn Workload = &mut pipeline;
+    let report = session.run(workloads)?;
+    println!(
+        "{:<18} {:>4} launches, {}",
+        report.workload, report.kernel_launches, report.profiled_time
+    );
+
+    println!();
+    for tool_report in session.reports() {
+        println!("{tool_report}");
+    }
+    Ok(())
+}

@@ -12,7 +12,11 @@ use pasta::sim::DeviceId;
 use pasta::tools::MemoryTimelineTool;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    for strategy in [Parallelism::Data, Parallelism::Tensor, Parallelism::Pipeline] {
+    for strategy in [
+        Parallelism::Data,
+        Parallelism::Tensor,
+        Parallelism::Pipeline,
+    ] {
         let mut session = Pasta::builder()
             .a100_x2()
             .tool(MemoryTimelineTool::new())

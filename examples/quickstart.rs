@@ -1,15 +1,15 @@
 //! Quickstart: profile BERT inference with two tools on a simulated A100.
 //!
 //! Mirrors the paper's `accelprof -v -t <tool> <executable>` flow: pick a
-//! device, pick tools, run a workload, read the reports.
+//! device, pick tools, wrap the workload, run it, read the reports. The
+//! workload here is a [`ModelWorkload`], but `PastaSession::run` takes any
+//! `&mut dyn Workload` — see `examples/custom_workload.rs`.
 //!
 //! ```sh
 //! cargo run --example quickstart
 //! ```
 
-use pasta::core::{AnalysisMode, Pasta};
-use pasta::dl::models::{ModelZoo, RunKind};
-use pasta::tools::{KernelFrequencyTool, LaunchCensusTool};
+use pasta::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut session = Pasta::builder()
@@ -20,7 +20,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .build()?;
 
     println!("profiling one BERT inference batch on a simulated A100 …");
-    let report = session.run_model(ModelZoo::Bert, RunKind::Inference, 1)?;
+    let mut workload = ModelWorkload::new(ModelZoo::Bert, RunKind::Inference);
+    let report = session.run(&mut workload)?;
 
     println!();
     println!("workload        : {}", report.workload);

@@ -49,7 +49,10 @@ fn profiled_run(
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!("profiling {} under UVM to learn access correlations …", MODEL.spec().name);
+    println!(
+        "profiling {} under UVM to learn access correlations …",
+        MODEL.spec().name
+    );
     // Measure the footprint first, then restrict memory (paper §V-A).
     let (_, _, footprint) = profiled_run(None, u64::MAX >> 1)?;
     let budget = footprint / OVERSUBSCRIPTION;
@@ -64,7 +67,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "  object-level plan would move {} MB; tensor-level {} MB ({}x overfetch)",
         obj_bytes >> 20,
         ten_bytes >> 20,
-        if ten_bytes > 0 { obj_bytes / ten_bytes.max(1) } else { 0 }
+        if ten_bytes > 0 {
+            obj_bytes / ten_bytes.max(1)
+        } else {
+            0
+        }
     );
 
     for granularity in [PrefetchGranularity::Object, PrefetchGranularity::Tensor] {
@@ -77,6 +84,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             time_ns as f64 / baseline_ns as f64
         );
     }
-    println!("  {:<13} execution {baseline_ns:>12} ns  (1.00x)", "no-prefetch");
+    println!(
+        "  {:<13} execution {baseline_ns:>12} ns  (1.00x)",
+        "no-prefetch"
+    );
     Ok(())
 }

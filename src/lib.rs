@@ -12,15 +12,16 @@
 //!   models ([`dl_framework`]).
 //! * [`uvm`] — the unified-virtual-memory subsystem ([`uvm_sim`]).
 //! * [`core`] — the PASTA framework itself: events, handler, processor,
-//!   tool templates ([`pasta_core`]).
+//!   tool templates, workloads ([`pasta_core`]).
 //! * [`tools`] — the paper's case-study tools ([`pasta_tools`]).
 //!
 //! ## Quickstart
 //!
+//! A session profiles anything implementing [`core::Workload`];
+//! [`core::ModelWorkload`] covers the paper's model zoo:
+//!
 //! ```
-//! use pasta::core::{Pasta, AnalysisMode};
-//! use pasta::tools::KernelFrequencyTool;
-//! use pasta::dl::models::{ModelZoo, RunKind};
+//! use pasta::prelude::*;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! // Profile one inference batch of BERT on a simulated A100.
@@ -29,8 +30,23 @@
 //!     .tool(KernelFrequencyTool::new())
 //!     .analysis_mode(AnalysisMode::GpuResident)
 //!     .build()?;
-//! let report = session.run_model(ModelZoo::bert(), RunKind::Inference, 1)?;
+//! let mut workload = ModelWorkload::new(ModelZoo::Bert, RunKind::Inference);
+//! let report = session.run(&mut workload)?;
 //! assert!(report.kernel_launches > 0);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The historical model-only entry point forwards through the same path
+//! and produces an identical report:
+//!
+//! ```
+//! use pasta::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut session = Pasta::builder().rtx_3060().build()?;
+//! let report = session.run_model_scaled(ModelZoo::Bert, RunKind::Inference, 1, 8)?;
+//! assert!(report.workload.contains("BERT"));
 //! # Ok(())
 //! # }
 //! ```
@@ -42,3 +58,19 @@ pub use pasta_tools as tools;
 pub use uvm_sim as uvm;
 pub use vendor_amd as amd;
 pub use vendor_nv as nv;
+
+/// One-stop imports for the common profiling flow.
+pub mod prelude {
+    pub use crate::core::{
+        AnalysisMode, BackendChoice, FnWorkload, Interest, KernelSweepWorkload, Knob,
+        ModelWorkload, Pasta, PastaBuilder, PastaError, PastaSession, RangeFilter, SessionReport,
+        Tool, ToolReport, UvmSetup, Workload, WorkloadCx, WorkloadStats,
+    };
+    pub use crate::dl::models::{ModelZoo, RunKind};
+    pub use crate::sim::{DeviceId, DeviceSpec, Dim3, KernelBody, KernelDesc};
+    pub use crate::tools::{
+        BarrierStallTool, HotnessTool, KernelFrequencyTool, LaunchCensusTool,
+        MemoryCharacteristicsTool, MemoryTimelineTool, OpKernelMapTool, TransferTool,
+        UvmPrefetchAdvisor,
+    };
+}

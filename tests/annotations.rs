@@ -66,7 +66,11 @@ fn op_kernel_map_exposes_hidden_mapping() {
     let ranking = session
         .with_tool_mut("op-kernel-map", |t: &mut OpKernelMapTool| t.ranking())
         .unwrap();
-    assert!(ranking.len() >= 4, "several distinct operators: {}", ranking.len());
+    assert!(
+        ranking.len() >= 4,
+        "several distinct operators: {}",
+        ranking.len()
+    );
     // aten::linear exists and maps to at least one GEMM kernel.
     let (_, linear) = ranking
         .iter()
@@ -105,7 +109,12 @@ fn transfer_tool_sees_explicit_copies_and_uvm_ops() {
         .run_custom(|s| {
             let t = s.alloc_tensor(&[1 << 20], DType::F32)?;
             let rt = s.runtime_mut();
-            rt.memcpy(t.ptr, DevicePtr(0x1000), 4 << 20, CopyDirection::HostToDevice)?;
+            rt.memcpy(
+                t.ptr,
+                DevicePtr(0x1000),
+                4 << 20,
+                CopyDirection::HostToDevice,
+            )?;
             rt.memcpy(DevicePtr(0x1000), t.ptr, 1024, CopyDirection::DeviceToHost)?;
             rt.mem_prefetch(t.ptr, 4 << 20)?;
             s.free_tensor(&t);
@@ -118,7 +127,10 @@ fn transfer_tool_sees_explicit_copies_and_uvm_ops() {
     assert_eq!(stats.h2d.0, 1);
     assert_eq!(stats.h2d.1, 4 << 20);
     assert_eq!(stats.d2h, (1, 1024));
-    assert_eq!(stats.small_copies, 1, "the 1 KiB read-back is latency-bound");
+    assert_eq!(
+        stats.small_copies, 1,
+        "the 1 KiB read-back is latency-bound"
+    );
     assert!(stats.batch_ops.0 >= 1, "the UVM prefetch is visible");
 }
 
@@ -139,10 +151,7 @@ fn grid_window_composes_with_model_runs() {
     };
     let (all_records, launches) = run(RangeFilter::all());
     // Restrict to the second quarter of launches.
-    let (window_records, _) = run(RangeFilter::grid_window(
-        launches / 4,
-        launches / 2,
-    ));
+    let (window_records, _) = run(RangeFilter::grid_window(launches / 4, launches / 2));
     assert!(window_records > 0);
     assert!(
         window_records < all_records,

@@ -75,7 +75,10 @@ fn amd_peak_memory_is_slightly_lower_than_nvidia() {
         })
         .unwrap();
 
-    assert!(amd_events >= nv_events, "AMD {amd_events} vs NV {nv_events}");
+    assert!(
+        amd_events >= nv_events,
+        "AMD {amd_events} vs NV {nv_events}"
+    );
     assert!(amd_peak <= nv_peak, "AMD {amd_peak} vs NV {nv_peak}");
 }
 
@@ -209,10 +212,7 @@ fn knob_finds_hot_kernel_and_stack() {
 
 /// One UVM run of ResNet-18 with the given budget, returning
 /// `(time_ns, advisor, peak_reserved)`.
-fn uvm_run(
-    plan: Option<pasta::uvm::PrefetchPlan>,
-    budget: u64,
-) -> (u64, UvmPrefetchAdvisor, u64) {
+fn uvm_run(plan: Option<pasta::uvm::PrefetchPlan>, budget: u64) -> (u64, UvmPrefetchAdvisor, u64) {
     let mut session = Pasta::builder()
         .rtx_3060()
         .tool(UvmPrefetchAdvisor::new())
@@ -243,8 +243,14 @@ fn prefetching_wins_without_oversubscription_object_slightly_ahead() {
     let (_, _, footprint) = uvm_run(None, u64::MAX >> 1);
     let budget = footprint * 2;
     let (baseline, advisor, _) = uvm_run(None, budget);
-    let (obj, _, _) = uvm_run(Some(advisor.build_plan(PrefetchGranularity::Object)), budget);
-    let (ten, _, _) = uvm_run(Some(advisor.build_plan(PrefetchGranularity::Tensor)), budget);
+    let (obj, _, _) = uvm_run(
+        Some(advisor.build_plan(PrefetchGranularity::Object)),
+        budget,
+    );
+    let (ten, _, _) = uvm_run(
+        Some(advisor.build_plan(PrefetchGranularity::Tensor)),
+        budget,
+    );
     assert!(obj < baseline, "object-level wins: {obj} vs {baseline}");
     assert!(ten < baseline, "tensor-level wins: {ten} vs {baseline}");
     assert!(obj <= ten, "object slightly ahead when memory is free");
@@ -258,8 +264,14 @@ fn tensor_prefetch_beats_object_under_oversubscription() {
     let (_, _, footprint) = uvm_run(None, u64::MAX >> 1);
     let budget = footprint / 3;
     let (baseline, advisor, _) = uvm_run(None, budget);
-    let (obj, _, _) = uvm_run(Some(advisor.build_plan(PrefetchGranularity::Object)), budget);
-    let (ten, _, _) = uvm_run(Some(advisor.build_plan(PrefetchGranularity::Tensor)), budget);
+    let (obj, _, _) = uvm_run(
+        Some(advisor.build_plan(PrefetchGranularity::Object)),
+        budget,
+    );
+    let (ten, _, _) = uvm_run(
+        Some(advisor.build_plan(PrefetchGranularity::Tensor)),
+        budget,
+    );
     assert!(
         ten < obj,
         "tensor-level {ten} must beat object-level {obj} when oversubscribed"
@@ -334,7 +346,11 @@ fn training_emits_balanced_tensor_events() {
             t.series_for(DeviceId(0)).to_vec()
         })
         .unwrap();
-    assert!(series.len() > 500, "GPT-2 training is event-rich: {}", series.len());
+    assert!(
+        series.len() > 500,
+        "GPT-2 training is event-rich: {}",
+        series.len()
+    );
     // The run ends back at zero live bytes (model destroyed): ramp-down.
     assert_eq!(series.last().unwrap().allocated, 0);
     // Peak is strictly inside the run: the three-phase shape of Fig. 14.
@@ -385,9 +401,7 @@ fn injection_model_skips_cuda_less_helpers() {
             .filter(|&&k| should_instrument(m, k))
             .count()
     };
-    let spurious = |m: InjectionMethod| {
-        launch_tree.iter().filter(|&&k| is_spurious(m, k)).count()
-    };
+    let spurious = |m: InjectionMethod| launch_tree.iter().filter(|&&k| is_spurious(m, k)).count();
     assert_eq!(count(InjectionMethod::LdPreload), 3);
     assert_eq!(spurious(InjectionMethod::LdPreload), 1, "the paper's bug");
     assert_eq!(count(InjectionMethod::CudaInjection64Path), 2);
