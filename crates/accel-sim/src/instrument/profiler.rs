@@ -21,6 +21,7 @@
 use super::overhead::OverheadBreakdown;
 use super::sink::{DeviceTraceSink, TraceCtx};
 use crate::probe::KernelCtx;
+use crate::symbol::Symbol;
 use crate::trace::{TraceBufferModel, TRACE_RECORD_BYTES};
 use crate::{
     AccessBatch, AnalysisMode, DeviceProbe, InstrCoverage, KernelTraceSummary, ProbeConfig,
@@ -170,10 +171,13 @@ pub struct TraceProfiler {
     /// Extra sampling applied on top of whatever the sink requests.
     sampling: u32,
     shared: Arc<Mutex<ProfilerShared>>,
-    parsed_kernels: HashSet<String>,
+    parsed_kernels: HashSet<Symbol>,
     /// Records so far in the current kernel (buffer-flush bookkeeping).
     cur_records: u64,
     cur_flushes: u64,
+    /// Context of the in-flight launch, built (and its name interned)
+    /// once at kernel begin so per-batch callbacks never allocate.
+    cur_ctx: Option<TraceCtx>,
 }
 
 impl std::fmt::Debug for TraceProfiler {
@@ -219,19 +223,33 @@ impl TraceProfiler {
                 parsed_kernels: HashSet::new(),
                 cur_records: 0,
                 cur_flushes: 0,
+                cur_ctx: None,
             },
             handle,
         )
     }
 
-    fn trace_ctx(ctx: &KernelCtx<'_>) -> TraceCtx {
+    fn make_ctx(ctx: &KernelCtx<'_>) -> TraceCtx {
         TraceCtx {
             launch: ctx.launch,
             device: ctx.device,
             stream: ctx.stream,
-            name: ctx.desc.name.clone(),
+            name: Symbol::intern(&ctx.desc.name),
             grid: ctx.desc.grid,
             block: ctx.desc.block,
+        }
+    }
+
+    /// The cached per-launch context; rebuilt only when `ctx` belongs to a
+    /// different launch than the cache (e.g. a probe driven out of band).
+    fn trace_ctx(&mut self, ctx: &KernelCtx<'_>) -> TraceCtx {
+        match &self.cur_ctx {
+            Some(cached) if cached.launch == ctx.launch => cached.clone(),
+            _ => {
+                let built = Self::make_ctx(ctx);
+                self.cur_ctx = Some(built.clone());
+                built
+            }
         }
     }
 
@@ -286,7 +304,8 @@ impl DeviceProbe for TraceProfiler {
     fn on_kernel_begin(&mut self, ctx: &KernelCtx<'_>) -> ProbeConfig {
         self.cur_records = 0;
         self.cur_flushes = 0;
-        let tctx = Self::trace_ctx(ctx);
+        let tctx = Self::make_ctx(ctx);
+        self.cur_ctx = Some(tctx.clone());
         let mut shared = self.shared.lock();
         let mut config = match shared.sink.as_mut() {
             Some(sink) => sink.on_kernel_begin(&tctx),
@@ -302,7 +321,7 @@ impl DeviceProbe for TraceProfiler {
 
     fn on_access_batch(&mut self, ctx: &KernelCtx<'_>, batch: &AccessBatch) -> ProbeCosts {
         let costs = self.charge_records(ctx.device.index(), batch.records);
-        let tctx = Self::trace_ctx(ctx);
+        let tctx = self.trace_ctx(ctx);
         let mut shared = self.shared.lock();
         if let Some(sink) = shared.sink.as_mut() {
             sink.on_batch(&tctx, batch);
@@ -312,7 +331,7 @@ impl DeviceProbe for TraceProfiler {
 
     fn on_barriers(&mut self, ctx: &KernelCtx<'_>, count: u64) -> ProbeCosts {
         let costs = self.charge_records(ctx.device.index(), count);
-        let tctx = Self::trace_ctx(ctx);
+        let tctx = self.trace_ctx(ctx);
         let mut shared = self.shared.lock();
         if let Some(sink) = shared.sink.as_mut() {
             sink.on_barriers(&tctx, count);
@@ -322,7 +341,7 @@ impl DeviceProbe for TraceProfiler {
 
     fn on_block_boundaries(&mut self, ctx: &KernelCtx<'_>, count: u64) -> ProbeCosts {
         // Block entry/exit callbacks are cheap and are not trace records.
-        let tctx = Self::trace_ctx(ctx);
+        let tctx = self.trace_ctx(ctx);
         let mut shared = self.shared.lock();
         if let Some(sink) = shared.sink.as_mut() {
             sink.on_blocks(&tctx, count);
@@ -333,10 +352,10 @@ impl DeviceProbe for TraceProfiler {
     fn on_kernel_end(&mut self, ctx: &KernelCtx<'_>, summary: &KernelTraceSummary) -> ProbeCosts {
         let mut costs = ProbeCosts::FREE;
         let device = ctx.device.index();
+        let tctx = self.trace_ctx(ctx);
 
         // NVBit pays a one-time SASS dump+parse per unique kernel symbol.
-        if self.costs.sass_parse_ns_per_kernel > 0
-            && self.parsed_kernels.insert(ctx.desc.name.clone())
+        if self.costs.sass_parse_ns_per_kernel > 0 && self.parsed_kernels.insert(tctx.name.clone())
         {
             costs.host_ns += self.costs.sass_parse_ns_per_kernel;
             self.shared.lock().breakdown.setup_ns += self.costs.sass_parse_ns_per_kernel;
@@ -360,7 +379,6 @@ impl DeviceProbe for TraceProfiler {
             }
         }
 
-        let tctx = Self::trace_ctx(ctx);
         let mut shared = self.shared.lock();
         if let Some(sink) = shared.sink.as_mut() {
             if self.coverage == InstrCoverage::AllInstructions {
@@ -368,6 +386,8 @@ impl DeviceProbe for TraceProfiler {
             }
             sink.on_kernel_end(&tctx, summary);
         }
+        drop(shared);
+        self.cur_ctx = None;
         costs
     }
 }

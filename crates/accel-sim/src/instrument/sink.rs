@@ -6,9 +6,14 @@
 //! this trait; the vendor profilers ([`super::TraceProfiler`]) forward into
 //! it after charging instrumentation costs to the simulated clocks.
 
+use crate::symbol::Symbol;
 use crate::{AccessBatch, DeviceId, Dim3, KernelTraceSummary, LaunchId, ProbeConfig, StreamId};
 
 /// Owned per-kernel context handed to sink callbacks.
+///
+/// Cloning is cheap: the kernel name is an interned [`Symbol`], so the
+/// profiler builds this once per launch and every downstream event shares
+/// the same name allocation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceCtx {
     /// Launch sequence number ("grid id").
@@ -17,8 +22,8 @@ pub struct TraceCtx {
     pub device: DeviceId,
     /// Stream.
     pub stream: StreamId,
-    /// Kernel symbol name.
-    pub name: String,
+    /// Kernel symbol name, interned once per launch.
+    pub name: Symbol,
     /// Grid dimensions.
     pub grid: Dim3,
     /// Block dimensions.

@@ -60,6 +60,7 @@ pub mod mem;
 pub mod probe;
 pub mod residency;
 pub mod runtime;
+pub mod symbol;
 pub mod trace;
 
 pub use clock::SimTime;
@@ -77,4 +78,5 @@ pub use mem::{Allocation, DevicePtr};
 pub use probe::{AnalysisMode, DeviceProbe, InstrCoverage, ProbeConfig, ProbeCosts};
 pub use residency::{AccessOutcome, ResidencyAdvice, ResidencyModel};
 pub use runtime::{CopyDirection, DeviceRuntime, LaunchRecord, RuntimeStats};
+pub use symbol::{Symbol, SymbolTable};
 pub use trace::{AccessBatch, KernelTraceSummary};

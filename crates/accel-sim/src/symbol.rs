@@ -1,0 +1,272 @@
+//! Interned symbols for kernel and API names.
+//!
+//! The event hot path used to clone a heap `String` kernel name into every
+//! fine-grained event — millions of allocations per profiled run. A
+//! [`Symbol`] is an `Arc<str>` handed out by a [`SymbolTable`]: interning a
+//! name allocates once, every subsequent event carries a reference-count
+//! bump, and equality between symbols of the same table is a pointer
+//! compare. This crate hosts the type (rather than pasta-core) because
+//! [`crate::instrument::TraceCtx`] — the per-launch context every sink
+//! callback receives — is the first place a kernel name enters the event
+//! pipeline.
+//!
+//! Symbols from *different* tables still compare correctly (content
+//! fallback), so tests may use isolated tables while the runtime uses
+//! [`SymbolTable::global`].
+
+use std::borrow::Borrow;
+use std::collections::HashSet;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::Deref;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// An interned, cheaply clonable string (kernel symbol, API name, operator
+/// name). `Clone` is an atomic refcount bump; comparing two symbols of the
+/// same table is O(1).
+#[derive(Clone)]
+pub struct Symbol(Arc<str>);
+
+impl Symbol {
+    /// Interns `name` in the process-global table.
+    pub fn intern(name: &str) -> Symbol {
+        SymbolTable::global().intern(name)
+    }
+
+    /// The underlying string.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// True when both symbols share one allocation — the O(1) fast path
+    /// that also proves a name was interned once, not re-allocated per
+    /// event.
+    pub fn ptr_eq(a: &Symbol, b: &Symbol) -> bool {
+        Arc::ptr_eq(&a.0, &b.0)
+    }
+}
+
+impl Deref for Symbol {
+    type Target = str;
+    fn deref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl AsRef<str> for Symbol {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+/// Lets `HashMap<Symbol, _>` answer `&str` lookups without interning.
+impl Borrow<str> for Symbol {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+impl PartialEq for Symbol {
+    fn eq(&self, other: &Symbol) -> bool {
+        // Same-table symbols hit the pointer compare; cross-table symbols
+        // (isolated test tables, deserialized events) fall back to content.
+        Symbol::ptr_eq(self, other) || self.0 == other.0
+    }
+}
+
+impl Eq for Symbol {}
+
+impl PartialEq<str> for Symbol {
+    fn eq(&self, other: &str) -> bool {
+        &*self.0 == other
+    }
+}
+
+impl PartialEq<&str> for Symbol {
+    fn eq(&self, other: &&str) -> bool {
+        &*self.0 == *other
+    }
+}
+
+impl PartialOrd for Symbol {
+    fn partial_cmp(&self, other: &Symbol) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Symbol {
+    fn cmp(&self, other: &Symbol) -> std::cmp::Ordering {
+        self.0.cmp(&other.0)
+    }
+}
+
+/// Hashes like `str` so `Borrow<str>` lookups stay consistent.
+impl Hash for Symbol {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.0.hash(state)
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&*self.0, f)
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(s: String) -> Symbol {
+        Symbol::intern(&s)
+    }
+}
+
+impl From<&String> for Symbol {
+    fn from(s: &String) -> Symbol {
+        Symbol::intern(s)
+    }
+}
+
+impl serde::Serialize for Symbol {}
+impl<'de> serde::Deserialize<'de> for Symbol {}
+
+/// A deduplicating string interner. Thread-safe; `intern` takes a lock, so
+/// hot paths should intern once per launch and clone the [`Symbol`].
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    entries: Mutex<HashSet<Arc<str>>>,
+}
+
+impl SymbolTable {
+    /// An empty table (isolated, for tests).
+    pub fn new() -> Self {
+        SymbolTable::default()
+    }
+
+    /// The process-global table behind [`Symbol::intern`].
+    pub fn global() -> &'static SymbolTable {
+        static GLOBAL: OnceLock<SymbolTable> = OnceLock::new();
+        GLOBAL.get_or_init(SymbolTable::new)
+    }
+
+    /// Interns `name`: returns the existing symbol when the table has seen
+    /// the name before, otherwise allocates it once.
+    pub fn intern(&self, name: &str) -> Symbol {
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(existing) = entries.get(name) {
+            return Symbol(Arc::clone(existing));
+        }
+        let arc: Arc<str> = Arc::from(name);
+        entries.insert(Arc::clone(&arc));
+        Symbol(arc)
+    }
+
+    /// Number of distinct names interned.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_dedups_to_one_allocation() {
+        let table = SymbolTable::new();
+        let a = table.intern("ampere_sgemm_128x64_tn");
+        let b = table.intern("ampere_sgemm_128x64_tn");
+        let c = table.intern("im2col_kernel");
+        assert!(Symbol::ptr_eq(&a, &b), "same name, same allocation");
+        assert!(!Symbol::ptr_eq(&a, &c));
+        assert_eq!(table.len(), 2);
+    }
+
+    #[test]
+    fn clones_share_the_allocation() {
+        let a = Symbol::intern("clone_shares");
+        let b = a.clone();
+        assert!(Symbol::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn cross_table_equality_falls_back_to_content() {
+        let t1 = SymbolTable::new();
+        let t2 = SymbolTable::new();
+        let a = t1.intern("gemm");
+        let b = t2.intern("gemm");
+        assert!(!Symbol::ptr_eq(&a, &b));
+        assert_eq!(a, b, "content equality across tables");
+    }
+
+    #[test]
+    fn str_interop() {
+        let s = Symbol::intern("relu_kernel");
+        assert_eq!(s, "relu_kernel");
+        assert_eq!(s.as_str(), "relu_kernel");
+        assert!(s.contains("relu"), "Deref<Target=str> works");
+        assert_eq!(format!("{s}"), "relu_kernel");
+        assert_eq!(format!("{s:?}"), "\"relu_kernel\"");
+    }
+
+    #[test]
+    fn map_lookup_by_str_borrow() {
+        use std::collections::HashMap;
+        let mut m: HashMap<Symbol, u64> = HashMap::new();
+        m.insert(Symbol::intern("gemm"), 3);
+        assert_eq!(m.get("gemm"), Some(&3));
+        assert_eq!(m.get("missing"), None);
+    }
+
+    #[test]
+    fn concurrent_interning_dedups() {
+        let table = Arc::new(SymbolTable::new());
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let table = Arc::clone(&table);
+                std::thread::spawn(move || {
+                    (0..64)
+                        .map(|i| table.intern(&format!("kernel_{}", (i + t) % 16)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let all: Vec<Vec<Symbol>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(table.len(), 16, "8 threads × 64 interns collapse to 16");
+        // Every symbol with the same content shares one allocation.
+        let canon: Vec<Symbol> = (0..16)
+            .map(|i| table.intern(&format!("kernel_{i}")))
+            .collect();
+        for row in &all {
+            for s in row {
+                let c = &canon[s.strip_prefix("kernel_").unwrap().parse::<usize>().unwrap()];
+                assert!(Symbol::ptr_eq(s, c));
+            }
+        }
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let a = Symbol::intern("alpha");
+        let z = Symbol::intern("zeta");
+        assert!(a < z);
+        let mut v = vec![z.clone(), a.clone()];
+        v.sort();
+        assert_eq!(v, vec![a, z]);
+    }
+}

@@ -1,0 +1,170 @@
+//! Event hot-path throughput (ISSUE 2).
+//!
+//! Measures sink-callback throughput through [`HubSink`] for the three
+//! configurations the tentpole optimizes:
+//!
+//! * `fine/no-tools` — fine-grained stream, empty tool collection: the
+//!   interest gate should reject every device callback before locking.
+//! * `fine/coarse-tool` — fine-grained stream, one coarse-interest tool:
+//!   same gate, but the kernel lifecycle events still dispatch.
+//! * `fine/device-tool` — fine-grained stream, one all-interest tool: the
+//!   full intern + buffer + batched-flush path.
+//! * `coarse/launch-events` — host-path kernel-launch events through the
+//!   shared hub, the baseline coarse path.
+//!
+//! Numbers land in `BENCH_event_path.json`; run with
+//! `cargo bench -p pasta-bench --bench event_path`.
+
+use accel_sim::instrument::{DeviceTraceSink, TraceCtx};
+use accel_sim::{
+    AccessBatch, AccessKind, AccessPattern, DeviceId, Dim3, KernelTraceSummary, LaunchId, MemSpace,
+    SimTime,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use pasta_core::hub::{new_shared, HubSink};
+use pasta_core::processor::EventProcessor;
+use pasta_core::tool::{Interest, LaunchCounter, Tool};
+use pasta_core::Event;
+
+/// Access batches per simulated launch (one iteration).
+const BATCHES: u64 = 1024;
+
+/// Total sink callbacks one iteration issues: begin + batches + barriers +
+/// blocks + instructions + end.
+pub const CALLBACKS_PER_ITER: u64 = BATCHES + 5;
+
+fn ctx(launch: u64) -> TraceCtx {
+    TraceCtx {
+        launch: LaunchId(launch),
+        device: DeviceId(0),
+        stream: 0,
+        name: "ampere_sgemm_128x64_tn".into(),
+        grid: Dim3::linear(64),
+        block: Dim3::linear(128),
+    }
+}
+
+fn batch(launch: u64, i: u64) -> AccessBatch {
+    AccessBatch {
+        launch: LaunchId(launch),
+        spec_index: 0,
+        base: 0x1000 + i * 4096,
+        len: 4096,
+        records: 32,
+        bytes: 4096,
+        elem_size: 4,
+        kind: AccessKind::Load,
+        space: if i.is_multiple_of(4) {
+            MemSpace::Shared
+        } else {
+            MemSpace::Global
+        },
+        pattern: AccessPattern::Sequential,
+    }
+}
+
+/// One simulated launch worth of fine-grained traffic.
+fn drive_launch(sink: &mut HubSink, launch: u64) {
+    let ctx = ctx(launch);
+    sink.on_kernel_begin(&ctx);
+    for i in 0..BATCHES {
+        sink.on_batch(&ctx, &batch(launch, i));
+    }
+    sink.on_barriers(&ctx, 512);
+    sink.on_blocks(&ctx, 64);
+    sink.on_instructions(&ctx, 1 << 20);
+    sink.on_kernel_end(&ctx, &KernelTraceSummary::default());
+}
+
+/// An all-interest tool that counts every delivered event.
+#[derive(Default)]
+struct DeviceCounter {
+    events: u64,
+}
+
+impl Tool for DeviceCounter {
+    fn name(&self) -> &str {
+        "device-counter"
+    }
+    fn interest(&self) -> Interest {
+        Interest::all()
+    }
+    fn on_event(&mut self, _event: &Event) {
+        self.events += 1;
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+fn bench_fine(c: &mut Criterion, label: &str, make: impl Fn() -> EventProcessor) {
+    let mut g = c.benchmark_group("fine");
+    g.sample_size(200);
+    let hub = new_shared(make());
+    let mut sink = HubSink::new(std::sync::Arc::clone(&hub));
+    let mut launch = 0u64;
+    g.bench_function(label, |b| {
+        b.iter(|| {
+            drive_launch(&mut sink, launch);
+            launch += 1;
+        })
+    });
+    g.finish();
+}
+
+fn fine_no_tools(c: &mut Criterion) {
+    bench_fine(c, "no-tools", EventProcessor::new);
+}
+
+fn fine_coarse_tool(c: &mut Criterion) {
+    bench_fine(c, "coarse-tool", || {
+        let mut p = EventProcessor::new();
+        p.tools.register(Box::<LaunchCounter>::default());
+        p
+    });
+}
+
+fn fine_device_tool(c: &mut Criterion) {
+    bench_fine(c, "device-tool", || {
+        let mut p = EventProcessor::new();
+        p.tools.register(Box::<DeviceCounter>::default());
+        p
+    });
+}
+
+fn coarse_launch_events(c: &mut Criterion) {
+    let mut g = c.benchmark_group("coarse");
+    g.sample_size(200);
+    let mut p = EventProcessor::new();
+    p.tools.register(Box::<LaunchCounter>::default());
+    let hub = new_shared(p);
+    let mut launch = 0u64;
+    let name: accel_sim::Symbol = "ampere_sgemm_128x64_tn".into();
+    g.bench_function("launch-events", |b| {
+        b.iter(|| {
+            for _ in 0..64 {
+                hub.lock().processor.process(&Event::KernelLaunchEnd {
+                    launch: LaunchId(launch),
+                    device: DeviceId(0),
+                    name: name.clone(),
+                    start: SimTime(0),
+                    end: SimTime(1000),
+                });
+                launch += 1;
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    event_path,
+    fine_no_tools,
+    fine_coarse_tool,
+    fine_device_tool,
+    coarse_launch_events
+);
+criterion_main!(event_path);

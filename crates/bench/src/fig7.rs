@@ -41,7 +41,12 @@ pub fn run(scale: ExpScale) -> Result<Vec<FreqResult>, PastaError> {
             session.run_model_scaled(model, kind, steps, scale.batch_divisor)?;
             let (total, unique, top) = session
                 .with_tool_mut("kernel-frequency", |t: &mut KernelFrequencyTool| {
-                    (t.total(), t.unique(), t.top(8))
+                    let top = t
+                        .top(8)
+                        .into_iter()
+                        .map(|(k, c)| (k.to_string(), c))
+                        .collect();
+                    (t.total(), t.unique(), top)
                 })
                 .expect("tool registered");
             out.push(FreqResult {

@@ -6,6 +6,7 @@
 //! stack only for launches of that kernel.
 
 use crate::event::Event;
+use accel_sim::Symbol;
 use dl_framework::pycall::{native_frames_for_kernel, CrossLayerStack, PyFrame};
 use std::collections::HashMap;
 
@@ -17,7 +18,7 @@ pub struct StackCapture {
     current_py: Vec<PyFrame>,
     /// Captured stacks keyed by kernel symbol (first capture wins, as in
     /// the paper: one representative context per kernel).
-    captured: HashMap<String, CrossLayerStack>,
+    captured: HashMap<Symbol, CrossLayerStack>,
 }
 
 impl StackCapture {
@@ -33,20 +34,20 @@ impl StackCapture {
             // The operator itself becomes the innermost Python-side frame,
             // mirroring how torch displays `aten::` ops under module code.
             self.current_py
-                .push(PyFrame::new("torch/_ops.py", 502, name.clone()));
+                .push(PyFrame::new("torch/_ops.py", 502, name.as_str()));
         }
     }
 
     /// Captures the cross-layer stack for `kernel` if not already present.
-    pub fn capture_for_kernel(&mut self, kernel: &str) {
-        if self.captured.contains_key(kernel) {
+    pub fn capture_for_kernel(&mut self, kernel: &Symbol) {
+        if self.captured.contains_key(kernel.as_str()) {
             return;
         }
         let stack = CrossLayerStack {
             python: self.current_py.clone(),
             native: native_frames_for_kernel(kernel),
         };
-        self.captured.insert(kernel.to_owned(), stack);
+        self.captured.insert(kernel.clone(), stack);
     }
 
     /// The captured stack for `kernel`, if any.
@@ -91,7 +92,7 @@ mod tests {
                 PyFrame::new("torch/nn/modules/linear.py", 114, "forward"),
             ],
         ));
-        sc.capture_for_kernel("ampere_sgemm_128x64_tn");
+        sc.capture_for_kernel(&Symbol::intern("ampere_sgemm_128x64_tn"));
         let stack = sc.stack_for("ampere_sgemm_128x64_tn").unwrap();
         assert_eq!(stack.python.len(), 4, "3 user frames + the aten op");
         assert!(stack
@@ -107,9 +108,9 @@ mod tests {
     fn first_capture_wins() {
         let mut sc = StackCapture::new();
         sc.observe(&op_start("aten::a", vec![PyFrame::new("a.py", 1, "fa")]));
-        sc.capture_for_kernel("k");
+        sc.capture_for_kernel(&Symbol::intern("k"));
         sc.observe(&op_start("aten::b", vec![PyFrame::new("b.py", 2, "fb")]));
-        sc.capture_for_kernel("k");
+        sc.capture_for_kernel(&Symbol::intern("k"));
         let stack = sc.stack_for("k").unwrap();
         assert!(stack.python.iter().any(|f| f.file == "a.py"));
         assert_eq!(sc.captured_count(), 1);
@@ -118,7 +119,7 @@ mod tests {
     #[test]
     fn reset_clears() {
         let mut sc = StackCapture::new();
-        sc.capture_for_kernel("k");
+        sc.capture_for_kernel(&Symbol::intern("k"));
         assert_eq!(sc.captured_count(), 1);
         sc.reset();
         assert_eq!(sc.captured_count(), 0);

@@ -7,7 +7,7 @@
 use crate::event::Event;
 use crate::hub::SharedHub;
 use crate::normalize::{normalize_framework, normalize_nv, normalize_roc};
-use accel_sim::{LaunchId, SimTime};
+use accel_sim::{LaunchId, SimTime, Symbol};
 use dl_framework::session::Session;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -21,7 +21,7 @@ use vendor_nv::{CudaContext, NvCallback};
 /// [`normalize_nv`].
 pub fn attach_nv(ctx: &mut CudaContext, hub: SharedHub) {
     let hub = Arc::clone(&hub);
-    let mut pending: HashMap<LaunchId, (String, SimTime)> = HashMap::new();
+    let mut pending: HashMap<LaunchId, (Symbol, SimTime)> = HashMap::new();
     ctx.subscribe(Box::new(move |cb: &NvCallback| match cb {
         NvCallback::LaunchBegin {
             launch,
@@ -29,7 +29,7 @@ pub fn attach_nv(ctx: &mut CudaContext, hub: SharedHub) {
             start,
             ..
         } => {
-            pending.insert(*launch, (name.clone(), *start));
+            pending.insert(*launch, (Symbol::intern(name), *start));
         }
         NvCallback::LaunchEnd {
             launch,
@@ -57,7 +57,7 @@ pub fn attach_nv(ctx: &mut CudaContext, hub: SharedHub) {
 /// Subscribes the hub to a HIP context's host callbacks.
 pub fn attach_roc(ctx: &mut HipContext, hub: SharedHub) {
     let hub = Arc::clone(&hub);
-    let mut pending: HashMap<LaunchId, (String, SimTime)> = HashMap::new();
+    let mut pending: HashMap<LaunchId, (Symbol, SimTime)> = HashMap::new();
     ctx.subscribe(Box::new(move |cb: &RocCallback| match cb {
         RocCallback::KernelDispatch {
             launch,
@@ -65,7 +65,7 @@ pub fn attach_roc(ctx: &mut HipContext, hub: SharedHub) {
             start,
             ..
         } => {
-            pending.insert(*launch, (name.clone(), *start));
+            pending.insert(*launch, (Symbol::intern(name), *start));
         }
         RocCallback::KernelComplete {
             launch,

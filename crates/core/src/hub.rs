@@ -4,11 +4,27 @@
 //! profiler's sink, framework events from session subscribers — all on
 //! different call paths. A [`SharedHub`] (an `Arc<Mutex<EventProcessor>>`
 //! in spirit) gives them one meeting point.
+//!
+//! The fine-grained path through [`HubSink`] is the hottest code in the
+//! system (millions of events per profiled run) and is kept cheap by three
+//! cooperating mechanisms:
+//!
+//! 1. **Interest gate** — at kernel begin the sink caches the launch's
+//!    [`ProbeConfig`] together with the processor's per-class tool
+//!    subscriptions in a [`LaunchGate`]; `on_batch`/`on_barriers`/
+//!    `on_blocks`/`on_instructions` return *before* taking the hub lock or
+//!    constructing an [`Event`] when nothing downstream wants the class.
+//! 2. **Interned names** — [`TraceCtx::name`] is a [`Symbol`], so events
+//!    carry a refcount bump instead of a fresh `String` per event.
+//! 3. **Batched flushes** — admitted events accumulate in a sink-local
+//!    buffer (mirroring the simulated device-side trace buffer) and drain
+//!    into the processor under a single lock per flush/kernel-end instead
+//!    of lock-per-event.
 
-use crate::event::Event;
+use crate::event::{Event, EventClass};
 use crate::processor::EventProcessor;
 use accel_sim::instrument::{DeviceTraceSink, TraceCtx};
-use accel_sim::{AccessBatch, KernelTraceSummary, MemSpace, ProbeConfig};
+use accel_sim::{AccessBatch, KernelTraceSummary, LaunchId, MemSpace, ProbeConfig};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -27,13 +43,121 @@ pub fn new_shared(processor: EventProcessor) -> SharedHub {
     Arc::new(Mutex::new(Hub { processor }))
 }
 
+/// Buffered events per flush: one hub lock amortizes over this many
+/// fine-grained events (the sink-local analogue of the device trace
+/// buffer in the simulated profiler).
+const FLUSH_EVENTS: usize = 256;
+
+/// Drains `buffer` into a hub whose lock the caller already holds.
+fn drain_into(buffer: &mut Vec<Event>, hub: &mut Hub) {
+    if buffer.is_empty() {
+        return;
+    }
+    hub.processor.process_batch(buffer);
+    buffer.clear();
+}
+
+/// Per-launch admission decisions, computed once at kernel begin.
+#[derive(Debug, Clone, Copy)]
+struct LaunchGate {
+    launch: LaunchId,
+    /// Probe configuration the processor returned for this launch.
+    config: ProbeConfig,
+    /// Some tool subscribed to [`EventClass::DeviceAccess`].
+    access_tools: bool,
+    /// Some tool subscribed to [`EventClass::DeviceControl`].
+    control_tools: bool,
+}
+
+impl LaunchGate {
+    fn for_launch(launch: LaunchId, config: ProbeConfig, processor: &EventProcessor) -> Self {
+        LaunchGate {
+            launch,
+            config,
+            access_tools: processor.class_wanted(EventClass::DeviceAccess),
+            control_tools: processor.class_wanted(EventClass::DeviceControl),
+        }
+    }
+
+    fn wants_batches(&self) -> bool {
+        self.access_tools && (self.config.global_accesses || self.config.shared_accesses)
+    }
+
+    fn wants_barriers(&self) -> bool {
+        self.control_tools && self.config.barriers
+    }
+
+    fn wants_blocks(&self) -> bool {
+        self.control_tools && self.config.block_boundaries
+    }
+
+    fn wants_instructions(&self) -> bool {
+        self.control_tools
+    }
+}
+
 /// The device-trace sink that feeds fine-grained events into the hub.
 #[derive(Debug)]
-pub struct HubSink(pub SharedHub);
+pub struct HubSink {
+    hub: SharedHub,
+    buffer: Vec<Event>,
+    gate: Option<LaunchGate>,
+}
+
+impl HubSink {
+    /// Creates a sink feeding `hub`.
+    pub fn new(hub: SharedHub) -> Self {
+        HubSink {
+            hub,
+            buffer: Vec::with_capacity(FLUSH_EVENTS),
+            gate: None,
+        }
+    }
+
+    /// Events currently buffered (not yet visible to the processor).
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Drains buffered events into the processor under one lock.
+    pub fn flush(&mut self) {
+        if self.buffer.is_empty() {
+            return;
+        }
+        let mut hub = self.hub.lock();
+        drain_into(&mut self.buffer, &mut hub);
+    }
+
+    fn push(&mut self, event: Event) {
+        self.buffer.push(event);
+        if self.buffer.len() >= FLUSH_EVENTS {
+            self.flush();
+        }
+    }
+
+    /// The gate for `launch`, recomputed under the lock only when a
+    /// callback arrives out of band (no preceding `on_kernel_begin`).
+    fn gate_for(&mut self, launch: LaunchId) -> LaunchGate {
+        match self.gate {
+            Some(gate) if gate.launch == launch => gate,
+            _ => {
+                let hub = self.hub.lock();
+                let config = hub.processor.probe_config_for(launch);
+                let gate = LaunchGate::for_launch(launch, config, &hub.processor);
+                drop(hub);
+                self.gate = Some(gate);
+                gate
+            }
+        }
+    }
+}
 
 impl DeviceTraceSink for HubSink {
     fn on_kernel_begin(&mut self, ctx: &TraceCtx) -> ProbeConfig {
-        let mut hub = self.0.lock();
+        let mut hub = self.hub.lock();
+        // Leftovers from a launch whose end never reached us drain first so
+        // cross-launch ordering is preserved.
+        drain_into(&mut self.buffer, &mut hub);
         let config = hub.processor.probe_config_for(ctx.launch);
         hub.processor.process(&Event::KernelLaunchBegin {
             launch: ctx.launch,
@@ -43,10 +167,16 @@ impl DeviceTraceSink for HubSink {
             grid: ctx.grid,
             block: ctx.block,
         });
+        let gate = LaunchGate::for_launch(ctx.launch, config, &hub.processor);
+        drop(hub);
+        self.gate = Some(gate);
         config
     }
 
     fn on_batch(&mut self, ctx: &TraceCtx, batch: &AccessBatch) {
+        if !self.gate_for(ctx.launch).wants_batches() {
+            return; // no lock taken, no event constructed
+        }
         let event = match batch.space {
             MemSpace::Shared | MemSpace::RemoteShared => Event::SharedAccess {
                 launch: ctx.launch,
@@ -59,11 +189,14 @@ impl DeviceTraceSink for HubSink {
                 batch: batch.clone(),
             },
         };
-        self.0.lock().processor.process(&event);
+        self.push(event);
     }
 
     fn on_barriers(&mut self, ctx: &TraceCtx, count: u64) {
-        self.0.lock().processor.process(&Event::Barrier {
+        if !self.gate_for(ctx.launch).wants_barriers() {
+            return;
+        }
+        self.push(Event::Barrier {
             launch: ctx.launch,
             count,
             cluster: false,
@@ -71,32 +204,45 @@ impl DeviceTraceSink for HubSink {
     }
 
     fn on_blocks(&mut self, ctx: &TraceCtx, count: u64) {
-        self.0.lock().processor.process(&Event::BlockBoundary {
+        if !self.gate_for(ctx.launch).wants_blocks() {
+            return;
+        }
+        self.push(Event::BlockBoundary {
             launch: ctx.launch,
             count,
         });
     }
 
     fn on_instructions(&mut self, ctx: &TraceCtx, count: u64) {
-        self.0.lock().processor.process(&Event::Instructions {
+        if !self.gate_for(ctx.launch).wants_instructions() {
+            return;
+        }
+        self.push(Event::Instructions {
             launch: ctx.launch,
             count,
         });
     }
 
     fn on_kernel_end(&mut self, ctx: &TraceCtx, summary: &KernelTraceSummary) {
-        self.0.lock().processor.process(&Event::KernelTrace {
+        // One lock drains the launch's buffered events and delivers the
+        // trace summary, which always flows (the knob aggregates feed on
+        // it even when no tool subscribed).
+        let mut hub = self.hub.lock();
+        drain_into(&mut self.buffer, &mut hub);
+        hub.processor.process(&Event::KernelTrace {
             launch: ctx.launch,
             kernel: ctx.name.clone(),
             summary: summary.clone(),
         });
+        drop(hub);
+        self.gate = None;
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use accel_sim::{AccessKind, AccessPattern, DeviceId, Dim3, LaunchId};
+    use accel_sim::{AccessKind, AccessPattern, DeviceId, Dim3, LaunchId, Symbol};
 
     fn ctx() -> TraceCtx {
         TraceCtx {
@@ -124,45 +270,45 @@ mod tests {
         }
     }
 
+    #[derive(Default)]
+    struct SpaceCounter {
+        global: u64,
+        shared: u64,
+    }
+    impl crate::tool::Tool for SpaceCounter {
+        fn name(&self) -> &str {
+            "spaces"
+        }
+        fn interest(&self) -> crate::tool::Interest {
+            crate::tool::Interest::all()
+        }
+        fn on_event(&mut self, event: &Event) {
+            match event {
+                Event::GlobalAccess { .. } => self.global += 1,
+                Event::SharedAccess { .. } => self.shared += 1,
+                _ => {}
+            }
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
     #[test]
     fn sink_routes_batches_by_space() {
-        use crate::tool::{Interest, Tool};
-        #[derive(Default)]
-        struct SpaceCounter {
-            global: u64,
-            shared: u64,
-        }
-        impl Tool for SpaceCounter {
-            fn name(&self) -> &str {
-                "spaces"
-            }
-            fn interest(&self) -> Interest {
-                Interest::all()
-            }
-            fn on_event(&mut self, event: &Event) {
-                match event {
-                    Event::GlobalAccess { .. } => self.global += 1,
-                    Event::SharedAccess { .. } => self.shared += 1,
-                    _ => {}
-                }
-            }
-            fn as_any(&self) -> &dyn std::any::Any {
-                self
-            }
-            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
-                self
-            }
-        }
-
         let mut processor = EventProcessor::new();
         processor.tools.register(Box::<SpaceCounter>::default());
         let hub = new_shared(processor);
-        let mut sink = HubSink(Arc::clone(&hub));
+        let mut sink = HubSink::new(Arc::clone(&hub));
         let config = sink.on_kernel_begin(&ctx());
         assert!(config.global_accesses);
         sink.on_batch(&ctx(), &batch(MemSpace::Global));
         sink.on_batch(&ctx(), &batch(MemSpace::Shared));
         sink.on_batch(&ctx(), &batch(MemSpace::RemoteShared));
+        sink.on_kernel_end(&ctx(), &KernelTraceSummary::default());
         let (g, s) = hub
             .lock()
             .processor
@@ -176,10 +322,177 @@ mod tests {
     #[test]
     fn kernel_begin_emits_event_and_config() {
         let hub = new_shared(EventProcessor::new());
-        let mut sink = HubSink(Arc::clone(&hub));
+        let mut sink = HubSink::new(Arc::clone(&hub));
         let config = sink.on_kernel_begin(&ctx());
         // No tools registered: nothing to instrument.
         assert!(config.is_disabled());
         assert_eq!(hub.lock().processor.events_processed(), 1);
+    }
+
+    #[test]
+    fn disabled_config_short_circuits_batches() {
+        // Regression (ISSUE 2 satellite): a launch whose ProbeConfig came
+        // back disabled must not construct or deliver batch events — the
+        // seed cloned `batch` and `ctx.name` before asking anyone.
+        let hub = new_shared(EventProcessor::new()); // no tools → disabled
+        let mut sink = HubSink::new(Arc::clone(&hub));
+        let config = sink.on_kernel_begin(&ctx());
+        assert!(config.is_disabled());
+        for _ in 0..100 {
+            sink.on_batch(&ctx(), &batch(MemSpace::Global));
+            sink.on_barriers(&ctx(), 8);
+            sink.on_instructions(&ctx(), 1_000);
+        }
+        assert_eq!(sink.buffered(), 0, "gated events are never buffered");
+        // Only the KernelLaunchBegin event reached the processor.
+        assert_eq!(hub.lock().processor.events_processed(), 1);
+    }
+
+    #[test]
+    fn coarse_tools_never_see_device_batches() {
+        // Per-class gating: a coarse-interest tool must not cause batch
+        // events to be constructed, even though its interest is non-empty.
+        let mut processor = EventProcessor::new();
+        processor
+            .tools
+            .register(Box::<crate::tool::LaunchCounter>::default());
+        let hub = new_shared(processor);
+        let mut sink = HubSink::new(Arc::clone(&hub));
+        sink.on_kernel_begin(&ctx());
+        sink.on_batch(&ctx(), &batch(MemSpace::Global));
+        sink.on_barriers(&ctx(), 8);
+        assert_eq!(sink.buffered(), 0);
+        sink.on_kernel_end(&ctx(), &KernelTraceSummary::default());
+        // KernelLaunchBegin + KernelTrace only.
+        assert_eq!(hub.lock().processor.events_processed(), 2);
+    }
+
+    #[test]
+    fn buffered_events_flush_at_kernel_end_in_order() {
+        #[derive(Default)]
+        struct OrderProbe {
+            classes: Vec<EventClass>,
+        }
+        impl crate::tool::Tool for OrderProbe {
+            fn name(&self) -> &str {
+                "order"
+            }
+            fn interest(&self) -> crate::tool::Interest {
+                crate::tool::Interest::all()
+            }
+            fn on_event(&mut self, event: &Event) {
+                self.classes.push(event.class());
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        let mut processor = EventProcessor::new();
+        processor.tools.register(Box::<OrderProbe>::default());
+        let hub = new_shared(processor);
+        let mut sink = HubSink::new(Arc::clone(&hub));
+        sink.on_kernel_begin(&ctx());
+        sink.on_batch(&ctx(), &batch(MemSpace::Global));
+        assert!(sink.buffered() > 0, "fine events buffer until a flush");
+        assert_eq!(
+            hub.lock().processor.events_processed(),
+            1,
+            "only KernelLaunchBegin so far"
+        );
+        sink.on_barriers(&ctx(), 4);
+        sink.on_kernel_end(&ctx(), &KernelTraceSummary::default());
+        assert_eq!(sink.buffered(), 0);
+        let classes = hub
+            .lock()
+            .processor
+            .tools
+            .with_tool_mut("order", |t: &mut OrderProbe| t.classes.clone())
+            .unwrap();
+        assert_eq!(
+            classes,
+            vec![
+                EventClass::Kernel,        // KernelLaunchBegin
+                EventClass::DeviceAccess,  // GlobalAccess
+                EventClass::DeviceControl, // Barrier
+                EventClass::DeviceControl, // KernelTrace
+            ]
+        );
+    }
+
+    #[test]
+    fn full_buffer_flushes_mid_launch() {
+        let mut processor = EventProcessor::new();
+        processor.tools.register(Box::<SpaceCounter>::default());
+        let hub = new_shared(processor);
+        let mut sink = HubSink::new(Arc::clone(&hub));
+        sink.on_kernel_begin(&ctx());
+        for _ in 0..(FLUSH_EVENTS + 10) {
+            sink.on_batch(&ctx(), &batch(MemSpace::Global));
+        }
+        assert_eq!(sink.buffered(), 10, "one full buffer drained mid-launch");
+        assert_eq!(
+            hub.lock().processor.events_processed() as usize,
+            1 + FLUSH_EVENTS
+        );
+    }
+
+    #[test]
+    fn event_names_share_one_interned_allocation_per_launch() {
+        // The ISSUE-2 acceptance check: zero per-event String allocations —
+        // every event of a launch carries the *same* Arc<str>.
+        #[derive(Default)]
+        struct NameCollector {
+            names: Vec<Symbol>,
+        }
+        impl crate::tool::Tool for NameCollector {
+            fn name(&self) -> &str {
+                "names"
+            }
+            fn interest(&self) -> crate::tool::Interest {
+                crate::tool::Interest::all()
+            }
+            fn on_event(&mut self, event: &Event) {
+                match event {
+                    Event::KernelLaunchBegin { name, .. } => self.names.push(name.clone()),
+                    Event::GlobalAccess { kernel, .. }
+                    | Event::SharedAccess { kernel, .. }
+                    | Event::KernelTrace { kernel, .. } => self.names.push(kernel.clone()),
+                    _ => {}
+                }
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        let mut processor = EventProcessor::new();
+        processor.tools.register(Box::<NameCollector>::default());
+        let hub = new_shared(processor);
+        let mut sink = HubSink::new(Arc::clone(&hub));
+        let ctx = ctx();
+        sink.on_kernel_begin(&ctx);
+        for _ in 0..8 {
+            sink.on_batch(&ctx, &batch(MemSpace::Global));
+            sink.on_batch(&ctx, &batch(MemSpace::Shared));
+        }
+        sink.on_kernel_end(&ctx, &KernelTraceSummary::default());
+        let names = hub
+            .lock()
+            .processor
+            .tools
+            .with_tool_mut("names", |t: &mut NameCollector| t.names.clone())
+            .unwrap();
+        assert_eq!(names.len(), 1 + 16 + 1);
+        for n in &names {
+            assert!(
+                Symbol::ptr_eq(n, &names[0]),
+                "every event shares the launch's single interned name"
+            );
+        }
     }
 }

@@ -6,6 +6,7 @@
 //! extend the mechanism with custom knobs — here, any function scoring a
 //! kernel's aggregate statistics.
 
+use accel_sim::Symbol;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -61,7 +62,7 @@ impl Knob {
 /// Accumulates per-kernel aggregates and answers knob queries.
 #[derive(Debug, Default, Clone)]
 pub struct KnobSet {
-    per_kernel: HashMap<String, KernelAggregate>,
+    per_kernel: HashMap<Symbol, KernelAggregate>,
 }
 
 impl KnobSet {
@@ -70,38 +71,46 @@ impl KnobSet {
         KnobSet::default()
     }
 
-    /// Records one launch completion.
-    pub fn record_launch(&mut self, kernel: &str, duration_ns: u64) {
-        let agg = self.per_kernel.entry(kernel.to_owned()).or_default();
+    /// Records one launch completion. The interned key makes this an
+    /// allocation-free hash-map update (and a pointer compare on the fast
+    /// path of probing).
+    pub fn record_launch(&mut self, kernel: &Symbol, duration_ns: u64) {
+        let agg = self.per_kernel.entry(kernel.clone()).or_default();
         agg.calls += 1;
         agg.duration_ns += duration_ns;
     }
 
     /// Records fine-grained counters for a kernel.
-    pub fn record_trace(&mut self, kernel: &str, memory_records: u64, bytes: u64, barriers: u64) {
-        let agg = self.per_kernel.entry(kernel.to_owned()).or_default();
+    pub fn record_trace(
+        &mut self,
+        kernel: &Symbol,
+        memory_records: u64,
+        bytes: u64,
+        barriers: u64,
+    ) {
+        let agg = self.per_kernel.entry(kernel.clone()).or_default();
         agg.memory_records += memory_records;
         agg.bytes += bytes;
         agg.barriers += barriers;
     }
 
     /// The kernel selected by `knob`, with its aggregate.
-    pub fn select(&self, knob: Knob) -> Option<(&str, KernelAggregate)> {
+    pub fn select(&self, knob: Knob) -> Option<(&Symbol, KernelAggregate)> {
         self.per_kernel
             .iter()
             .max_by_key(|(name, agg)| (knob.score(agg), std::cmp::Reverse(name.as_str())))
-            .map(|(n, a)| (n.as_str(), *a))
+            .map(|(n, a)| (n, *a))
     }
 
     /// Custom knob: the kernel maximizing an arbitrary score.
     pub fn select_by<F: Fn(&KernelAggregate) -> u64>(
         &self,
         score: F,
-    ) -> Option<(&str, KernelAggregate)> {
+    ) -> Option<(&Symbol, KernelAggregate)> {
         self.per_kernel
             .iter()
             .max_by_key(|(name, agg)| (score(agg), std::cmp::Reverse(name.as_str())))
-            .map(|(n, a)| (n.as_str(), *a))
+            .map(|(n, a)| (n, *a))
     }
 
     /// Aggregate for one kernel.
@@ -126,11 +135,13 @@ mod tests {
 
     fn set() -> KnobSet {
         let mut k = KnobSet::new();
-        k.record_launch("gemm", 100);
-        k.record_launch("gemm", 100);
-        k.record_launch("im2col", 500);
-        k.record_trace("gemm", 1_000, 64_000, 10);
-        k.record_trace("im2col", 5_000, 320_000, 0);
+        let gemm = Symbol::intern("gemm");
+        let im2col = Symbol::intern("im2col");
+        k.record_launch(&gemm, 100);
+        k.record_launch(&gemm, 100);
+        k.record_launch(&im2col, 500);
+        k.record_trace(&gemm, 1_000, 64_000, 10);
+        k.record_trace(&im2col, 5_000, 320_000, 0);
         k
     }
 

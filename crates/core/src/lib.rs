@@ -17,6 +17,9 @@
 //!    GPU-resident or on the CPU is the [`AnalysisMode`] choice whose cost
 //!    gap Figs. 2/9/10 quantify. Range filtering ([`range`]) and
 //!    inefficiency-location knobs ([`knob`], [`callstack`]) live here.
+//!    The hot path stays cheap via interned kernel names ([`Symbol`]),
+//!    a per-class dispatch table with a sink-side interest gate, and
+//!    batched sink→processor flushes (see [`hub`]).
 //! 3. **Tool collection** ([`tool`]) — the template ([`Tool`]) users
 //!    override. A tool declares its [`Interest`]s; only the event classes
 //!    some tool wants are instrumented, which is how PASTA keeps overhead
@@ -64,7 +67,10 @@ pub mod report;
 pub mod tool;
 pub mod workload;
 
-pub use accel_sim::{AnalysisMode, OverheadBreakdown};
+// The interner lives in accel-sim (the sink's `TraceCtx` is the first
+// place a kernel name enters the pipeline) but is part of PASTA's public
+// vocabulary: every name-carrying `Event` field is a `Symbol`.
+pub use accel_sim::{AnalysisMode, OverheadBreakdown, Symbol, SymbolTable};
 pub use error::PastaError;
 pub use event::{Event, EventClass};
 pub use knob::{Knob, KnobSet};

@@ -7,6 +7,7 @@
 //! per vendor, mapping raw callbacks to [`Event`]s.
 
 use crate::event::Event;
+use accel_sim::Symbol;
 use dl_framework::callbacks::FrameworkEvent;
 use vendor_amd::RocCallback;
 use vendor_nv::NvCallback;
@@ -34,6 +35,12 @@ pub fn normalize_api_name(raw: &str) -> String {
     out
 }
 
+/// Interned form of [`normalize_api_name`] — what the event constructors
+/// use, so repeated calls to the same API share one allocation.
+fn intern_api_name(raw: &str) -> Symbol {
+    Symbol::intern(&normalize_api_name(raw))
+}
+
 /// True when the API symbol is a *driver*-level entry point (`cu*` on
 /// NVIDIA); everything else is runtime-level.
 fn is_driver_api(raw: &str) -> bool {
@@ -48,12 +55,12 @@ pub fn normalize_nv(cb: &NvCallback) -> Option<Event> {
         NvCallback::ApiEnter { name, at } => {
             if is_driver_api(name) {
                 Event::DriverApi {
-                    name: normalize_api_name(name),
+                    name: intern_api_name(name),
                     at: *at,
                 }
             } else {
                 Event::RuntimeApi {
-                    name: normalize_api_name(name),
+                    name: intern_api_name(name),
                     at: *at,
                 }
             }
@@ -132,7 +139,7 @@ pub fn normalize_nv(cb: &NvCallback) -> Option<Event> {
 pub fn normalize_roc(cb: &RocCallback) -> Option<Event> {
     Some(match cb {
         RocCallback::ApiEnter { name, at } => Event::RuntimeApi {
-            name: normalize_api_name(name),
+            name: intern_api_name(name),
             at: *at,
         },
         RocCallback::ApiExit { .. } => return None,
@@ -204,13 +211,13 @@ pub fn normalize_roc(cb: &RocCallback) -> Option<Event> {
     })
 }
 
-fn normalize_batch_op(raw: &str) -> String {
+fn normalize_batch_op(raw: &str) -> Symbol {
     if raw.contains("Prefetch") {
-        "mem_prefetch".to_owned()
+        Symbol::intern("mem_prefetch")
     } else if raw.contains("Advise") {
-        "mem_advise".to_owned()
+        Symbol::intern("mem_advise")
     } else {
-        normalize_api_name(raw)
+        intern_api_name(raw)
     }
 }
 
@@ -224,13 +231,13 @@ pub fn normalize_framework(ev: &FrameworkEvent) -> Event {
             py_stack,
         } => Event::OpStart {
             seq: *seq,
-            name: name.clone(),
+            name: Symbol::intern(name),
             device: *device,
             py_stack: py_stack.clone(),
         },
         FrameworkEvent::OpEnd { seq, name, device } => Event::OpEnd {
             seq: *seq,
-            name: name.clone(),
+            name: Symbol::intern(name),
             device: *device,
         },
         FrameworkEvent::TensorAlloc {

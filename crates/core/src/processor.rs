@@ -7,11 +7,11 @@
 //! the "dispatch unit" of the paper's Fig. 1.
 
 use crate::callstack::StackCapture;
-use crate::event::Event;
+use crate::event::{Event, EventClass};
 use crate::knob::{Knob, KnobSet};
 use crate::range::RangeFilter;
 use crate::tool::ToolCollection;
-use accel_sim::{LaunchId, ProbeConfig};
+use accel_sim::{LaunchId, ProbeConfig, Symbol};
 
 /// The dispatch-and-preprocess core shared by handler and sink.
 #[derive(Debug, Default)]
@@ -49,6 +49,13 @@ impl EventProcessor {
         self.tools.interest().probe_config()
     }
 
+    /// True when some registered tool subscribes to `class` — the O(1)
+    /// answer the sink's interest gate consults when deciding whether a
+    /// fine-grained event is worth constructing at all.
+    pub fn class_wanted(&self, class: EventClass) -> bool {
+        self.tools.wants_class(class)
+    }
+
     /// Preprocesses and dispatches one event.
     pub fn process(&mut self, event: &Event) {
         self.events_processed += 1;
@@ -77,25 +84,43 @@ impl EventProcessor {
         self.tools.dispatch(event);
     }
 
+    /// Processes a buffered slice of events under one borrow — the drain
+    /// half of the sink's batched flush (one hub lock per flush instead of
+    /// one per event).
+    pub fn process_batch(&mut self, events: &[Event]) {
+        for event in events {
+            self.process(event);
+        }
+    }
+
     /// Captures the stack when `kernel` is what the capture knob currently
     /// selects — this is how PASTA avoids "capturing full context
     /// information for all runtime events" (§III-F2).
-    fn maybe_capture(&mut self, kernel: &str) {
+    fn maybe_capture(&mut self, kernel: &Symbol) {
         let Some(knob) = self.capture_knob else {
             return;
         };
-        if let Some((selected, _)) = self.knobs.select(knob) {
-            if selected == kernel {
-                self.stacks.capture_for_kernel(kernel);
-            }
+        let selected = self
+            .knobs
+            .select(knob)
+            .is_some_and(|(selected, _)| selected == kernel);
+        if selected {
+            self.stacks.capture_for_kernel(kernel);
         }
     }
 
     /// Resets all accumulated state (tools keep their registration).
+    ///
+    /// The range filter's *configuration* (grid window, annotation gating)
+    /// survives — it is session setup, not accumulated state — but its
+    /// *observed* region nesting is cleared: a reset mid-region must not
+    /// leave the next run looking permanently "inside" a region whose end
+    /// event it will never see.
     pub fn reset(&mut self) {
         self.tools.reset();
         self.knobs.reset();
         self.stacks.reset();
+        self.range.reset_observation();
         self.events_processed = 0;
     }
 }
@@ -174,5 +199,40 @@ mod tests {
         p.reset();
         assert_eq!(p.events_processed(), 0);
         assert_eq!(p.knobs.kernel_count(), 0);
+    }
+
+    #[test]
+    fn reset_clears_range_observation_but_keeps_configuration() {
+        // Pins the ISSUE-2 satellite decision: `reset` drops the *observed*
+        // region nesting (a reset mid-region must not leave the session
+        // permanently "inside" a region) while the configured gating mode
+        // and grid window — session setup — survive.
+        let mut p = EventProcessor::new();
+        p.range = RangeFilter::annotated_regions();
+        p.process(&Event::RegionStart {
+            label: "layer".into(),
+            device: DeviceId(0),
+        });
+        assert!(p.range.in_region());
+        assert!(p.probe_config_for(LaunchId(0)).is_disabled() || p.tools.is_empty());
+        p.reset();
+        assert!(!p.range.in_region(), "observed nesting cleared");
+        assert!(
+            p.range.annotations_gate,
+            "configured gating mode survives reset"
+        );
+        assert!(
+            !p.range.covers_launch(LaunchId(1)),
+            "post-reset launches are outside any region again"
+        );
+
+        let mut p = EventProcessor::new();
+        p.range = RangeFilter::grid_window(10, 20);
+        p.process(&launch_end("k", 15));
+        p.reset();
+        assert!(
+            !p.range.covers_launch(LaunchId(5)) && p.range.covers_launch(LaunchId(15)),
+            "configured grid window survives reset"
+        );
     }
 }

@@ -344,7 +344,7 @@ impl PastaBuilder {
         };
 
         if let Some(handle) = &profiler {
-            handle.set_sink(Box::new(HubSink(Arc::clone(&hub))));
+            handle.set_sink(Box::new(HubSink::new(Arc::clone(&hub))));
         }
 
         Ok(PastaSession {
@@ -556,7 +556,7 @@ impl PastaSession {
             .processor
             .knobs
             .select(knob)
-            .map(|(n, a)| (n.to_owned(), a))
+            .map(|(n, a)| (n.to_string(), a))
     }
 
     /// The captured cross-layer stack for a kernel, if any.

@@ -83,6 +83,13 @@ impl RangeFilter {
     pub fn in_region(&self) -> bool {
         self.region_depth > 0
     }
+
+    /// Clears the *observed* state (region nesting) while keeping the
+    /// configured window and gating mode. Called by the processor's reset:
+    /// configuration belongs to the session, observation to the run.
+    pub fn reset_observation(&mut self) {
+        self.region_depth = 0;
+    }
 }
 
 #[cfg(test)]

@@ -5,9 +5,9 @@
 //! a no-op default; a tool overrides only what it needs and declares its
 //! [`Interest`]s so the framework instruments no more than necessary.
 
-use crate::event::Event;
+use crate::event::{Event, EventClass};
 use crate::report::ToolReport;
-use accel_sim::{AccessBatch, KernelTraceSummary, LaunchId, ProbeConfig};
+use accel_sim::{AccessBatch, KernelTraceSummary, LaunchId, ProbeConfig, Symbol};
 use serde::{Deserialize, Serialize};
 use std::any::Any;
 
@@ -84,6 +84,28 @@ impl Interest {
             || self.block_boundaries
             || self.instructions
     }
+
+    /// Whether events of `class` should be delivered to a tool with this
+    /// interest set — the single source of truth behind the dispatch table.
+    pub fn wants_class(self, class: EventClass) -> bool {
+        match class {
+            EventClass::DeviceAccess => self.global_accesses || self.shared_accesses,
+            EventClass::DeviceControl => {
+                // Kernel trace summaries ride along for access-interested
+                // tools (global or shared) even when they never asked for
+                // barriers.
+                self.barriers
+                    || self.block_boundaries
+                    || self.instructions
+                    || self.global_accesses
+                    || self.shared_accesses
+            }
+            EventClass::Framework | EventClass::Annotation => self.framework_events,
+            EventClass::HostApi | EventClass::Kernel | EventClass::Memory | EventClass::Sync => {
+                self.host_events
+            }
+        }
+    }
 }
 
 /// The analysis-tool template. All handlers default to no-ops.
@@ -121,17 +143,17 @@ pub trait Tool: Send {
     }
 
     /// One batch of global-memory access records.
-    fn on_global_access(&mut self, launch: LaunchId, kernel: &str, batch: &AccessBatch) {
+    fn on_global_access(&mut self, launch: LaunchId, kernel: &Symbol, batch: &AccessBatch) {
         let _ = (launch, kernel, batch);
     }
 
     /// One batch of shared-memory access records.
-    fn on_shared_access(&mut self, launch: LaunchId, kernel: &str, batch: &AccessBatch) {
+    fn on_shared_access(&mut self, launch: LaunchId, kernel: &Symbol, batch: &AccessBatch) {
         let _ = (launch, kernel, batch);
     }
 
     /// End-of-kernel trace summary.
-    fn on_kernel_trace(&mut self, launch: LaunchId, kernel: &str, summary: &KernelTraceSummary) {
+    fn on_kernel_trace(&mut self, launch: LaunchId, kernel: &Symbol, summary: &KernelTraceSummary) {
         let _ = (launch, kernel, summary);
     }
 
@@ -152,9 +174,19 @@ pub trait Tool: Send {
 }
 
 /// An ordered collection of tools sharing one event stream.
+///
+/// Dispatch is driven by a per-[`EventClass`] table precomputed from each
+/// tool's [`Tool::interest`] at registration (and rebuilt on
+/// [`ToolCollection::reset`]): delivering an event touches only the tools
+/// subscribed to its class, and [`ToolCollection::wants_class`] answers
+/// "does anyone care?" in O(1) so the sink can drop uninteresting device
+/// events before they are ever constructed. Interests are therefore
+/// sampled at registration/reset, not per event.
 #[derive(Default)]
 pub struct ToolCollection {
     tools: Vec<Box<dyn Tool>>,
+    /// `class_tools[class.index()]` = indices of tools wanting that class.
+    class_tools: [Vec<usize>; EventClass::ALL.len()],
 }
 
 impl std::fmt::Debug for ToolCollection {
@@ -178,9 +210,30 @@ impl ToolCollection {
         ToolCollection::default()
     }
 
-    /// Registers a tool.
+    /// Registers a tool and folds its interest into the dispatch table.
     pub fn register(&mut self, tool: Box<dyn Tool>) {
         self.tools.push(tool);
+        self.rebuild_dispatch();
+    }
+
+    /// Recomputes the per-class dispatch table from current interests.
+    fn rebuild_dispatch(&mut self) {
+        for class in EventClass::ALL {
+            let row = &mut self.class_tools[class.index()];
+            row.clear();
+            row.extend(
+                self.tools
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| t.interest().wants_class(class))
+                    .map(|(i, _)| i),
+            );
+        }
+    }
+
+    /// True when at least one registered tool wants events of `class`.
+    pub fn wants_class(&self, class: EventClass) -> bool {
+        !self.class_tools[class.index()].is_empty()
     }
 
     /// Number of registered tools.
@@ -200,24 +253,13 @@ impl ToolCollection {
             .fold(Interest::default(), |acc, t| acc.union(t.interest()))
     }
 
-    /// Delivers an event to every tool whose interest covers its class.
+    /// Delivers an event to every tool whose interest covers its class,
+    /// via the precomputed dispatch table (uninterested tools are never
+    /// touched).
     pub fn dispatch(&mut self, event: &Event) {
-        use crate::event::EventClass;
-        let class = event.class();
-        for tool in &mut self.tools {
-            let i = tool.interest();
-            let wants = match class {
-                EventClass::DeviceAccess => i.global_accesses || i.shared_accesses,
-                EventClass::DeviceControl => {
-                    i.barriers || i.block_boundaries || i.instructions || i.global_accesses
-                    // kernel summaries ride along
-                }
-                EventClass::Framework | EventClass::Annotation => i.framework_events,
-                _ => i.host_events,
-            };
-            if wants {
-                tool.on_event(event);
-            }
+        let row = &self.class_tools[event.class().index()];
+        for &i in row {
+            self.tools[i].on_event(event);
         }
     }
 
@@ -226,11 +268,13 @@ impl ToolCollection {
         self.tools.iter().map(|t| t.report()).collect()
     }
 
-    /// Resets every tool.
+    /// Resets every tool and rebuilds the dispatch table (the one point,
+    /// besides registration, where changed interests are picked up).
     pub fn reset(&mut self) {
         for t in &mut self.tools {
             t.reset();
         }
+        self.rebuild_dispatch();
     }
 
     /// Runs `f` against the named tool downcast to `T`.
@@ -425,5 +469,124 @@ mod tests {
             .unwrap();
         assert_eq!(fw, 1);
         assert_eq!(other, 0, "uninterested classes never delivered");
+    }
+
+    #[test]
+    fn coarse_tool_never_receives_device_access_events() {
+        // ISSUE-2 gating contract: `Interest::coarse()` subscribes to host
+        // and framework classes only, so DeviceAccess events must not reach
+        // the tool even when another registered tool pulls them in.
+        #[derive(Default)]
+        struct CoarseSpy {
+            device_access: u64,
+            delivered: u64,
+        }
+        impl Tool for CoarseSpy {
+            fn name(&self) -> &str {
+                "coarse-spy"
+            }
+            fn interest(&self) -> Interest {
+                Interest::coarse()
+            }
+            fn on_event(&mut self, event: &Event) {
+                self.delivered += 1;
+                if event.class() == EventClass::DeviceAccess {
+                    self.device_access += 1;
+                }
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        #[derive(Default)]
+        struct Hungry {
+            device_access: u64,
+        }
+        impl Tool for Hungry {
+            fn name(&self) -> &str {
+                "hungry"
+            }
+            fn interest(&self) -> Interest {
+                Interest::all()
+            }
+            fn on_event(&mut self, event: &Event) {
+                if event.class() == EventClass::DeviceAccess {
+                    self.device_access += 1;
+                }
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+
+        let mut c = ToolCollection::new();
+        c.register(Box::<CoarseSpy>::default());
+        c.register(Box::<Hungry>::default());
+        assert!(c.wants_class(EventClass::DeviceAccess));
+        let access = Event::GlobalAccess {
+            launch: LaunchId(0),
+            kernel: "k".into(),
+            batch: AccessBatch {
+                launch: LaunchId(0),
+                spec_index: 0,
+                base: 0,
+                len: 128,
+                records: 1,
+                bytes: 128,
+                elem_size: 4,
+                kind: accel_sim::AccessKind::Load,
+                space: accel_sim::MemSpace::Global,
+                pattern: accel_sim::AccessPattern::Sequential,
+            },
+        };
+        c.dispatch(&access);
+        c.dispatch(&launch_end());
+        let (spy_da, spy_total) = c
+            .with_tool_mut("coarse-spy", |t: &mut CoarseSpy| {
+                (t.device_access, t.delivered)
+            })
+            .unwrap();
+        assert_eq!(spy_da, 0, "coarse tool must never see DeviceAccess");
+        assert_eq!(spy_total, 1, "it still gets the Kernel-class event");
+        let hungry_da = c
+            .with_tool_mut("hungry", |t: &mut Hungry| t.device_access)
+            .unwrap();
+        assert_eq!(hungry_da, 1, "the interested tool still gets it");
+    }
+
+    #[test]
+    fn shared_access_interest_gets_kernel_trace_ride_along() {
+        // KernelTrace (DeviceControl class) carries the shared_records
+        // totals a shared-accesses tool aggregates — it must ride along
+        // exactly as it does for global-accesses tools.
+        let shared_only = Interest {
+            shared_accesses: true,
+            ..Interest::default()
+        };
+        assert!(shared_only.wants_class(EventClass::DeviceAccess));
+        assert!(shared_only.wants_class(EventClass::DeviceControl));
+        assert!(!shared_only.wants_class(EventClass::HostApi));
+    }
+
+    #[test]
+    fn dispatch_table_tracks_registration_and_reset() {
+        let mut c = ToolCollection::new();
+        assert!(!c.wants_class(EventClass::Kernel));
+        c.register(Box::<LaunchCounter>::default());
+        assert!(c.wants_class(EventClass::Kernel));
+        assert!(c.wants_class(EventClass::HostApi));
+        assert!(!c.wants_class(EventClass::DeviceAccess));
+        assert!(!c.wants_class(EventClass::DeviceControl));
+        c.reset();
+        assert!(
+            c.wants_class(EventClass::Kernel),
+            "reset rebuilds, not clears, the table"
+        );
     }
 }

@@ -2,6 +2,7 @@
 //! extensibility example: "quantify synchronization delays … identify
 //! kernels or layers that suffer from excessive synchronization overhead".
 
+use accel_sim::Symbol;
 use pasta_core::{Event, Interest, Tool, ToolReport};
 use std::any::Any;
 use std::collections::HashMap;
@@ -39,8 +40,8 @@ impl BarrierStats {
 /// The barrier-stall tool.
 #[derive(Debug, Default)]
 pub struct BarrierStallTool {
-    per_kernel: HashMap<String, BarrierStats>,
-    current_kernel: HashMap<u64, String>,
+    per_kernel: HashMap<Symbol, BarrierStats>,
+    current_kernel: HashMap<u64, Symbol>,
 }
 
 impl BarrierStallTool {
@@ -55,8 +56,8 @@ impl BarrierStallTool {
     }
 
     /// Kernels ranked by estimated stall time, descending.
-    pub fn ranking(&self) -> Vec<(String, BarrierStats)> {
-        let mut v: Vec<(String, BarrierStats)> = self
+    pub fn ranking(&self) -> Vec<(Symbol, BarrierStats)> {
+        let mut v: Vec<(Symbol, BarrierStats)> = self
             .per_kernel
             .iter()
             .map(|(k, &s)| (k.clone(), s))

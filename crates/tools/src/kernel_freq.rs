@@ -5,14 +5,16 @@
 //! kernels launch, but a handful (`at::native::im2col_kernel`,
 //! `ampere_sgemm_*`) dominate — directs optimization effort.
 
+use accel_sim::Symbol;
 use pasta_core::{Event, Interest, Tool, ToolReport};
 use std::any::Any;
 use std::collections::HashMap;
 
-/// Counts kernel invocations by symbol name.
+/// Counts kernel invocations by symbol name. Keys are interned
+/// [`Symbol`]s, so counting a launch is allocation-free.
 #[derive(Debug, Default)]
 pub struct KernelFrequencyTool {
-    counts: HashMap<String, u64>,
+    counts: HashMap<Symbol, u64>,
     total: u64,
 }
 
@@ -39,14 +41,14 @@ impl KernelFrequencyTool {
 
     /// `(kernel, count)` pairs sorted by descending count (name breaks
     /// ties deterministically).
-    pub fn ranking(&self) -> Vec<(String, u64)> {
-        let mut v: Vec<(String, u64)> = self.counts.iter().map(|(k, &c)| (k.clone(), c)).collect();
+    pub fn ranking(&self) -> Vec<(Symbol, u64)> {
+        let mut v: Vec<(Symbol, u64)> = self.counts.iter().map(|(k, &c)| (k.clone(), c)).collect();
         v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         v
     }
 
     /// The `top` most-invoked kernels.
-    pub fn top(&self, top: usize) -> Vec<(String, u64)> {
+    pub fn top(&self, top: usize) -> Vec<(Symbol, u64)> {
         let mut v = self.ranking();
         v.truncate(top);
         v
@@ -123,7 +125,7 @@ mod tests {
         assert_eq!(t.unique(), 2);
         assert_eq!(t.count_of("gemm"), 5);
         assert_eq!(t.count_of("missing"), 0);
-        assert_eq!(t.top(1), vec![("gemm".to_owned(), 5)]);
+        assert_eq!(t.top(1), vec![(Symbol::intern("gemm"), 5)]);
         let report = t.report();
         assert_eq!(report.get("total_launches"), Some(6.0));
         assert!(report.text.contains("gemm"));

@@ -7,6 +7,7 @@
 //! the kernel launches between them, so the mapping falls out of event
 //! ordering.
 
+use accel_sim::Symbol;
 use pasta_core::{Event, Interest, Tool, ToolReport};
 use std::any::Any;
 use std::collections::HashMap;
@@ -19,7 +20,7 @@ pub struct OpProfile {
     /// Total kernels launched inside it.
     pub kernels: u64,
     /// Distinct kernel symbols it launched, with counts.
-    pub kernel_counts: HashMap<String, u64>,
+    pub kernel_counts: HashMap<Symbol, u64>,
     /// Total device time of its kernels, ns.
     pub device_ns: u64,
 }
@@ -37,9 +38,9 @@ impl OpProfile {
 /// The operator→kernel mapping tool.
 #[derive(Debug, Default)]
 pub struct OpKernelMapTool {
-    per_op: HashMap<String, OpProfile>,
+    per_op: HashMap<Symbol, OpProfile>,
     /// Operator nesting stack: kernels attribute to the innermost op.
-    stack: Vec<String>,
+    stack: Vec<Symbol>,
 }
 
 impl OpKernelMapTool {
@@ -54,8 +55,8 @@ impl OpKernelMapTool {
     }
 
     /// Operators ranked by total device time, descending.
-    pub fn ranking(&self) -> Vec<(String, OpProfile)> {
-        let mut v: Vec<(String, OpProfile)> = self
+    pub fn ranking(&self) -> Vec<(Symbol, OpProfile)> {
+        let mut v: Vec<(Symbol, OpProfile)> = self
             .per_op
             .iter()
             .map(|(k, p)| (k.clone(), p.clone()))
@@ -96,7 +97,10 @@ impl Tool for OpKernelMapTool {
                 name, start, end, ..
             } => {
                 if let Some(op) = self.stack.last() {
-                    let p = self.per_op.get_mut(op).expect("op on stack was started");
+                    let p = self
+                        .per_op
+                        .get_mut(op.as_str())
+                        .expect("op on stack was started");
                     p.kernels += 1;
                     *p.kernel_counts.entry(name.clone()).or_insert(0) += 1;
                     p.device_ns += *end - *start;

@@ -9,6 +9,7 @@
 //! exceeds a threshold are flagged as overflow-risk candidates — the same
 //! population a real sanitizer watches hardest.
 
+use accel_sim::Symbol;
 use pasta_core::{Event, Interest, Tool, ToolReport};
 use std::any::Any;
 use std::collections::HashMap;
@@ -28,8 +29,8 @@ pub struct SanitizerCoverage {
 /// The overflow-sanitizer tool.
 #[derive(Debug, Default)]
 pub struct OverflowSanitizerTool {
-    per_kernel: HashMap<String, SanitizerCoverage>,
-    current_kernel: HashMap<u64, String>,
+    per_kernel: HashMap<Symbol, SanitizerCoverage>,
+    current_kernel: HashMap<u64, Symbol>,
 }
 
 impl OverflowSanitizerTool {
@@ -47,8 +48,8 @@ impl OverflowSanitizerTool {
     }
 
     /// Kernels flagged as overflow-risk (deep accumulation).
-    pub fn flagged(&self) -> Vec<String> {
-        let mut v: Vec<String> = self
+    pub fn flagged(&self) -> Vec<Symbol> {
+        let mut v: Vec<Symbol> = self
             .per_kernel
             .iter()
             .filter(|(_, c)| {
@@ -185,7 +186,7 @@ mod tests {
             count: 256,
         });
         t.on_event(&store(1, 1024));
-        assert_eq!(t.flagged(), vec!["gemm".to_owned()]);
+        assert_eq!(t.flagged(), vec![Symbol::intern("gemm")]);
         assert_eq!(t.instructions_checked(), 1_000_256);
         let r = t.report();
         assert_eq!(r.get("flagged"), Some(1.0));
