@@ -360,12 +360,12 @@ impl Engine {
     ) -> Result<LaunchRecord, AccelError> {
         self.check_device(device)?;
         if desc.grid.is_empty() || desc.block.is_empty() {
-            return Err(AccelError::EmptyLaunch(desc.name.clone()));
+            return Err(AccelError::EmptyLaunch(desc.name.to_string()));
         }
         for a in &desc.body.accesses {
             if a.arg_index >= desc.args.len() {
                 return Err(AccelError::InvalidKernelArg {
-                    kernel: desc.name.clone(),
+                    kernel: desc.name.to_string(),
                     arg_index: a.arg_index,
                 });
             }

@@ -32,6 +32,9 @@ pub enum AccelError {
     },
     /// A launch had an empty grid or block.
     EmptyLaunch(String),
+    /// A host-side configuration error (bad device lists, mismatched
+    /// lane counts for parallel workloads).
+    Config(String),
     /// A copy touched a range outside any live allocation.
     CopyOutOfBounds {
         /// Start of the faulting range.
@@ -58,6 +61,7 @@ impl fmt::Display for AccelError {
                 write!(f, "kernel `{kernel}` references unbound arg {arg_index}")
             }
             AccelError::EmptyLaunch(k) => write!(f, "kernel `{k}` launched with empty grid"),
+            AccelError::Config(msg) => write!(f, "configuration error: {msg}"),
             AccelError::CopyOutOfBounds { addr, len } => {
                 write!(f, "copy of {len} bytes at {addr:#x} is out of bounds")
             }

@@ -234,7 +234,7 @@ impl TraceProfiler {
             launch: ctx.launch,
             device: ctx.device,
             stream: ctx.stream,
-            name: Symbol::intern(&ctx.desc.name),
+            name: ctx.desc.name.clone(),
             grid: ctx.desc.grid,
             block: ctx.desc.block,
         }

@@ -9,6 +9,7 @@
 
 use crate::dim::Dim3;
 use crate::mem::DevicePtr;
+use crate::symbol::Symbol;
 use serde::{Deserialize, Serialize};
 
 /// Direction of a memory access.
@@ -234,7 +235,9 @@ pub struct KernelArg {
 pub struct KernelDesc {
     /// Kernel symbol name (demangled), e.g.
     /// `"ampere_sgemm_128x64_tn"` or `"at::native::im2col_kernel"`.
-    pub name: String,
+    /// Interned: launching the same kernel repeatedly shares one
+    /// allocation, and every downstream event clones a refcount.
+    pub name: Symbol,
     /// Grid dimensions.
     pub grid: Dim3,
     /// Block dimensions.
@@ -247,7 +250,7 @@ pub struct KernelDesc {
 
 impl KernelDesc {
     /// Creates a kernel description with no arguments and an empty body.
-    pub fn new(name: impl Into<String>, grid: Dim3, block: Dim3) -> Self {
+    pub fn new(name: impl Into<Symbol>, grid: Dim3, block: Dim3) -> Self {
         KernelDesc {
             name: name.into(),
             grid,

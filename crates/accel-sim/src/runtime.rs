@@ -11,6 +11,7 @@ use crate::error::AccelError;
 use crate::id::{DeviceId, LaunchId, StreamId, Vendor};
 use crate::kernel::KernelDesc;
 use crate::mem::DevicePtr;
+use crate::symbol::Symbol;
 use serde::{Deserialize, Serialize};
 
 /// Direction of a memory copy.
@@ -48,8 +49,9 @@ pub struct LaunchRecord {
     pub device: DeviceId,
     /// Stream it was enqueued on.
     pub stream: StreamId,
-    /// Kernel symbol name.
-    pub name: String,
+    /// Kernel symbol name, interned (shared with the launch's
+    /// [`crate::KernelDesc`]).
+    pub name: Symbol,
     /// Grid dimensions.
     pub grid: Dim3,
     /// Block dimensions.
@@ -106,7 +108,9 @@ pub struct RuntimeStats {
 ///
 /// Implemented by `vendor_nv::CudaContext` and `vendor_amd::HipContext`.
 /// Methods mirror the CUDA/HIP runtime surface PASTA intercepts (§IV-A).
-pub trait DeviceRuntime {
+/// `Send` so per-device runtime handles can be driven from their own OS
+/// threads (the multi-device parallel workloads).
+pub trait DeviceRuntime: Send {
     /// Vendor of the underlying devices.
     fn vendor(&self) -> Vendor;
 

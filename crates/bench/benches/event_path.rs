@@ -146,7 +146,7 @@ fn coarse_launch_events(c: &mut Criterion) {
     g.bench_function("launch-events", |b| {
         b.iter(|| {
             for _ in 0..64 {
-                hub.lock().processor.process(&Event::KernelLaunchEnd {
+                hub.process(&Event::KernelLaunchEnd {
                     launch: LaunchId(launch),
                     device: DeviceId(0),
                     name: name.clone(),

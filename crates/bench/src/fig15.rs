@@ -39,9 +39,13 @@ pub fn measure(strategy: Parallelism, scale: ExpScale) -> Result<StrategyCurves,
         .a100_x2()
         .tool(MemoryTimelineTool::new())
         .build()?;
-    session.run_custom(|s| parallel::train_iter(s, strategy, batch).map(|_| ()))?;
+    // Each device runs on its own lane thread; tensor events from the two
+    // GPUs land in their own hub shards and merge deterministically below.
+    session.run_parallel(&[DeviceId(0), DeviceId(1)], |lanes| {
+        parallel::train_iter(lanes, strategy, batch).map(|_| ())
+    })?;
     let (s0, s1, p0, p1, e0, e1) = session
-        .with_tool_mut("memory-timeline", |t: &mut MemoryTimelineTool| {
+        .with_merged_tool("memory-timeline", |t: &MemoryTimelineTool| {
             (
                 t.series_for(DeviceId(0)).to_vec(),
                 t.series_for(DeviceId(1)).to_vec(),

@@ -73,6 +73,9 @@ pub enum Event {
     DriverApi {
         /// Normalized API name (vendor prefix stripped), interned.
         name: Symbol,
+        /// Device current when the API was entered (the sharded hub's
+        /// routing key).
+        device: DeviceId,
         /// Host time.
         at: SimTime,
     },
@@ -80,6 +83,8 @@ pub enum Event {
     RuntimeApi {
         /// Normalized API name, interned.
         name: Symbol,
+        /// Device current when the API was entered.
+        device: DeviceId,
         /// Host time.
         at: SimTime,
     },
@@ -324,8 +329,8 @@ pub enum Event {
     },
     /// Layer boundary ("Layer Boundary*", annotation-driven).
     LayerBoundary {
-        /// Layer name.
-        name: String,
+        /// Layer name, interned.
+        name: Symbol,
         /// Ordinal.
         index: usize,
         /// Device.
@@ -340,21 +345,60 @@ pub enum Event {
     },
     /// `pasta.start()` region annotation ("Customized Code Region*").
     RegionStart {
-        /// Label.
-        label: String,
+        /// Label, interned.
+        label: Symbol,
         /// Device.
         device: DeviceId,
     },
     /// `pasta.stop()` region annotation.
     RegionEnd {
-        /// Label.
-        label: String,
+        /// Label, interned.
+        label: Symbol,
         /// Device.
         device: DeviceId,
     },
 }
 
 impl Event {
+    /// The device this event is attributed to — the sharded hub's routing
+    /// key. Launch-scoped fine-grained events return `None`: they reach
+    /// the hub through a [`crate::hub::HubSink`] already bound to its
+    /// device's shard, so they never need routing by content.
+    pub fn device(&self) -> Option<DeviceId> {
+        use Event::*;
+        match self {
+            DriverApi { device, .. }
+            | RuntimeApi { device, .. }
+            | Sync { device, .. }
+            | KernelLaunchBegin { device, .. }
+            | KernelLaunchEnd { device, .. }
+            | MemCopy { device, .. }
+            | MemSet { device, .. }
+            | ResourceAlloc { device, .. }
+            | ResourceFree { device, .. }
+            | BatchMemOp { device, .. }
+            | OpStart { device, .. }
+            | OpEnd { device, .. }
+            | TensorAlloc { device, .. }
+            | TensorFree { device, .. }
+            | LayerBoundary { device, .. }
+            | PassBoundary { device, .. }
+            | RegionStart { device, .. }
+            | RegionEnd { device, .. } => Some(*device),
+            BlockBoundary { .. }
+            | GlobalAccess { .. }
+            | SharedAccess { .. }
+            | Barrier { .. }
+            | DeviceFuncCall { .. }
+            | DeviceMalloc { .. }
+            | DeviceFree { .. }
+            | GlobalToSharedCopy { .. }
+            | PipelineOp { .. }
+            | Instructions { .. }
+            | KernelTrace { .. } => None,
+        }
+    }
+
     /// The broad class of this event.
     pub fn class(&self) -> EventClass {
         use Event::*;

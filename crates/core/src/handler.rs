@@ -2,7 +2,9 @@
 //!
 //! These functions wire the simulated vendor runtimes and the DL framework
 //! into a [`SharedHub`], normalizing every callback on the way in — the
-//! "interface standardization" box of the paper's Fig. 1.
+//! "interface standardization" box of the paper's Fig. 1. Every normalized
+//! event carries its device, so the hub routes it to that device's shard
+//! ([`crate::hub::Hub::process`]) and concurrent lanes never share a lock.
 
 use crate::event::Event;
 use crate::hub::SharedHub;
@@ -29,7 +31,7 @@ pub fn attach_nv(ctx: &mut CudaContext, hub: SharedHub) {
             start,
             ..
         } => {
-            pending.insert(*launch, (Symbol::intern(name), *start));
+            pending.insert(*launch, (name.clone(), *start));
         }
         NvCallback::LaunchEnd {
             launch,
@@ -37,7 +39,7 @@ pub fn attach_nv(ctx: &mut CudaContext, hub: SharedHub) {
             end,
         } => {
             if let Some((name, start)) = pending.remove(launch) {
-                hub.lock().processor.process(&Event::KernelLaunchEnd {
+                hub.process(&Event::KernelLaunchEnd {
                     launch: *launch,
                     device: *device,
                     name,
@@ -48,7 +50,7 @@ pub fn attach_nv(ctx: &mut CudaContext, hub: SharedHub) {
         }
         other => {
             if let Some(event) = normalize_nv(other) {
-                hub.lock().processor.process(&event);
+                hub.process(&event);
             }
         }
     }));
@@ -65,7 +67,7 @@ pub fn attach_roc(ctx: &mut HipContext, hub: SharedHub) {
             start,
             ..
         } => {
-            pending.insert(*launch, (Symbol::intern(name), *start));
+            pending.insert(*launch, (name.clone(), *start));
         }
         RocCallback::KernelComplete {
             launch,
@@ -73,7 +75,7 @@ pub fn attach_roc(ctx: &mut HipContext, hub: SharedHub) {
             end,
         } => {
             if let Some((name, start)) = pending.remove(launch) {
-                hub.lock().processor.process(&Event::KernelLaunchEnd {
+                hub.process(&Event::KernelLaunchEnd {
                     launch: *launch,
                     device: *device,
                     name,
@@ -84,7 +86,7 @@ pub fn attach_roc(ctx: &mut HipContext, hub: SharedHub) {
         }
         other => {
             if let Some(event) = normalize_roc(other) {
-                hub.lock().processor.process(&event);
+                hub.process(&event);
             }
         }
     }));
@@ -96,7 +98,7 @@ pub fn attach_session(session: &mut Session<'_>, hub: SharedHub) {
     let hub = Arc::clone(&hub);
     session.subscribe(Box::new(move |ev| {
         let event = normalize_framework(ev);
-        hub.lock().processor.process(&event);
+        hub.process(&event);
     }));
 }
 
@@ -123,8 +125,7 @@ mod tests {
         ctx.launch(desc.clone()).unwrap();
         ctx.launch(desc).unwrap();
         let n = hub
-            .lock()
-            .processor
+            .primary()
             .tools
             .with_tool_mut("launch-counter", |t: &mut LaunchCounter| t.launches)
             .unwrap();
@@ -165,8 +166,7 @@ mod tests {
         let p = ctx.malloc(4096).unwrap();
         ctx.free(p).unwrap();
         let frees = hub
-            .lock()
-            .processor
+            .primary()
             .tools
             .with_tool_mut("free-watcher", |t: &mut FreeWatcher| t.frees.clone())
             .unwrap();
@@ -183,6 +183,6 @@ mod tests {
         let t = session.alloc_tensor(&[64], DType::F32).unwrap();
         session.free_tensor(&t);
         // TensorAlloc + TensorFree.
-        assert_eq!(hub.lock().processor.events_processed(), 2);
+        assert_eq!(hub.events_processed(), 2);
     }
 }

@@ -1,67 +1,337 @@
-//! The shared event hub and its device-trace sink.
+//! The sharded event hub and its device-trace sink.
 //!
 //! Vendor callbacks arrive from closures, device traces from the
 //! profiler's sink, framework events from session subscribers — all on
-//! different call paths. A [`SharedHub`] (an `Arc<Mutex<EventProcessor>>`
-//! in spirit) gives them one meeting point.
+//! different call paths and, since the parallel workloads went
+//! multi-threaded, potentially from several OS threads at once. A single
+//! `Mutex<EventProcessor>` would funnel every device through one lock;
+//! instead the [`Hub`] is a set of [`DeviceShard`]s — one
+//! [`EventProcessor`] (tools + knobs + stacks) per [`DeviceId`], each
+//! behind its own lock — so concurrent emission from different devices
+//! never contends. A [`MergedReport`] combines per-shard tool state
+//! deterministically (launch order within a device, ascending device id
+//! across devices) at session end.
 //!
 //! The fine-grained path through [`HubSink`] is the hottest code in the
-//! system (millions of events per profiled run) and is kept cheap by three
+//! system (millions of events per profiled run) and is kept cheap by four
 //! cooperating mechanisms:
 //!
 //! 1. **Interest gate** — at kernel begin the sink caches the launch's
-//!    [`ProbeConfig`] together with the processor's per-class tool
+//!    [`ProbeConfig`] together with the shard's per-class tool
 //!    subscriptions in a [`LaunchGate`]; `on_batch`/`on_barriers`/
-//!    `on_blocks`/`on_instructions` return *before* taking the hub lock or
+//!    `on_blocks`/`on_instructions` return *before* taking any lock or
 //!    constructing an [`Event`] when nothing downstream wants the class.
 //! 2. **Interned names** — [`TraceCtx::name`] is a [`Symbol`], so events
 //!    carry a refcount bump instead of a fresh `String` per event.
-//! 3. **Batched flushes** — admitted events accumulate in a sink-local
-//!    buffer (mirroring the simulated device-side trace buffer) and drain
-//!    into the processor under a single lock per flush/kernel-end instead
-//!    of lock-per-event.
+//! 3. **Per-class spill buffers** — admitted events accumulate in
+//!    sink-local fixed-capacity buffers segregated by [`EventClass`]
+//!    (mirroring the simulated device-side trace buffer), so the drain
+//!    resolves each class's dispatch row once per flush instead of
+//!    matching on the class per event. Within a class events stay in
+//!    emission order; across classes a flush drains accesses before
+//!    control events — no tool observes a barrier "before" the accesses
+//!    of its own flush window.
+//! 4. **Batched flushes** — a full buffer (or kernel end) drains into the
+//!    launch's shard under a single lock per flush instead of
+//!    lock-per-event.
+//!
+//! [`Symbol`]: accel_sim::Symbol
 
 use crate::event::{Event, EventClass};
 use crate::processor::EventProcessor;
+use crate::report::{MergedReport, ToolReport};
+use crate::tool::Tool;
 use accel_sim::instrument::{DeviceTraceSink, TraceCtx};
-use accel_sim::{AccessBatch, KernelTraceSummary, LaunchId, MemSpace, ProbeConfig};
-use parking_lot::Mutex;
+use accel_sim::{AccessBatch, DeviceId, KernelTraceSummary, LaunchId, MemSpace, ProbeConfig};
+use dl_framework::pycall::CrossLayerStack;
+use parking_lot::{Mutex, MutexGuard};
 use std::sync::Arc;
 
-/// The hub: the processor behind a shareable lock.
+/// One device's slice of the hub: its event processor behind its own lock.
+#[derive(Debug)]
+pub struct DeviceShard {
+    device: DeviceId,
+    processor: Mutex<EventProcessor>,
+}
+
+impl DeviceShard {
+    /// The device this shard serves.
+    pub fn device(&self) -> DeviceId {
+        self.device
+    }
+
+    /// Locks this shard's processor.
+    pub fn lock(&self) -> MutexGuard<'_, EventProcessor> {
+        self.processor.lock()
+    }
+}
+
+/// The hub: per-device [`DeviceShard`]s plus the deterministic merge.
+///
+/// A hub with one shard (the [`new_shared`] constructor, or any session
+/// holding a tool that declines [`Tool::fork`]) routes every device
+/// through that shard — the pre-sharding behaviour. A sharded hub routes
+/// each device-attributed event to its device's shard and leaves
+/// launch-scoped fine events to the [`HubSink`] that is already bound to
+/// its shard.
 #[derive(Debug)]
 pub struct Hub {
-    /// The event processor.
-    pub processor: EventProcessor,
+    shards: Vec<DeviceShard>,
 }
 
 /// Shared handle to the hub.
-pub type SharedHub = Arc<Mutex<Hub>>;
+pub type SharedHub = Arc<Hub>;
 
-/// Creates a shared hub around a processor.
+/// Creates a shared single-shard hub around a processor (every device
+/// routes through the one shard).
 pub fn new_shared(processor: EventProcessor) -> SharedHub {
-    Arc::new(Mutex::new(Hub { processor }))
+    Arc::new(Hub::single(processor))
 }
 
-/// Buffered events per flush: one hub lock amortizes over this many
+impl Hub {
+    /// A single-shard hub serving every device.
+    pub fn single(processor: EventProcessor) -> Hub {
+        Hub {
+            shards: vec![DeviceShard {
+                device: DeviceId(0),
+                processor: Mutex::new(processor),
+            }],
+        }
+    }
+
+    /// A sharded hub: one processor per device.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an empty shard list and duplicate [`DeviceId`]s — two
+    /// shards for one device would split that device's event stream and
+    /// make the merge double-count.
+    pub fn sharded(shards: Vec<(DeviceId, EventProcessor)>) -> Result<Hub, String> {
+        if shards.is_empty() {
+            return Err("sharded hub needs at least one device shard".into());
+        }
+        for (i, (device, _)) in shards.iter().enumerate() {
+            if shards[..i].iter().any(|(d, _)| d == device) {
+                return Err(format!(
+                    "duplicate device {device} in the session device list: \
+                     each device gets exactly one shard"
+                ));
+            }
+        }
+        let mut shards: Vec<DeviceShard> = shards
+            .into_iter()
+            .map(|(device, processor)| DeviceShard {
+                device,
+                processor: Mutex::new(processor),
+            })
+            .collect();
+        shards.sort_by_key(|s| s.device);
+        Ok(Hub { shards })
+    }
+
+    /// True when the hub routes devices to distinct shards.
+    pub fn is_sharded(&self) -> bool {
+        self.shards.len() > 1
+    }
+
+    /// The shards, ascending device id.
+    pub fn shards(&self) -> &[DeviceShard] {
+        &self.shards
+    }
+
+    /// The shard serving `device`. Single-shard hubs (and unknown
+    /// devices) fall back to the first shard.
+    pub fn shard_for(&self, device: DeviceId) -> &DeviceShard {
+        // Builder-made hubs hold devices 0..n in order, so the common case
+        // is a direct index; anything else scans.
+        let i = device.index();
+        if let Some(shard) = self.shards.get(i) {
+            if shard.device == device {
+                return shard;
+            }
+        }
+        self.shards
+            .iter()
+            .find(|s| s.device == device)
+            .unwrap_or(&self.shards[0])
+    }
+
+    /// Locks the shard serving `device`.
+    pub fn lock_device(&self, device: DeviceId) -> MutexGuard<'_, EventProcessor> {
+        self.shard_for(device).lock()
+    }
+
+    /// Locks the primary (lowest-device) shard — where deviceless state
+    /// like builder-registered tool instances lives.
+    pub fn primary(&self) -> MutexGuard<'_, EventProcessor> {
+        self.shards[0].lock()
+    }
+
+    /// Routes one event to its device's shard (events without a device —
+    /// launch-scoped fine events arriving out of band — go to the primary
+    /// shard) and processes it.
+    ///
+    /// `pasta.start()`/`pasta.stop()` region annotations additionally
+    /// update every *other* shard's range observation: the analysis range
+    /// gates the whole session (§III-F1), so a region opened while device
+    /// 0 is current must also admit launches on device 1. Only the home
+    /// shard dispatches the event to tools, so merges never double-count.
+    pub fn process(&self, event: &Event) {
+        let home = match event.device() {
+            Some(device) => self.shard_for(device),
+            None => &self.shards[0],
+        };
+        home.lock().process(event);
+        if self.is_sharded() && matches!(event, Event::RegionStart { .. } | Event::RegionEnd { .. })
+        {
+            for shard in &self.shards {
+                if !std::ptr::eq(shard, home) {
+                    shard.lock().observe_range(event);
+                }
+            }
+        }
+    }
+
+    /// Events processed across all shards.
+    pub fn events_processed(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.lock().events_processed())
+            .sum()
+    }
+
+    /// Resets every shard's accumulated analysis state.
+    pub fn reset_all(&self) {
+        for shard in &self.shards {
+            shard.lock().reset();
+        }
+    }
+
+    /// Merged tool reports, registration order. Single-shard hubs report
+    /// directly; sharded hubs fold every shard's instance of each tool
+    /// into a fresh fork, ascending device id, leaving shard state
+    /// untouched (the merge is repeatable).
+    pub fn merged_reports(&self) -> Vec<ToolReport> {
+        if !self.is_sharded() {
+            return self.primary().tools.reports();
+        }
+        let guards: Vec<MutexGuard<'_, EventProcessor>> =
+            self.shards.iter().map(DeviceShard::lock).collect();
+        let n = guards[0].tools.len();
+        (0..n)
+            .map(|i| self.merge_tool_at(i, &guards).report())
+            .collect()
+    }
+
+    /// The full merged report: merged tools, the per-shard breakdown, and
+    /// the total event count — all derived from one pass over the shard
+    /// locks, so the snapshot is internally consistent even while
+    /// emitters are still running (`sum(per_device) == merged totals`).
+    pub fn merged_report(&self) -> MergedReport {
+        let guards: Vec<MutexGuard<'_, EventProcessor>> =
+            self.shards.iter().map(DeviceShard::lock).collect();
+        let tools = if guards.len() == 1 {
+            guards[0].tools.reports()
+        } else {
+            (0..guards[0].tools.len())
+                .map(|i| self.merge_tool_at(i, &guards).report())
+                .collect()
+        };
+        MergedReport {
+            tools,
+            per_device: self
+                .shards
+                .iter()
+                .zip(&guards)
+                .map(|(s, g)| (s.device, g.tools.reports()))
+                .collect(),
+            events_processed: guards.iter().map(|g| g.events_processed()).sum(),
+        }
+    }
+
+    /// Runs `f` against the *merged* view of the named tool: every
+    /// shard's instance folded into a fresh fork (ascending device id).
+    /// On single-shard hubs `f` sees the live instance directly.
+    pub fn with_merged_tool<T: Tool + 'static, R>(
+        &self,
+        name: &str,
+        f: impl FnOnce(&T) -> R,
+    ) -> Option<R> {
+        if !self.is_sharded() {
+            let mut guard = self.primary();
+            return guard.tools.with_tool_mut(name, |t: &mut T| f(t));
+        }
+        let guards: Vec<MutexGuard<'_, EventProcessor>> =
+            self.shards.iter().map(DeviceShard::lock).collect();
+        let i = (0..guards[0].tools.len())
+            .find(|&i| guards[0].tools.tool_at(i).is_some_and(|t| t.name() == name))?;
+        let merged = self.merge_tool_at(i, &guards);
+        merged.as_any().downcast_ref::<T>().map(f)
+    }
+
+    fn merge_tool_at(&self, i: usize, guards: &[MutexGuard<'_, EventProcessor>]) -> Box<dyn Tool> {
+        let primary = guards[0].tools.tool_at(i).expect("tool index in range");
+        let mut merged = primary
+            .fork()
+            .expect("sharded sessions hold only forkable tools");
+        for guard in guards {
+            merged.merge(guard.tools.tool_at(i).expect("same registration"));
+        }
+        merged
+    }
+
+    /// Knob aggregates merged across shards (per-kernel sums commute, so
+    /// the device-ordered fold is deterministic).
+    pub fn merged_knobs(&self) -> crate::knob::KnobSet {
+        let mut merged = self.shards[0].lock().knobs.clone();
+        for shard in &self.shards[1..] {
+            merged.merge_from(&shard.lock().knobs);
+        }
+        merged
+    }
+
+    /// The captured cross-layer stack for `kernel`: shards are consulted
+    /// in ascending device order and the first capture wins (one
+    /// representative context per kernel, as in the paper).
+    pub fn merged_stack_for(&self, kernel: &str) -> Option<CrossLayerStack> {
+        self.shards
+            .iter()
+            .find_map(|s| s.lock().stacks.stack_for(kernel).cloned())
+    }
+}
+
+/// Buffered events per flush: one shard lock amortizes over this many
 /// fine-grained events (the sink-local analogue of the device trace
 /// buffer in the simulated profiler).
 const FLUSH_EVENTS: usize = 256;
 
-/// Drains `buffer` into a hub whose lock the caller already holds.
-fn drain_into(buffer: &mut Vec<Event>, hub: &mut Hub) {
-    if buffer.is_empty() {
-        return;
+/// Drains the sink's per-class spill buffers into a processor whose lock
+/// the caller already holds: access events first, control events second,
+/// each class through one dispatch-row lookup.
+fn drain_buffers(
+    access_buf: &mut Vec<Event>,
+    control_buf: &mut Vec<Event>,
+    processor: &mut EventProcessor,
+) {
+    if !access_buf.is_empty() {
+        processor.process_class_batch(EventClass::DeviceAccess, access_buf);
+        access_buf.clear();
     }
-    hub.processor.process_batch(buffer);
-    buffer.clear();
+    if !control_buf.is_empty() {
+        processor.process_class_batch(EventClass::DeviceControl, control_buf);
+        control_buf.clear();
+    }
 }
 
 /// Per-launch admission decisions, computed once at kernel begin.
 #[derive(Debug, Clone, Copy)]
 struct LaunchGate {
     launch: LaunchId,
-    /// Probe configuration the processor returned for this launch.
+    /// Device the launch runs on. Per-lane engines number launches
+    /// independently, so launch ids alone can collide across devices —
+    /// the gate must never answer for another device's launch.
+    device: DeviceId,
+    /// Probe configuration the shard returned for this launch.
     config: ProbeConfig,
     /// Some tool subscribed to [`EventClass::DeviceAccess`].
     access_tools: bool,
@@ -70,9 +340,10 @@ struct LaunchGate {
 }
 
 impl LaunchGate {
-    fn for_launch(launch: LaunchId, config: ProbeConfig, processor: &EventProcessor) -> Self {
+    fn for_launch(ctx: &TraceCtx, config: ProbeConfig, processor: &EventProcessor) -> Self {
         LaunchGate {
-            launch,
+            launch: ctx.launch,
+            device: ctx.device,
             config,
             access_tools: processor.class_wanted(EventClass::DeviceAccess),
             control_tools: processor.class_wanted(EventClass::DeviceControl),
@@ -97,11 +368,20 @@ impl LaunchGate {
 }
 
 /// The device-trace sink that feeds fine-grained events into the hub.
+///
+/// A sink binds to its launch's device shard at kernel begin; everything
+/// it buffers drains into that shard. Per-device profilers (one per
+/// parallel lane) therefore emit into disjoint shards and never contend.
 #[derive(Debug)]
 pub struct HubSink {
     hub: SharedHub,
-    buffer: Vec<Event>,
+    /// [`EventClass::DeviceAccess`] spill buffer (emission order).
+    access_buf: Vec<Event>,
+    /// [`EventClass::DeviceControl`] spill buffer (emission order).
+    control_buf: Vec<Event>,
     gate: Option<LaunchGate>,
+    /// Device whose shard the buffered events belong to.
+    bound: DeviceId,
 }
 
 impl HubSink {
@@ -109,57 +389,81 @@ impl HubSink {
     pub fn new(hub: SharedHub) -> Self {
         HubSink {
             hub,
-            buffer: Vec::with_capacity(FLUSH_EVENTS),
+            access_buf: Vec::with_capacity(FLUSH_EVENTS),
+            control_buf: Vec::with_capacity(FLUSH_EVENTS),
             gate: None,
+            bound: DeviceId(0),
         }
     }
 
-    /// Events currently buffered (not yet visible to the processor).
+    /// Events currently buffered (not yet visible to any processor).
     pub fn buffered(&self) -> usize {
-        self.buffer.len()
+        self.access_buf.len() + self.control_buf.len()
     }
 
-    /// Drains buffered events into the processor under one lock.
+    /// Drains the spill buffers into the bound shard under one lock:
+    /// access events first, control events second, each class through one
+    /// dispatch-row lookup.
     pub fn flush(&mut self) {
-        if self.buffer.is_empty() {
+        if self.access_buf.is_empty() && self.control_buf.is_empty() {
             return;
         }
-        let mut hub = self.hub.lock();
-        drain_into(&mut self.buffer, &mut hub);
+        let mut processor = self.hub.lock_device(self.bound);
+        drain_buffers(&mut self.access_buf, &mut self.control_buf, &mut processor);
     }
 
-    fn push(&mut self, event: Event) {
-        self.buffer.push(event);
-        if self.buffer.len() >= FLUSH_EVENTS {
+    fn push_access(&mut self, event: Event) {
+        self.access_buf.push(event);
+        if self.access_buf.len() >= FLUSH_EVENTS {
             self.flush();
         }
     }
 
-    /// The gate for `launch`, recomputed under the lock only when a
-    /// callback arrives out of band (no preceding `on_kernel_begin`).
-    fn gate_for(&mut self, launch: LaunchId) -> LaunchGate {
+    fn push_control(&mut self, event: Event) {
+        self.control_buf.push(event);
+        if self.control_buf.len() >= FLUSH_EVENTS {
+            self.flush();
+        }
+    }
+
+    /// The gate for `ctx`'s launch, recomputed under the shard lock only
+    /// when a callback arrives out of band (no preceding
+    /// `on_kernel_begin`).
+    fn gate_for(&mut self, ctx: &TraceCtx) -> LaunchGate {
         match self.gate {
-            Some(gate) if gate.launch == launch => gate,
+            Some(gate) if gate.launch == ctx.launch && gate.device == ctx.device => gate,
             _ => {
-                let hub = self.hub.lock();
-                let config = hub.processor.probe_config_for(launch);
-                let gate = LaunchGate::for_launch(launch, config, &hub.processor);
-                drop(hub);
+                self.rebind(ctx.device);
+                let processor = self.hub.lock_device(ctx.device);
+                let config = processor.probe_config_for(ctx.launch);
+                let gate = LaunchGate::for_launch(ctx, config, &processor);
+                drop(processor);
                 self.gate = Some(gate);
                 gate
             }
+        }
+    }
+
+    /// Points the sink at `device`'s shard, draining anything buffered
+    /// for the previously bound shard first so cross-launch ordering is
+    /// preserved per shard.
+    fn rebind(&mut self, device: DeviceId) {
+        if self.bound != device {
+            self.flush();
+            self.bound = device;
         }
     }
 }
 
 impl DeviceTraceSink for HubSink {
     fn on_kernel_begin(&mut self, ctx: &TraceCtx) -> ProbeConfig {
-        let mut hub = self.hub.lock();
+        self.rebind(ctx.device);
+        let mut processor = self.hub.lock_device(ctx.device);
         // Leftovers from a launch whose end never reached us drain first so
         // cross-launch ordering is preserved.
-        drain_into(&mut self.buffer, &mut hub);
-        let config = hub.processor.probe_config_for(ctx.launch);
-        hub.processor.process(&Event::KernelLaunchBegin {
+        drain_buffers(&mut self.access_buf, &mut self.control_buf, &mut processor);
+        let config = processor.probe_config_for(ctx.launch);
+        processor.process(&Event::KernelLaunchBegin {
             launch: ctx.launch,
             device: ctx.device,
             stream: ctx.stream,
@@ -167,14 +471,14 @@ impl DeviceTraceSink for HubSink {
             grid: ctx.grid,
             block: ctx.block,
         });
-        let gate = LaunchGate::for_launch(ctx.launch, config, &hub.processor);
-        drop(hub);
+        let gate = LaunchGate::for_launch(ctx, config, &processor);
+        drop(processor);
         self.gate = Some(gate);
         config
     }
 
     fn on_batch(&mut self, ctx: &TraceCtx, batch: &AccessBatch) {
-        if !self.gate_for(ctx.launch).wants_batches() {
+        if !self.gate_for(ctx).wants_batches() {
             return; // no lock taken, no event constructed
         }
         let event = match batch.space {
@@ -189,14 +493,14 @@ impl DeviceTraceSink for HubSink {
                 batch: batch.clone(),
             },
         };
-        self.push(event);
+        self.push_access(event);
     }
 
     fn on_barriers(&mut self, ctx: &TraceCtx, count: u64) {
-        if !self.gate_for(ctx.launch).wants_barriers() {
+        if !self.gate_for(ctx).wants_barriers() {
             return;
         }
-        self.push(Event::Barrier {
+        self.push_control(Event::Barrier {
             launch: ctx.launch,
             count,
             cluster: false,
@@ -204,20 +508,20 @@ impl DeviceTraceSink for HubSink {
     }
 
     fn on_blocks(&mut self, ctx: &TraceCtx, count: u64) {
-        if !self.gate_for(ctx.launch).wants_blocks() {
+        if !self.gate_for(ctx).wants_blocks() {
             return;
         }
-        self.push(Event::BlockBoundary {
+        self.push_control(Event::BlockBoundary {
             launch: ctx.launch,
             count,
         });
     }
 
     fn on_instructions(&mut self, ctx: &TraceCtx, count: u64) {
-        if !self.gate_for(ctx.launch).wants_instructions() {
+        if !self.gate_for(ctx).wants_instructions() {
             return;
         }
-        self.push(Event::Instructions {
+        self.push_control(Event::Instructions {
             launch: ctx.launch,
             count,
         });
@@ -227,14 +531,15 @@ impl DeviceTraceSink for HubSink {
         // One lock drains the launch's buffered events and delivers the
         // trace summary, which always flows (the knob aggregates feed on
         // it even when no tool subscribed).
-        let mut hub = self.hub.lock();
-        drain_into(&mut self.buffer, &mut hub);
-        hub.processor.process(&Event::KernelTrace {
+        self.rebind(ctx.device);
+        let mut processor = self.hub.lock_device(ctx.device);
+        drain_buffers(&mut self.access_buf, &mut self.control_buf, &mut processor);
+        processor.process(&Event::KernelTrace {
             launch: ctx.launch,
             kernel: ctx.name.clone(),
             summary: summary.clone(),
         });
-        drop(hub);
+        drop(processor);
         self.gate = None;
     }
 }
@@ -245,9 +550,13 @@ mod tests {
     use accel_sim::{AccessKind, AccessPattern, DeviceId, Dim3, LaunchId, Symbol};
 
     fn ctx() -> TraceCtx {
+        ctx_on(0)
+    }
+
+    fn ctx_on(device: u32) -> TraceCtx {
         TraceCtx {
-            launch: LaunchId(7),
-            device: DeviceId(0),
+            launch: LaunchId(7 + u64::from(device)),
+            device: DeviceId(device),
             stream: 0,
             name: "gemm".into(),
             grid: Dim3::linear(8),
@@ -289,6 +598,14 @@ mod tests {
                 _ => {}
             }
         }
+        fn fork(&self) -> Option<Box<dyn Tool>> {
+            Some(Box::<SpaceCounter>::default())
+        }
+        fn merge(&mut self, other: &dyn Tool) {
+            let other = other.as_any().downcast_ref::<SpaceCounter>().unwrap();
+            self.global += other.global;
+            self.shared += other.shared;
+        }
         fn as_any(&self) -> &dyn std::any::Any {
             self
         }
@@ -297,11 +614,15 @@ mod tests {
         }
     }
 
-    #[test]
-    fn sink_routes_batches_by_space() {
+    fn space_counter_processor() -> EventProcessor {
         let mut processor = EventProcessor::new();
         processor.tools.register(Box::<SpaceCounter>::default());
-        let hub = new_shared(processor);
+        processor
+    }
+
+    #[test]
+    fn sink_routes_batches_by_space() {
+        let hub = new_shared(space_counter_processor());
         let mut sink = HubSink::new(Arc::clone(&hub));
         let config = sink.on_kernel_begin(&ctx());
         assert!(config.global_accesses);
@@ -310,8 +631,7 @@ mod tests {
         sink.on_batch(&ctx(), &batch(MemSpace::RemoteShared));
         sink.on_kernel_end(&ctx(), &KernelTraceSummary::default());
         let (g, s) = hub
-            .lock()
-            .processor
+            .primary()
             .tools
             .with_tool_mut("spaces", |t: &mut SpaceCounter| (t.global, t.shared))
             .unwrap();
@@ -326,7 +646,7 @@ mod tests {
         let config = sink.on_kernel_begin(&ctx());
         // No tools registered: nothing to instrument.
         assert!(config.is_disabled());
-        assert_eq!(hub.lock().processor.events_processed(), 1);
+        assert_eq!(hub.events_processed(), 1);
     }
 
     #[test]
@@ -345,7 +665,7 @@ mod tests {
         }
         assert_eq!(sink.buffered(), 0, "gated events are never buffered");
         // Only the KernelLaunchBegin event reached the processor.
-        assert_eq!(hub.lock().processor.events_processed(), 1);
+        assert_eq!(hub.events_processed(), 1);
     }
 
     #[test]
@@ -364,11 +684,11 @@ mod tests {
         assert_eq!(sink.buffered(), 0);
         sink.on_kernel_end(&ctx(), &KernelTraceSummary::default());
         // KernelLaunchBegin + KernelTrace only.
-        assert_eq!(hub.lock().processor.events_processed(), 2);
+        assert_eq!(hub.events_processed(), 2);
     }
 
     #[test]
-    fn buffered_events_flush_at_kernel_end_in_order() {
+    fn buffered_events_flush_at_kernel_end_in_class_major_order() {
         #[derive(Default)]
         struct OrderProbe {
             classes: Vec<EventClass>,
@@ -395,22 +715,20 @@ mod tests {
         let hub = new_shared(processor);
         let mut sink = HubSink::new(Arc::clone(&hub));
         sink.on_kernel_begin(&ctx());
+        sink.on_barriers(&ctx(), 4);
         sink.on_batch(&ctx(), &batch(MemSpace::Global));
         assert!(sink.buffered() > 0, "fine events buffer until a flush");
-        assert_eq!(
-            hub.lock().processor.events_processed(),
-            1,
-            "only KernelLaunchBegin so far"
-        );
-        sink.on_barriers(&ctx(), 4);
+        assert_eq!(hub.events_processed(), 1, "only KernelLaunchBegin so far");
         sink.on_kernel_end(&ctx(), &KernelTraceSummary::default());
         assert_eq!(sink.buffered(), 0);
         let classes = hub
-            .lock()
-            .processor
+            .primary()
             .tools
             .with_tool_mut("order", |t: &mut OrderProbe| t.classes.clone())
             .unwrap();
+        // The flush drains class-major: every buffered DeviceAccess event
+        // of the window, then the DeviceControl events, then KernelTrace —
+        // even though the barrier was emitted before the batch.
         assert_eq!(
             classes,
             vec![
@@ -424,19 +742,14 @@ mod tests {
 
     #[test]
     fn full_buffer_flushes_mid_launch() {
-        let mut processor = EventProcessor::new();
-        processor.tools.register(Box::<SpaceCounter>::default());
-        let hub = new_shared(processor);
+        let hub = new_shared(space_counter_processor());
         let mut sink = HubSink::new(Arc::clone(&hub));
         sink.on_kernel_begin(&ctx());
         for _ in 0..(FLUSH_EVENTS + 10) {
             sink.on_batch(&ctx(), &batch(MemSpace::Global));
         }
         assert_eq!(sink.buffered(), 10, "one full buffer drained mid-launch");
-        assert_eq!(
-            hub.lock().processor.events_processed() as usize,
-            1 + FLUSH_EVENTS
-        );
+        assert_eq!(hub.events_processed() as usize, 1 + FLUSH_EVENTS);
     }
 
     #[test]
@@ -482,8 +795,7 @@ mod tests {
         }
         sink.on_kernel_end(&ctx, &KernelTraceSummary::default());
         let names = hub
-            .lock()
-            .processor
+            .primary()
             .tools
             .with_tool_mut("names", |t: &mut NameCollector| t.names.clone())
             .unwrap();
@@ -494,5 +806,185 @@ mod tests {
                 "every event shares the launch's single interned name"
             );
         }
+    }
+
+    fn sharded_hub(n: u32) -> SharedHub {
+        let primary = space_counter_processor();
+        let shards: Vec<(DeviceId, EventProcessor)> = (0..n)
+            .map(|d| {
+                let p = if d == 0 {
+                    space_counter_processor()
+                } else {
+                    primary.fork().expect("SpaceCounter forks")
+                };
+                (DeviceId(d), p)
+            })
+            .collect();
+        Arc::new(Hub::sharded(shards).unwrap())
+    }
+
+    #[test]
+    fn sharded_hub_rejects_duplicate_devices() {
+        let err = Hub::sharded(vec![
+            (DeviceId(0), EventProcessor::new()),
+            (DeviceId(1), EventProcessor::new()),
+            (DeviceId(0), EventProcessor::new()),
+        ])
+        .unwrap_err();
+        assert!(err.contains("duplicate device gpu0"), "unhelpful: {err}");
+        assert!(Hub::sharded(vec![]).is_err(), "empty shard list rejected");
+    }
+
+    #[test]
+    fn events_route_to_their_device_shard() {
+        let hub = sharded_hub(2);
+        assert!(hub.is_sharded());
+        let mut sink = HubSink::new(Arc::clone(&hub));
+        // One launch per device through the same sink.
+        for d in 0..2 {
+            let ctx = ctx_on(d);
+            sink.on_kernel_begin(&ctx);
+            sink.on_batch(&ctx, &batch(MemSpace::Global));
+            if d == 1 {
+                sink.on_batch(&ctx, &batch(MemSpace::Shared));
+            }
+            sink.on_kernel_end(&ctx, &KernelTraceSummary::default());
+        }
+        let per_shard: Vec<(u64, u64)> = hub
+            .shards()
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .tools
+                    .with_tool_mut("spaces", |t: &mut SpaceCounter| (t.global, t.shared))
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(per_shard, vec![(1, 0), (1, 1)], "disjoint per-device state");
+        // Host events with a device route by content.
+        hub.process(&Event::KernelLaunchEnd {
+            launch: LaunchId(99),
+            device: DeviceId(1),
+            name: "gemm".into(),
+            start: accel_sim::SimTime(0),
+            end: accel_sim::SimTime(10),
+        });
+        // Only device 1's shard saw the timed launch (KernelTrace entries
+        // from the sink loop above never bump `calls`).
+        assert_eq!(
+            hub.shard_for(DeviceId(1))
+                .lock()
+                .knobs
+                .get("gemm")
+                .unwrap()
+                .calls,
+            1
+        );
+        assert_eq!(
+            hub.shard_for(DeviceId(0))
+                .lock()
+                .knobs
+                .get("gemm")
+                .unwrap()
+                .calls,
+            0
+        );
+    }
+
+    #[test]
+    fn merged_report_folds_shards_deterministically_and_repeatably() {
+        let hub = sharded_hub(2);
+        let mut sink = HubSink::new(Arc::clone(&hub));
+        for d in 0..2 {
+            let ctx = ctx_on(d);
+            sink.on_kernel_begin(&ctx);
+            for _ in 0..=d {
+                sink.on_batch(&ctx, &batch(MemSpace::Global));
+            }
+            sink.on_kernel_end(&ctx, &KernelTraceSummary::default());
+        }
+        let merged = hub.merged_report();
+        assert_eq!(merged.per_device.len(), 2);
+        assert_eq!(merged.per_device[0].0, DeviceId(0));
+        assert_eq!(merged.per_device[1].0, DeviceId(1));
+        let total = hub
+            .with_merged_tool("spaces", |t: &SpaceCounter| t.global)
+            .unwrap();
+        assert_eq!(total, 3, "1 batch on gpu0 + 2 on gpu1");
+        // The merge is non-destructive: repeating it yields the same bytes.
+        assert_eq!(merged, hub.merged_report());
+        // Per-shard instances were not consumed by merging.
+        assert_eq!(
+            hub.shards()[0]
+                .lock()
+                .tools
+                .with_tool_mut("spaces", |t: &mut SpaceCounter| t.global),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn region_annotations_gate_launches_on_every_shard() {
+        // Regression (ISSUE 3 review): a `pasta.start()` region opened
+        // while device 0 is current must also admit launches on device 1
+        // — pre-sharding, one processor observed region events globally.
+        let shards: Vec<(DeviceId, EventProcessor)> = (0..2)
+            .map(|d| {
+                let mut p = space_counter_processor();
+                p.range = crate::range::RangeFilter::annotated_regions();
+                (DeviceId(d), p)
+            })
+            .collect();
+        let hub = Arc::new(Hub::sharded(shards).unwrap());
+        assert!(
+            hub.lock_device(DeviceId(1))
+                .probe_config_for(LaunchId(0))
+                .is_disabled(),
+            "outside any region, both shards gate"
+        );
+        hub.process(&Event::RegionStart {
+            label: "train".into(),
+            device: DeviceId(0),
+        });
+        for d in 0..2 {
+            assert!(
+                !hub.lock_device(DeviceId(d))
+                    .probe_config_for(LaunchId(1))
+                    .is_disabled(),
+                "region opened on gpu0 admits launches on gpu{d}"
+            );
+        }
+        // Only the home shard dispatched the annotation event itself.
+        assert_eq!(hub.shards()[0].lock().events_processed(), 1);
+        assert_eq!(hub.shards()[1].lock().events_processed(), 0);
+        hub.process(&Event::RegionEnd {
+            label: "train".into(),
+            device: DeviceId(1),
+        });
+        for d in 0..2 {
+            assert!(
+                hub.lock_device(DeviceId(d))
+                    .probe_config_for(LaunchId(2))
+                    .is_disabled(),
+                "region closed from gpu1 gates gpu{d} again"
+            );
+        }
+    }
+
+    #[test]
+    fn merged_knobs_sum_across_shards() {
+        let hub = sharded_hub(2);
+        for d in 0..2u32 {
+            hub.process(&Event::KernelLaunchEnd {
+                launch: LaunchId(u64::from(d)),
+                device: DeviceId(d),
+                name: "gemm".into(),
+                start: accel_sim::SimTime(0),
+                end: accel_sim::SimTime(100),
+            });
+        }
+        let knobs = hub.merged_knobs();
+        assert_eq!(knobs.get("gemm").unwrap().calls, 2);
+        assert_eq!(knobs.get("gemm").unwrap().duration_ns, 200);
     }
 }

@@ -113,6 +113,20 @@ impl KnobSet {
             .map(|(n, a)| (n, *a))
     }
 
+    /// Folds another set's aggregates into this one (the sharded hub's
+    /// knob merge: per-kernel counters are sums, so the fold commutes and
+    /// the device-ordered merge is deterministic).
+    pub fn merge_from(&mut self, other: &KnobSet) {
+        for (kernel, theirs) in &other.per_kernel {
+            let agg = self.per_kernel.entry(kernel.clone()).or_default();
+            agg.calls += theirs.calls;
+            agg.memory_records += theirs.memory_records;
+            agg.bytes += theirs.bytes;
+            agg.barriers += theirs.barriers;
+            agg.duration_ns += theirs.duration_ns;
+        }
+    }
+
     /// Aggregate for one kernel.
     pub fn get(&self, kernel: &str) -> Option<KernelAggregate> {
         self.per_kernel.get(kernel).copied()

@@ -52,15 +52,17 @@ fn is_driver_api(raw: &str) -> bool {
 /// event path reports with more detail).
 pub fn normalize_nv(cb: &NvCallback) -> Option<Event> {
     Some(match cb {
-        NvCallback::ApiEnter { name, at } => {
+        NvCallback::ApiEnter { name, device, at } => {
             if is_driver_api(name) {
                 Event::DriverApi {
                     name: intern_api_name(name),
+                    device: *device,
                     at: *at,
                 }
             } else {
                 Event::RuntimeApi {
                     name: intern_api_name(name),
+                    device: *device,
                     at: *at,
                 }
             }
@@ -138,8 +140,9 @@ pub fn normalize_nv(cb: &NvCallback) -> Option<Event> {
 /// either `ResourceAlloc` or `ResourceFree` with positive bytes.
 pub fn normalize_roc(cb: &RocCallback) -> Option<Event> {
     Some(match cb {
-        RocCallback::ApiEnter { name, at } => Event::RuntimeApi {
+        RocCallback::ApiEnter { name, device, at } => Event::RuntimeApi {
             name: intern_api_name(name),
+            device: *device,
             at: *at,
         },
         RocCallback::ApiExit { .. } => return None,
@@ -371,6 +374,7 @@ mod tests {
     fn driver_vs_runtime_split() {
         let driver = NvCallback::ApiEnter {
             name: "cuLaunchKernel",
+            device: DeviceId(0),
             at: SimTime(0),
         };
         assert!(matches!(
@@ -379,6 +383,7 @@ mod tests {
         ));
         let runtime = NvCallback::ApiEnter {
             name: "cudaMalloc",
+            device: DeviceId(0),
             at: SimTime(0),
         };
         assert!(matches!(
@@ -406,11 +411,13 @@ mod tests {
     fn api_exits_are_dropped() {
         assert!(normalize_nv(&NvCallback::ApiExit {
             name: "cudaMalloc",
+            device: DeviceId(0),
             at: SimTime(0)
         })
         .is_none());
         assert!(normalize_roc(&RocCallback::ApiExit {
             name: "hipMalloc",
+            device: DeviceId(0),
             at: SimTime(0)
         })
         .is_none());

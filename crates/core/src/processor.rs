@@ -93,6 +93,47 @@ impl EventProcessor {
         }
     }
 
+    /// Drains a slice of *same-class* fine-grained events (the sink's
+    /// per-class spill buffers). The buffered classes — access batches,
+    /// barriers, block boundaries, instruction counts — never feed the
+    /// range filter, the knob aggregates or stack capture (those react to
+    /// kernel/framework/annotation events, which flow through
+    /// [`EventProcessor::process`] directly), so the drain skips both the
+    /// per-event preprocessing and the per-event class match: one
+    /// dispatch-row lookup covers the whole slice.
+    pub fn process_class_batch(&mut self, class: EventClass, events: &[Event]) {
+        debug_assert!(
+            matches!(class, EventClass::DeviceAccess | EventClass::DeviceControl),
+            "only launch-scoped fine-grained classes may take the fast drain"
+        );
+        self.events_processed += events.len() as u64;
+        self.tools.dispatch_class_batch(class, events);
+    }
+
+    /// Feeds one region annotation into the range filter *without*
+    /// dispatching it — how the hub keeps every shard's analysis-range
+    /// observation in sync while the event's home shard alone delivers it
+    /// to tools.
+    pub fn observe_range(&mut self, event: &Event) {
+        self.range.observe(event);
+    }
+
+    /// A state-empty processor for another device shard: same registered
+    /// tool set (via [`crate::tool::Tool::fork`]), same range
+    /// configuration and capture knob, fresh accumulators. `None` when
+    /// some tool declines to fork (the session then keeps one shared
+    /// shard).
+    pub fn fork(&self) -> Option<EventProcessor> {
+        Some(EventProcessor {
+            tools: self.tools.fork_all()?,
+            range: self.range.clone(),
+            knobs: KnobSet::new(),
+            stacks: StackCapture::new(),
+            capture_knob: self.capture_knob,
+            events_processed: 0,
+        })
+    }
+
     /// Captures the stack when `kernel` is what the capture knob currently
     /// selects — this is how PASTA avoids "capturing full context
     /// information for all runtime events" (§III-F2).

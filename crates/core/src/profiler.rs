@@ -17,17 +17,20 @@
 
 use crate::error::PastaError;
 use crate::handler::{attach_nv, attach_roc, attach_session};
-use crate::hub::{new_shared, HubSink, SharedHub};
+use crate::hub::{new_shared, Hub, HubSink, SharedHub};
 use crate::knob::{KernelAggregate, Knob};
 use crate::processor::EventProcessor;
 use crate::range::RangeFilter;
-use crate::report::{SessionReport, ToolReport};
+use crate::report::{MergedReport, SessionReport, ToolReport};
 use crate::tool::Tool;
 use crate::workload::{ModelWorkload, Workload, WorkloadCx};
 use accel_sim::instrument::ProfilerHandle;
-use accel_sim::{AnalysisMode, DeviceId, DeviceRuntime, DeviceSpec, OverheadBreakdown, Vendor};
+use accel_sim::{
+    AccelError, AnalysisMode, DeviceId, DeviceRuntime, DeviceSpec, OverheadBreakdown, Vendor,
+};
 use dl_framework::alloc::AllocatorConfig;
 use dl_framework::models::{ModelZoo, RunKind};
+use dl_framework::parallel::DeviceLane;
 use dl_framework::pycall::CrossLayerStack;
 use dl_framework::session::Session;
 use std::sync::Arc;
@@ -259,7 +262,23 @@ impl PastaBuilder {
             processor.tools.register(tool);
         }
         let wants_device = processor.tools.interest().wants_device_events();
-        let hub = new_shared(processor);
+        // One shard per device when every tool forks; otherwise fall back
+        // to a single shared shard (correct for any tool, but concurrent
+        // lanes then serialize on its lock).
+        let shard_forks: Option<Vec<EventProcessor>> =
+            (1..specs.len()).map(|_| processor.fork()).collect();
+        let hub: SharedHub = match shard_forks {
+            Some(rest) if specs.len() > 1 => {
+                let mut shards = vec![(DeviceId(0), processor)];
+                shards.extend(
+                    rest.into_iter()
+                        .enumerate()
+                        .map(|(i, p)| (DeviceId(i as u32 + 1), p)),
+                );
+                Arc::new(Hub::sharded(shards).map_err(PastaError::Config)?)
+            }
+            _ => new_shared(processor),
+        };
 
         let backend = self.backend.unwrap_or(match vendor {
             Vendor::Amd => BackendChoice::RocProfiler(
@@ -291,17 +310,7 @@ impl PastaBuilder {
                     }
                     ctx.attach_uvm(uvm);
                 }
-                let handle = match backend {
-                    BackendChoice::RocProfiler(cfg) if wants_device => {
-                        Some(vendor_amd::rocprofiler::attach(&mut ctx, cfg))
-                    }
-                    BackendChoice::HostOnly | BackendChoice::RocProfiler(_) => None,
-                    _ => {
-                        return Err(PastaError::Config(
-                            "NVIDIA backends cannot attach to AMD devices".into(),
-                        ))
-                    }
-                };
+                let handle = attach_roc_backend(&mut ctx, &backend, wants_device)?;
                 (RuntimeBox::Hip(ctx), handle)
             }
             _ => {
@@ -319,26 +328,8 @@ impl PastaBuilder {
                     }
                     ctx.attach_uvm(uvm);
                 }
-                let handle = match backend {
-                    BackendChoice::Sanitizer(cfg) if wants_device => {
-                        Some(vendor_nv::sanitizer::attach(
-                            &mut ctx,
-                            cfg.with_sampling(self.sampling_rate),
-                        ))
-                    }
-                    BackendChoice::Nvbit(cfg) if wants_device => Some(vendor_nv::nvbit::attach(
-                        &mut ctx,
-                        cfg.with_sampling(self.sampling_rate),
-                    )),
-                    BackendChoice::HostOnly
-                    | BackendChoice::Sanitizer(_)
-                    | BackendChoice::Nvbit(_) => None,
-                    BackendChoice::RocProfiler(_) => {
-                        return Err(PastaError::Config(
-                            "ROCProfiler cannot attach to NVIDIA devices".into(),
-                        ))
-                    }
-                };
+                let handle =
+                    attach_nv_backend(&mut ctx, &backend, self.sampling_rate, wants_device)?;
                 (RuntimeBox::Cuda(ctx), handle)
             }
         };
@@ -352,8 +343,59 @@ impl PastaBuilder {
             hub,
             profiler,
             managed_allocator,
+            specs,
+            backend,
+            sampling_rate: self.sampling_rate,
+            wants_device,
+            lane_overhead: OverheadBreakdown::default(),
+            lane_records: 0,
         })
     }
+}
+
+/// Attaches the chosen NVIDIA backend to a CUDA context (shared between
+/// the builder and per-lane parallel contexts).
+fn attach_nv_backend(
+    ctx: &mut CudaContext,
+    backend: &BackendChoice,
+    sampling: u32,
+    wants_device: bool,
+) -> Result<Option<ProfilerHandle>, PastaError> {
+    Ok(match backend {
+        BackendChoice::Sanitizer(cfg) if wants_device => Some(vendor_nv::sanitizer::attach(
+            ctx,
+            cfg.clone().with_sampling(sampling),
+        )),
+        BackendChoice::Nvbit(cfg) if wants_device => Some(vendor_nv::nvbit::attach(
+            ctx,
+            cfg.clone().with_sampling(sampling),
+        )),
+        BackendChoice::HostOnly | BackendChoice::Sanitizer(_) | BackendChoice::Nvbit(_) => None,
+        BackendChoice::RocProfiler(_) => {
+            return Err(PastaError::Config(
+                "ROCProfiler cannot attach to NVIDIA devices".into(),
+            ))
+        }
+    })
+}
+
+/// Attaches the chosen AMD backend to a HIP context.
+fn attach_roc_backend(
+    ctx: &mut HipContext,
+    backend: &BackendChoice,
+    wants_device: bool,
+) -> Result<Option<ProfilerHandle>, PastaError> {
+    Ok(match backend {
+        BackendChoice::RocProfiler(cfg) if wants_device => {
+            Some(vendor_amd::rocprofiler::attach(ctx, cfg.clone()))
+        }
+        BackendChoice::HostOnly | BackendChoice::RocProfiler(_) => None,
+        _ => {
+            return Err(PastaError::Config(
+                "NVIDIA backends cannot attach to AMD devices".into(),
+            ))
+        }
+    })
 }
 
 /// A live PASTA profiling session.
@@ -362,6 +404,17 @@ pub struct PastaSession {
     hub: SharedHub,
     profiler: Option<ProfilerHandle>,
     managed_allocator: bool,
+    /// Device specs the session was built with (parallel lanes replicate
+    /// them into per-lane contexts).
+    specs: Vec<DeviceSpec>,
+    /// Resolved backend choice, reused by parallel lanes.
+    backend: BackendChoice,
+    sampling_rate: u32,
+    wants_device: bool,
+    /// Overhead accumulated by finished parallel-lane profilers.
+    lane_overhead: OverheadBreakdown,
+    /// Records observed by finished parallel-lane profilers.
+    lane_records: u64,
 }
 
 impl std::fmt::Debug for PastaSession {
@@ -482,26 +535,55 @@ impl PastaSession {
         self.with_instrumented_session(|session| f(session).map_err(PastaError::from))
     }
 
-    /// Reports from all registered tools.
+    /// Reports from all registered tools, merged across device shards in
+    /// ascending device order (single-shard sessions report directly).
     pub fn reports(&self) -> Vec<ToolReport> {
-        self.hub.lock().processor.tools.reports()
+        self.hub.merged_reports()
     }
 
-    /// Runs `f` against the named tool downcast to `T`.
+    /// The full merged report: merged tools, the per-device breakdown and
+    /// the total event count — the session-end merge stage of the sharded
+    /// hub.
+    pub fn merged_report(&self) -> MergedReport {
+        self.hub.merged_report()
+    }
+
+    /// Runs `f` against the named tool downcast to `T`, on the *primary*
+    /// shard (device 0). On sharded multi-device sessions this sees only
+    /// device 0's slice of the stream — use
+    /// [`PastaSession::with_merged_tool`] for the cross-device view.
     pub fn with_tool_mut<T: Tool + 'static, R>(
         &mut self,
         name: &str,
         f: impl FnOnce(&mut T) -> R,
     ) -> Option<R> {
-        self.hub.lock().processor.tools.with_tool_mut(name, f)
+        self.hub.primary().tools.with_tool_mut(name, f)
     }
 
-    /// Cumulative instrumentation overhead so far.
+    /// Runs `f` against the merged cross-shard view of the named tool
+    /// (every device's instance folded into a fresh copy, ascending
+    /// device order).
+    pub fn with_merged_tool<T: Tool + 'static, R>(
+        &self,
+        name: &str,
+        f: impl FnOnce(&T) -> R,
+    ) -> Option<R> {
+        self.hub.with_merged_tool(name, f)
+    }
+
+    /// Cumulative instrumentation overhead so far, including overhead
+    /// charged by finished parallel lanes.
     pub fn overhead(&self) -> OverheadBreakdown {
-        self.profiler
+        let mut b = self
+            .profiler
             .as_ref()
             .map(ProfilerHandle::breakdown)
-            .unwrap_or_default()
+            .unwrap_or_default();
+        b.collection_ns += self.lane_overhead.collection_ns;
+        b.transfer_ns += self.lane_overhead.transfer_ns;
+        b.analysis_ns += self.lane_overhead.analysis_ns;
+        b.setup_ns += self.lane_overhead.setup_ns;
+        b
     }
 
     fn overhead_delta(&self, before: OverheadBreakdown) -> OverheadBreakdown {
@@ -514,17 +596,19 @@ impl PastaSession {
         }
     }
 
-    /// Trace records observed so far (post-sampling).
+    /// Trace records observed so far (post-sampling), including records
+    /// collected by finished parallel lanes.
     pub fn records(&self) -> u64 {
         self.profiler
             .as_ref()
             .map(ProfilerHandle::records_total)
             .unwrap_or(0)
+            + self.lane_records
     }
 
-    /// Events processed by the dispatch unit so far.
+    /// Events processed by the dispatch unit so far, across all shards.
     pub fn events_processed(&self) -> u64 {
-        self.hub.lock().processor.events_processed()
+        self.hub.events_processed()
     }
 
     /// Installs a UVM prefetch plan to replay before upcoming launches.
@@ -549,27 +633,145 @@ impl PastaSession {
         }
     }
 
-    /// The knob-selected kernel and its aggregate.
+    /// The knob-selected kernel and its aggregate, merged across shards.
     pub fn knob_selection(&self, knob: Knob) -> Option<(String, KernelAggregate)> {
         self.hub
-            .lock()
-            .processor
-            .knobs
+            .merged_knobs()
             .select(knob)
             .map(|(n, a)| (n.to_string(), a))
     }
 
-    /// The captured cross-layer stack for a kernel, if any.
+    /// The captured cross-layer stack for a kernel, if any (shards
+    /// consulted in ascending device order; first capture wins).
     pub fn cross_layer_stack(&self, kernel: &str) -> Option<CrossLayerStack> {
-        self.hub.lock().processor.stacks.stack_for(kernel).cloned()
+        self.hub.merged_stack_for(kernel)
     }
 
-    /// Resets all tools, knobs and stacks (the runtime keeps running).
+    /// Resets all tools, knobs and stacks on every shard (the runtime
+    /// keeps running).
     pub fn reset_analysis(&mut self) {
-        self.hub.lock().processor.reset();
+        self.hub.reset_all();
         if let Some(p) = &self.profiler {
             p.reset();
         }
+        self.lane_overhead = OverheadBreakdown::default();
+        self.lane_records = 0;
+    }
+
+    /// Creates one instrumented per-device framework session ("lane") per
+    /// entry of `devices` and hands them to `f` — the substrate of the
+    /// genuinely concurrent multi-device workloads: each lane owns its
+    /// own vendor context (full device list, pinned to its device) and
+    /// its own profiler whose sink feeds that device's hub shard, so
+    /// `f` can drive every lane from its own OS thread with no shared
+    /// lock on the emission path.
+    ///
+    /// Lanes inherit the session's backend, sampling and allocator
+    /// configuration; UVM attachments are not replicated into lanes.
+    /// Lane instrumentation overhead and record counts fold into
+    /// [`PastaSession::overhead`]/[`PastaSession::records`] when `f`
+    /// returns.
+    ///
+    /// # Errors
+    ///
+    /// [`PastaError::Config`] on an empty device list, a duplicate
+    /// [`DeviceId`] (each device gets exactly one lane), or a device the
+    /// session was not built with; otherwise propagates failures from
+    /// `f`.
+    pub fn run_parallel<R>(
+        &mut self,
+        devices: &[DeviceId],
+        f: impl FnOnce(&mut [DeviceLane<'_>]) -> Result<R, AccelError>,
+    ) -> Result<R, PastaError> {
+        if devices.is_empty() {
+            return Err(PastaError::Config(
+                "parallel device list is empty: pass at least one DeviceId".into(),
+            ));
+        }
+        for (i, device) in devices.iter().enumerate() {
+            if devices[..i].contains(device) {
+                return Err(PastaError::Config(format!(
+                    "duplicate device {device} in the parallel device list: \
+                     each device gets exactly one lane"
+                )));
+            }
+            if device.index() >= self.specs.len() {
+                return Err(PastaError::Config(format!(
+                    "device {device} is not part of this session ({} device(s) configured)",
+                    self.specs.len()
+                )));
+            }
+        }
+
+        // Per-lane contexts: the full device list each, pinned to the
+        // lane's device, host callbacks and (when tools want device
+        // events) a profiler+sink wired into the shared hub.
+        let mut contexts = Vec::with_capacity(devices.len());
+        let mut handles = Vec::new();
+        for &device in devices {
+            let (ctx, handle) = match self.specs[0].vendor {
+                Vendor::Amd => {
+                    let mut ctx = HipContext::new(self.specs.clone());
+                    ctx.set_device(device).map_err(PastaError::from)?;
+                    attach_roc(&mut ctx, Arc::clone(&self.hub));
+                    let handle = attach_roc_backend(&mut ctx, &self.backend, self.wants_device)?;
+                    (RuntimeBox::Hip(ctx), handle)
+                }
+                _ => {
+                    let mut ctx = CudaContext::new(self.specs.clone());
+                    ctx.set_device(device).map_err(PastaError::from)?;
+                    attach_nv(&mut ctx, Arc::clone(&self.hub));
+                    let handle = attach_nv_backend(
+                        &mut ctx,
+                        &self.backend,
+                        self.sampling_rate,
+                        self.wants_device,
+                    )?;
+                    (RuntimeBox::Cuda(ctx), handle)
+                }
+            };
+            if let Some(handle) = &handle {
+                handle.set_sink(Box::new(HubSink::new(Arc::clone(&self.hub))));
+            }
+            contexts.push(ctx);
+            if let Some(handle) = handle {
+                handles.push(handle);
+            }
+        }
+
+        let alloc_config = if self.managed_allocator {
+            AllocatorConfig::managed()
+        } else {
+            AllocatorConfig::default()
+        };
+        let mut lanes: Vec<DeviceLane<'_>> = contexts
+            .iter_mut()
+            .zip(devices)
+            .map(|(ctx, &device)| {
+                let rt = ctx.as_runtime_mut();
+                let backend = dl_framework::backend::BackendProfile::for_vendor(rt.vendor());
+                let mut session = Session::with_config(rt, backend, alloc_config.clone());
+                attach_session(&mut session, Arc::clone(&self.hub));
+                DeviceLane::pin(device, session).map_err(PastaError::from)
+            })
+            .collect::<Result<_, _>>()?;
+
+        let result = f(&mut lanes).map_err(PastaError::from);
+        // Settle lane clocks (also on failure) so nothing stays in flight,
+        // then fold lane instrumentation accounting into the session.
+        for lane in &mut lanes {
+            lane.session.synchronize();
+        }
+        drop(lanes);
+        for handle in handles {
+            let b = handle.breakdown();
+            self.lane_overhead.collection_ns += b.collection_ns;
+            self.lane_overhead.transfer_ns += b.transfer_ns;
+            self.lane_overhead.analysis_ns += b.analysis_ns;
+            self.lane_overhead.setup_ns += b.setup_ns;
+            self.lane_records += handle.records_total();
+        }
+        result
     }
 }
 
@@ -811,6 +1013,133 @@ mod tests {
             .run_model_scaled(ModelZoo::Bert, RunKind::Inference, 1, 8)
             .unwrap();
         assert!(report.kernel_launches > 50);
+    }
+
+    #[test]
+    fn multi_device_sessions_shard_when_tools_fork() {
+        let session = Pasta::builder()
+            .a100_x2()
+            .tool(LaunchCounter::default())
+            .build()
+            .unwrap();
+        assert!(
+            session.hub.is_sharded(),
+            "forkable tools → one shard/device"
+        );
+        assert_eq!(session.hub.shards().len(), 2);
+
+        let single = Pasta::builder()
+            .a100()
+            .tool(LaunchCounter::default())
+            .build()
+            .unwrap();
+        assert!(!single.hub.is_sharded(), "one device → one shard");
+
+        let fallback = Pasta::builder()
+            .a100_x2()
+            .tool(DeviceHungry)
+            .build()
+            .unwrap();
+        assert!(
+            !fallback.hub.is_sharded(),
+            "a tool that declines fork() keeps the single shared shard"
+        );
+    }
+
+    #[test]
+    fn run_parallel_rejects_bad_device_lists() {
+        let mut session = Pasta::builder()
+            .a100_x2()
+            .tool(LaunchCounter::default())
+            .build()
+            .unwrap();
+
+        let err = session
+            .run_parallel(&[], |_| Ok(()))
+            .expect_err("empty device list");
+        assert!(
+            matches!(&err, PastaError::Config(m) if m.contains("empty")),
+            "{err}"
+        );
+
+        let err = session
+            .run_parallel(&[DeviceId(0), DeviceId(1), DeviceId(0)], |_| Ok(()))
+            .expect_err("duplicate device");
+        let PastaError::Config(msg) = &err else {
+            panic!("duplicate DeviceId must be a config error, got {err}");
+        };
+        assert!(msg.contains("duplicate device gpu0"), "unhelpful: {msg}");
+        assert!(
+            !msg.contains("  "),
+            "message has collapsed whitespace: {msg}"
+        );
+
+        let err = session
+            .run_parallel(&[DeviceId(7)], |_| Ok(()))
+            .expect_err("unknown device");
+        assert!(
+            matches!(&err, PastaError::Config(m) if m.contains("gpu7")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn run_parallel_lanes_feed_per_device_shards_and_merge() {
+        use dl_framework::dtype::DType;
+        let mut session = Pasta::builder()
+            .a100_x2()
+            .tool(LaunchCounter::default())
+            .build()
+            .unwrap();
+        let devices = [DeviceId(0), DeviceId(1)];
+        session
+            .run_parallel(&devices, |lanes| {
+                assert_eq!(lanes.len(), 2);
+                // Drive both lanes from their own threads: tensor traffic
+                // and kernel launches race into the hub.
+                std::thread::scope(|scope| {
+                    for lane in lanes.iter_mut() {
+                        scope.spawn(move || {
+                            let s = &mut lane.session;
+                            let t = s.alloc_tensor(&[1024], DType::F32).unwrap();
+                            for _ in 0..5 {
+                                let desc = accel_sim::KernelDesc::new(
+                                    "lane_kernel",
+                                    accel_sim::Dim3::linear(8),
+                                    accel_sim::Dim3::linear(128),
+                                )
+                                .arg(t.ptr, t.bytes)
+                                .body(accel_sim::KernelBody::compute(1 << 16));
+                                s.launch(desc).unwrap();
+                            }
+                            s.free_tensor(&t);
+                        });
+                    }
+                });
+                Ok(())
+            })
+            .unwrap();
+        // Each shard saw its own lane's 5 launches...
+        for shard in session.hub.shards() {
+            let n = shard
+                .lock()
+                .tools
+                .with_tool_mut("launch-counter", |t: &mut LaunchCounter| t.launches)
+                .unwrap();
+            assert_eq!(n, 5, "shard {} launches", shard.device());
+        }
+        // ...and the merged view folds both, deterministically.
+        let total = session
+            .with_merged_tool("launch-counter", |t: &LaunchCounter| t.launches)
+            .unwrap();
+        assert_eq!(total, 10);
+        let merged = session.merged_report();
+        assert_eq!(merged.per_device.len(), 2);
+        assert_eq!(merged, session.merged_report(), "merge is repeatable");
+        // The merged knob view sums both devices' launches.
+        let (kernel, agg) = session.knob_selection(Knob::MaxCalledKernel).unwrap();
+        assert_eq!(kernel, "lane_kernel");
+        assert_eq!(agg.calls, 10);
     }
 
     #[test]

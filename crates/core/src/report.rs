@@ -1,6 +1,6 @@
 //! Report types returned by tools and sessions.
 
-use accel_sim::{OverheadBreakdown, SimTime};
+use accel_sim::{DeviceId, OverheadBreakdown, SimTime};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -54,6 +54,40 @@ impl fmt::Display for ToolReport {
         }
         if !self.text.is_empty() {
             writeln!(f, "{}", self.text)?;
+        }
+        Ok(())
+    }
+}
+
+/// The deterministic combination of per-shard tool state the sharded hub
+/// produces at session end.
+///
+/// Each device shard accumulates its own tool instances, knob aggregates
+/// and event counts; the merge folds them in a fixed order — each shard's
+/// state is internally launch-ordered, shards combine by ascending device
+/// id — so repeated runs of the same workload yield byte-identical merged
+/// reports regardless of how the emitting threads interleaved.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MergedReport {
+    /// Tool reports merged across every shard, in registration order.
+    pub tools: Vec<ToolReport>,
+    /// The unmerged per-shard breakdown, ascending device id. Single-shard
+    /// sessions have one entry mirroring `tools`.
+    pub per_device: Vec<(DeviceId, Vec<ToolReport>)>,
+    /// Events processed across all shards.
+    pub events_processed: u64,
+}
+
+impl fmt::Display for MergedReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "=== merged report ({} shard(s), {} events) ===",
+            self.per_device.len(),
+            self.events_processed
+        )?;
+        for report in &self.tools {
+            write!(f, "{report}")?;
         }
         Ok(())
     }

@@ -165,6 +165,32 @@ pub trait Tool: Send {
     /// Clears accumulated state between runs.
     fn reset(&mut self) {}
 
+    /// Creates a fresh, state-empty instance of this tool for another
+    /// device shard of the sharded hub.
+    ///
+    /// Returning `None` (the default) opts the session out of per-device
+    /// sharding: the builder falls back to a single shard that every
+    /// device shares, which is always correct but serializes concurrent
+    /// emission. Tools that want multi-device scalability return a
+    /// default-constructed instance and implement [`Tool::merge`].
+    fn fork(&self) -> Option<Box<dyn Tool>> {
+        None
+    }
+
+    /// Folds another instance's accumulated state into `self` — the merge
+    /// stage of the sharded hub, invoked at report time in ascending
+    /// device-id order (each shard's state is internally launch-ordered,
+    /// so the merge is deterministic: launch order within a device, then
+    /// device id across devices).
+    ///
+    /// `other` is always an instance of the same concrete type (produced
+    /// by [`Tool::fork`]); implementations downcast it via
+    /// [`Tool::as_any`]. The default is a no-op, which is only sound for
+    /// tools that never fork.
+    fn merge(&mut self, other: &dyn Tool) {
+        let _ = other;
+    }
+
     /// Downcasting support (used by
     /// [`crate::PastaSession::with_tool_mut`]).
     fn as_any(&self) -> &dyn Any;
@@ -263,9 +289,44 @@ impl ToolCollection {
         }
     }
 
+    /// Delivers a slice of same-class events, resolving the dispatch row
+    /// once for the whole slice instead of per event — the drain half of
+    /// the sink's per-class spill buffers. Events stay in slice (emission)
+    /// order for every receiving tool.
+    pub fn dispatch_class_batch(&mut self, class: EventClass, events: &[Event]) {
+        let row = &self.class_tools[class.index()];
+        if row.is_empty() {
+            return;
+        }
+        for event in events {
+            debug_assert_eq!(event.class(), class);
+            for &i in row {
+                self.tools[i].on_event(event);
+            }
+        }
+    }
+
     /// Reports from every tool, in registration order.
     pub fn reports(&self) -> Vec<ToolReport> {
         self.tools.iter().map(|t| t.report()).collect()
+    }
+
+    /// The tool at registration index `i`.
+    pub fn tool_at(&self, i: usize) -> Option<&dyn Tool> {
+        self.tools.get(i).map(|t| &**t)
+    }
+
+    /// A fresh collection holding one [`Tool::fork`] of every registered
+    /// tool (same registration order, same dispatch table). `None` when
+    /// any tool declines to fork — the caller then falls back to a single
+    /// shared shard.
+    pub fn fork_all(&self) -> Option<ToolCollection> {
+        let mut forked = ToolCollection::new();
+        for tool in &self.tools {
+            forked.tools.push(tool.fork()?);
+        }
+        forked.rebuild_dispatch();
+        Some(forked)
     }
 
     /// Resets every tool and rebuilds the dispatch table (the one point,
@@ -316,6 +377,16 @@ impl Tool for LaunchCounter {
 
     fn reset(&mut self) {
         self.launches = 0;
+    }
+
+    fn fork(&self) -> Option<Box<dyn Tool>> {
+        Some(Box::<LaunchCounter>::default())
+    }
+
+    fn merge(&mut self, other: &dyn Tool) {
+        if let Some(other) = other.as_any().downcast_ref::<LaunchCounter>() {
+            self.launches += other.launches;
+        }
     }
 
     fn as_any(&self) -> &dyn Any {

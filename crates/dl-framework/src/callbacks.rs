@@ -9,7 +9,7 @@
 
 use crate::pycall::PyFrame;
 use crate::tensor::TensorId;
-use accel_sim::DeviceId;
+use accel_sim::{DeviceId, Symbol};
 use serde::{Deserialize, Serialize};
 
 /// Which pass of training is running (Table II "Forward/Backward Boundary").
@@ -80,8 +80,8 @@ pub enum FrameworkEvent {
     },
     /// A named layer boundary (requires `pasta` annotations in the paper).
     LayerBoundary {
-        /// Layer name, e.g. `"encoder.layer.7"`.
-        name: String,
+        /// Layer name, e.g. `"encoder.layer.7"`, interned.
+        name: Symbol,
         /// Layer ordinal within the model.
         index: usize,
         /// Device.
@@ -96,15 +96,15 @@ pub enum FrameworkEvent {
     },
     /// `pasta.start()`-style custom region annotation.
     RegionStart {
-        /// User label.
-        label: String,
+        /// User label, interned.
+        label: Symbol,
         /// Device.
         device: DeviceId,
     },
     /// `pasta.stop()`-style region end.
     RegionEnd {
-        /// User label.
-        label: String,
+        /// User label, interned.
+        label: Symbol,
         /// Device.
         device: DeviceId,
     },

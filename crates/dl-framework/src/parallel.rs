@@ -1,6 +1,15 @@
 //! Multi-GPU parallelism: Megatron GPT-2 345M under data, tensor and
 //! pipeline parallelism on two devices (paper §V-D2, Fig. 15).
 //!
+//! Since the sharded-hub rework these are *genuinely concurrent* emission
+//! scenarios: every device is driven by its own OS thread over its own
+//! [`DeviceLane`] (a framework [`Session`] pinned to one device), so
+//! tensor traffic, operator brackets and fine-grained device events from
+//! different GPUs really do race into the profiling layer — which the
+//! per-device hub shards absorb without a shared lock. Pipeline
+//! parallelism sequences its cross-stage activation handoffs with
+//! channels, exactly where a real run would block on send/recv.
+//!
 //! The three strategies shard differently and therefore leave different
 //! per-GPU memory signatures:
 //!
@@ -22,6 +31,43 @@ use crate::ops::{self, Act};
 use crate::session::Session;
 use accel_sim::{AccelError, DeviceId};
 use serde::{Deserialize, Serialize};
+use std::sync::mpsc;
+
+/// One lane of a multi-device parallel run: a framework session pinned to
+/// one device, drivable from its own OS thread. Lanes over distinct
+/// devices emit into distinct hub shards upstream, so driving them
+/// concurrently contends on nothing.
+pub struct DeviceLane<'rt> {
+    device: DeviceId,
+    /// The lane's framework session (current device = [`DeviceLane::device`]).
+    pub session: Session<'rt>,
+}
+
+impl std::fmt::Debug for DeviceLane<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeviceLane")
+            .field("device", &self.device)
+            .finish()
+    }
+}
+
+impl<'rt> DeviceLane<'rt> {
+    /// Pins `session`'s runtime to `device` and wraps it as a lane.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `set_device` failure for a device the runtime does not
+    /// have.
+    pub fn pin(device: DeviceId, mut session: Session<'rt>) -> Result<Self, AccelError> {
+        session.runtime_mut().set_device(device)?;
+        Ok(DeviceLane { device, session })
+    }
+
+    /// The device this lane drives.
+    pub fn device(&self) -> DeviceId {
+        self.device
+    }
+}
 
 /// Parallelization strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -62,7 +108,7 @@ pub fn megatron_345m_dims() -> LmDims {
 pub struct ParallelReport {
     /// Strategy executed.
     pub strategy: Parallelism,
-    /// Peak live tensor bytes per device.
+    /// Peak live tensor bytes per device (lane order).
     pub peak_allocated: Vec<u64>,
     /// Peak reserved (footprint) bytes per device.
     pub peak_reserved: Vec<u64>,
@@ -70,22 +116,30 @@ pub struct ParallelReport {
     pub launches: Vec<u64>,
 }
 
-fn report(s: &Session<'_>, strategy: Parallelism) -> ParallelReport {
-    let devices = [DeviceId(0), DeviceId(1)];
+/// One lane's contribution to a [`ParallelReport`], captured on the
+/// lane's own thread.
+#[derive(Debug, Clone, Copy, Default)]
+struct LaneStats {
+    peak_allocated: u64,
+    peak_reserved: u64,
+    launches: u64,
+}
+
+fn lane_stats(lane: &DeviceLane<'_>) -> LaneStats {
+    let alloc = lane.session.allocator_stats_for(lane.device);
+    LaneStats {
+        peak_allocated: alloc.peak_allocated,
+        peak_reserved: alloc.peak_reserved,
+        launches: lane.session.runtime().stats(lane.device).launches,
+    }
+}
+
+fn report(strategy: Parallelism, stats: Vec<LaneStats>) -> ParallelReport {
     ParallelReport {
         strategy,
-        peak_allocated: devices
-            .iter()
-            .map(|&d| s.allocator_stats_for(d).peak_allocated)
-            .collect(),
-        peak_reserved: devices
-            .iter()
-            .map(|&d| s.allocator_stats_for(d).peak_reserved)
-            .collect(),
-        launches: devices
-            .iter()
-            .map(|&d| s.runtime().stats(d).launches)
-            .collect(),
+        peak_allocated: stats.iter().map(|s| s.peak_allocated).collect(),
+        peak_reserved: stats.iter().map(|s| s.peak_reserved).collect(),
+        launches: stats.iter().map(|s| s.launches).collect(),
     }
 }
 
@@ -99,71 +153,83 @@ fn megatron_spec() -> ModelSpec {
     }
 }
 
-/// Runs one data-parallel training iteration on devices 0 and 1.
-///
-/// # Errors
-///
-/// Propagates allocation/launch failures; requires ≥ 2 devices.
-pub fn train_iter_data_parallel(
-    s: &mut Session<'_>,
-    batch: usize,
-) -> Result<ParallelReport, AccelError> {
-    let dims = megatron_345m_dims();
-    let mut replicas = Vec::new();
-    for dev in [DeviceId(0), DeviceId(1)] {
-        s.runtime_mut().set_device(dev)?;
-        replicas.push(custom_lm(
-            s,
-            megatron_spec(),
-            dims,
-            batch,
-            "megatron/pretrain_gpt2.py",
-        )?);
-    }
-    // Persistent DDP gradient buckets (the long-lived communication
-    // tensors the paper notes in §V-D2).
-    let bucket_elems = (32 << 20) / 4; // 32 MiB buckets
-    let mut buckets = Vec::new();
-    for dev in [DeviceId(0), DeviceId(1)] {
-        s.runtime_mut().set_device(dev)?;
-        buckets.push(s.alloc_tensor(&[bucket_elems], DType::F32)?);
-    }
-
-    for (i, replica) in replicas.iter_mut().enumerate() {
-        s.runtime_mut().set_device(DeviceId(i as u32))?;
-        replica.training_iter(s)?;
-    }
-    // All-reduce the gradients bucket by bucket.
-    let param_bytes = replicas[0].param_bytes();
-    let n_buckets = param_bytes.div_ceil(32 << 20);
-    for (i, bucket) in buckets.iter().enumerate() {
-        s.runtime_mut().set_device(DeviceId(i as u32))?;
-        for _ in 0..n_buckets {
-            ops::allreduce(s, bucket)?;
-        }
-    }
-
-    let rep = report(s, Parallelism::Data);
-    for (i, mut replica) in replicas.into_iter().enumerate() {
-        s.runtime_mut().set_device(DeviceId(i as u32))?;
-        replica.destroy(s);
-    }
-    for (i, bucket) in buckets.iter().enumerate() {
-        s.runtime_mut().set_device(DeviceId(i as u32))?;
-        s.free_tensor(bucket);
-    }
-    Ok(rep)
+/// Runs every lane's closure on its own OS thread (scoped, so lanes
+/// borrow freely) and collects the per-lane results in lane order. The
+/// first failing lane (by lane order, deterministically) wins error
+/// propagation.
+fn drive_lanes<F>(lanes: &mut [DeviceLane<'_>], work: F) -> Result<Vec<LaneStats>, AccelError>
+where
+    F: Fn(usize, &mut DeviceLane<'_>) -> Result<LaneStats, AccelError> + Sync,
+{
+    let work = &work;
+    let results: Vec<Result<LaneStats, AccelError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = lanes
+            .iter_mut()
+            .enumerate()
+            .map(|(i, lane)| scope.spawn(move || work(i, lane)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("lane thread panicked"))
+            .collect()
+    });
+    results.into_iter().collect()
 }
 
-/// Runs one tensor-parallel training iteration (2-way Megatron sharding).
+fn require_lanes(lanes: &[DeviceLane<'_>], n: usize, strategy: &str) -> Result<(), AccelError> {
+    if lanes.len() < n {
+        return Err(AccelError::Config(format!(
+            "{strategy} needs at least {n} device lanes, got {}",
+            lanes.len()
+        )));
+    }
+    Ok(())
+}
+
+/// Runs one data-parallel training iteration, one OS thread per lane.
 ///
 /// # Errors
 ///
-/// Propagates allocation/launch failures; requires ≥ 2 devices.
-pub fn train_iter_tensor_parallel(
-    s: &mut Session<'_>,
+/// Propagates allocation/launch failures; requires ≥ 2 lanes.
+pub fn train_iter_data_parallel(
+    lanes: &mut [DeviceLane<'_>],
     batch: usize,
 ) -> Result<ParallelReport, AccelError> {
+    require_lanes(lanes, 2, "data parallelism")?;
+    let dims = megatron_345m_dims();
+    let stats = drive_lanes(lanes, |_i, lane| {
+        let s = &mut lane.session;
+        let mut replica = custom_lm(s, megatron_spec(), dims, batch, "megatron/pretrain_gpt2.py")?;
+        // Persistent DDP gradient bucket (the long-lived communication
+        // tensor the paper notes in §V-D2).
+        let bucket_elems = (32 << 20) / 4; // 32 MiB buckets
+        let bucket = s.alloc_tensor(&[bucket_elems], DType::F32)?;
+        replica.training_iter(s)?;
+        // All-reduce the gradients bucket by bucket.
+        let n_buckets = replica.param_bytes().div_ceil(32 << 20);
+        for _ in 0..n_buckets {
+            ops::allreduce(s, &bucket)?;
+        }
+        let stats = lane_stats(lane);
+        let s = &mut lane.session;
+        replica.destroy(s);
+        s.free_tensor(&bucket);
+        Ok(stats)
+    })?;
+    Ok(report(Parallelism::Data, stats))
+}
+
+/// Runs one tensor-parallel training iteration (2-way Megatron sharding),
+/// one OS thread per lane.
+///
+/// # Errors
+///
+/// Propagates allocation/launch failures; requires exactly 2 lanes.
+pub fn train_iter_tensor_parallel(
+    lanes: &mut [DeviceLane<'_>],
+    batch: usize,
+) -> Result<ParallelReport, AccelError> {
+    require_lanes(lanes, 2, "tensor parallelism")?;
     let dims = megatron_345m_dims();
     // Each shard keeps half the heads/FFN and half the vocabulary.
     let shard_dims = LmDims {
@@ -172,19 +238,15 @@ pub fn train_iter_tensor_parallel(
         vocab: dims.vocab / 2,
         ..dims
     };
-    let mut shards = Vec::new();
-    for dev in [DeviceId(0), DeviceId(1)] {
-        s.runtime_mut().set_device(dev)?;
-        shards.push(custom_lm(
+    let stats = drive_lanes(lanes, |_i, lane| {
+        let s = &mut lane.session;
+        let mut shard = custom_lm(
             s,
             megatron_spec(),
             shard_dims,
             batch,
             "megatron/pretrain_gpt2.py",
-        )?);
-    }
-    for (i, shard) in shards.iter_mut().enumerate() {
-        s.runtime_mut().set_device(DeviceId(i as u32))?;
+        )?;
         shard.training_iter(s)?;
         // Activation all-reduces: two per layer (after attention and after
         // the MLP), on [batch, seq, d] activations.
@@ -193,13 +255,11 @@ pub fn train_iter_tensor_parallel(
             ops::allreduce(s, &act)?;
         }
         s.free_tensor(&act);
-    }
-    let rep = report(s, Parallelism::Tensor);
-    for (i, mut shard) in shards.into_iter().enumerate() {
-        s.runtime_mut().set_device(DeviceId(i as u32))?;
-        shard.destroy(s);
-    }
-    Ok(rep)
+        let stats = lane_stats(lane);
+        shard.destroy(&mut lane.session);
+        Ok(stats)
+    })?;
+    Ok(report(Parallelism::Tensor, stats))
 }
 
 /// One pipeline stage: either the front (embeddings + first half of the
@@ -247,21 +307,17 @@ impl PipelineStage {
     }
 }
 
-/// Runs one pipeline-parallel training iteration: blocks 0–11 on GPU 0,
-/// blocks 12–23 plus the logits head on GPU 1.
-///
-/// # Errors
-///
-/// Propagates allocation/launch failures; requires ≥ 2 devices.
-pub fn train_iter_pipeline_parallel(
-    s: &mut Session<'_>,
+/// The front pipeline stage's thread: blocks 0–11 plus the embeddings.
+fn pipeline_stage0(
+    lane: &mut DeviceLane<'_>,
     batch: usize,
-) -> Result<ParallelReport, AccelError> {
+    fwd_sent: mpsc::Sender<()>,
+    bwd_ready: mpsc::Receiver<()>,
+) -> Result<LaneStats, AccelError> {
     let dims = megatron_345m_dims();
     let half = dims.layers / 2;
-
-    s.runtime_mut().set_device(DeviceId(0))?;
-    let mut stage0 = PipelineStage {
+    let s = &mut lane.session;
+    let mut stage = PipelineStage {
         wte: Some(Param::new(s, &[dims.vocab, dims.d])?),
         wpe: Some(Param::new(s, &[dims.seq, dims.d])?),
         blocks: {
@@ -280,8 +336,66 @@ pub fn train_iter_pipeline_parallel(
         ln_f: None,
         head: None,
     };
-    s.runtime_mut().set_device(DeviceId(1))?;
-    let mut stage1 = PipelineStage {
+
+    // ---- Forward ---------------------------------------------------------
+    s.pass_boundary(Pass::Forward);
+    let idx = s.alloc_tensor(&[batch, dims.seq], DType::I64)?;
+    let wte0 = stage.wte.as_ref().expect("stage0 wte").tensor.clone();
+    let emb = ops::embedding(s, &wte0, &idx)?;
+    let wpe0 = stage.wpe.as_ref().expect("stage0 wpe").tensor.clone();
+    let x0 = ops::elementwise(
+        s,
+        "at::native::vectorized_elementwise_kernel<add_pos>",
+        &[&emb, &wpe0],
+        &[batch, dims.seq, dims.d],
+    )?;
+    s.free_tensor(&emb);
+    let boundary = stage.blocks.forward(s, x0, true)?;
+    ops::send_recv(s, &boundary)?;
+    // Activation handed to stage 1; its backward will signal us back.
+    let _ = fwd_sent.send(());
+
+    // ---- Backward (waits for stage 1's gradient send-back) ---------------
+    bwd_ready
+        .recv()
+        .map_err(|_| AccelError::Config("pipeline peer vanished before backward".into()))?;
+    let g_recv = s.alloc_tensor(&[batch, dims.seq, dims.d], DType::F32)?;
+    ops::send_recv(s, &g_recv)?;
+    let g_x0 = stage.blocks.backward(s, g_recv)?;
+    s.free_tensor(&boundary);
+    let g_wpe = ops::elementwise(
+        s,
+        "at::native::reduce_kernel<512, ReduceAdd>",
+        &[&g_x0],
+        &[dims.seq, dims.d],
+    )?;
+    stage.wpe.as_mut().expect("wpe").set_grad(s, g_wpe)?;
+    let g_wte = ops::embedding_backward(s, &stage.wte.as_ref().expect("wte").tensor, &idx, &g_x0)?;
+    stage.wte.as_mut().expect("wte").set_grad(s, g_wte)?;
+    s.free_tensor(&g_x0);
+    s.free_tensor(&idx);
+
+    // ---- Optimizer --------------------------------------------------------
+    s.pass_boundary(Pass::Optimizer);
+    stage.step(s)?;
+
+    let stats = lane_stats(lane);
+    stage.destroy(&mut lane.session);
+    Ok(stats)
+}
+
+/// The back pipeline stage's thread: blocks 12–23, final norm, logits
+/// head and the loss.
+fn pipeline_stage1(
+    lane: &mut DeviceLane<'_>,
+    batch: usize,
+    fwd_ready: mpsc::Receiver<()>,
+    bwd_sent: mpsc::Sender<()>,
+) -> Result<LaneStats, AccelError> {
+    let dims = megatron_345m_dims();
+    let half = dims.layers / 2;
+    let s = &mut lane.session;
+    let mut stage = PipelineStage {
         wte: None,
         wpe: None,
         blocks: {
@@ -301,31 +415,16 @@ pub fn train_iter_pipeline_parallel(
         head: Some(Param::new(s, &[dims.vocab, dims.d])?),
     };
 
-    // ---- Forward: stage 0 ------------------------------------------------
-    s.runtime_mut().set_device(DeviceId(0))?;
-    s.pass_boundary(Pass::Forward);
-    let idx = s.alloc_tensor(&[batch, dims.seq], DType::I64)?;
-    let wte0 = stage0.wte.as_ref().expect("stage0 wte").tensor.clone();
-    let emb = ops::embedding(s, &wte0, &idx)?;
-    let wpe0 = stage0.wpe.as_ref().expect("stage0 wpe").tensor.clone();
-    let x0 = ops::elementwise(
-        s,
-        "at::native::vectorized_elementwise_kernel<add_pos>",
-        &[&emb, &wpe0],
-        &[batch, dims.seq, dims.d],
-    )?;
-    s.free_tensor(&emb);
-    let boundary = stage0.blocks.forward(s, x0, true)?;
-    ops::send_recv(s, &boundary)?;
-
-    // ---- Forward + loss + backward: stage 1 ------------------------------
-    s.runtime_mut().set_device(DeviceId(1))?;
+    // ---- Forward + loss + backward (gated on stage 0's activation) -------
+    fwd_ready
+        .recv()
+        .map_err(|_| AccelError::Config("pipeline peer vanished before forward".into()))?;
     let recv = s.alloc_tensor(&[batch, dims.seq, dims.d], DType::F32)?;
     ops::send_recv(s, &recv)?;
-    let h1 = stage1.blocks.forward(s, recv, true)?;
-    let ln = stage1.ln_f.as_mut().expect("stage1 ln_f");
+    let h1 = stage.blocks.forward(s, recv, true)?;
+    let ln = stage.ln_f.as_mut().expect("stage1 ln_f");
     let hl = ln.forward(s, &h1, true)?;
-    let head_w = stage1.head.as_ref().expect("stage1 head").tensor.clone();
+    let head_w = stage.head.as_ref().expect("stage1 head").tensor.clone();
     let logits = ops::linear(s, &hl, &head_w, None, Act::None)?;
     let loss = ops::cross_entropy(s, &logits)?;
     s.free_tensor(&loss);
@@ -334,71 +433,73 @@ pub fn train_iter_pipeline_parallel(
     let (g_hl, g_head, _) = ops::linear_backward(
         s,
         &hl,
-        &stage1.head.as_ref().expect("head").tensor,
+        &stage.head.as_ref().expect("head").tensor,
         &g_logits,
         false,
     )?;
-    stage1.head.as_mut().expect("head").set_grad(s, g_head)?;
+    stage.head.as_mut().expect("head").set_grad(s, g_head)?;
     s.free_tensor(&g_logits);
     s.free_tensor(&logits);
-    let g_h1 = stage1
-        .ln_f
-        .as_mut()
-        .expect("ln_f")
-        .backward(s, &h1, &g_hl)?;
+    let g_h1 = stage.ln_f.as_mut().expect("ln_f").backward(s, &h1, &g_hl)?;
     s.free_tensor(&g_hl);
     s.free_tensor(&hl);
-    let g_boundary = stage1.blocks.backward(s, g_h1)?;
+    let g_boundary = stage.blocks.backward(s, g_h1)?;
     s.free_tensor(&h1);
     ops::send_recv(s, &g_boundary)?;
     s.free_tensor(&g_boundary);
+    // Gradient sent back to stage 0; it can run its backward now.
+    let _ = bwd_sent.send(());
 
-    // ---- Backward: stage 0 -----------------------------------------------
-    s.runtime_mut().set_device(DeviceId(0))?;
-    let g_recv = s.alloc_tensor(&[batch, dims.seq, dims.d], DType::F32)?;
-    ops::send_recv(s, &g_recv)?;
-    let g_x0 = stage0.blocks.backward(s, g_recv)?;
-    s.free_tensor(&boundary);
-    let g_wpe = ops::elementwise(
-        s,
-        "at::native::reduce_kernel<512, ReduceAdd>",
-        &[&g_x0],
-        &[dims.seq, dims.d],
-    )?;
-    stage0.wpe.as_mut().expect("wpe").set_grad(s, g_wpe)?;
-    let g_wte = ops::embedding_backward(s, &stage0.wte.as_ref().expect("wte").tensor, &idx, &g_x0)?;
-    stage0.wte.as_mut().expect("wte").set_grad(s, g_wte)?;
-    s.free_tensor(&g_x0);
-    s.free_tensor(&idx);
+    // ---- Optimizer --------------------------------------------------------
+    stage.step(s)?;
 
-    // ---- Optimizer on both stages -----------------------------------------
-    s.pass_boundary(Pass::Optimizer);
-    stage0.step(s)?;
-    s.runtime_mut().set_device(DeviceId(1))?;
-    stage1.step(s)?;
+    let stats = lane_stats(lane);
+    stage.destroy(&mut lane.session);
+    Ok(stats)
+}
 
-    let rep = report(s, Parallelism::Pipeline);
-    s.runtime_mut().set_device(DeviceId(0))?;
-    stage0.destroy(s);
-    s.runtime_mut().set_device(DeviceId(1))?;
-    stage1.destroy(s);
-    Ok(rep)
+/// Runs one pipeline-parallel training iteration: blocks 0–11 on the
+/// first lane, blocks 12–23 plus the logits head on the second, each on
+/// its own OS thread, sequenced by activation/gradient handoff channels.
+///
+/// # Errors
+///
+/// Propagates allocation/launch failures; requires exactly 2 lanes.
+pub fn train_iter_pipeline_parallel(
+    lanes: &mut [DeviceLane<'_>],
+    batch: usize,
+) -> Result<ParallelReport, AccelError> {
+    require_lanes(lanes, 2, "pipeline parallelism")?;
+    let (fwd_tx, fwd_rx) = mpsc::channel::<()>();
+    let (bwd_tx, bwd_rx) = mpsc::channel::<()>();
+    let [lane0, lane1, ..] = lanes else {
+        unreachable!("length checked above");
+    };
+    let (r0, r1) = std::thread::scope(|scope| {
+        let h0 = scope.spawn(move || pipeline_stage0(lane0, batch, fwd_tx, bwd_rx));
+        let h1 = scope.spawn(move || pipeline_stage1(lane1, batch, fwd_rx, bwd_tx));
+        (
+            h0.join().expect("stage0 thread panicked"),
+            h1.join().expect("stage1 thread panicked"),
+        )
+    });
+    Ok(report(Parallelism::Pipeline, vec![r0?, r1?]))
 }
 
 /// Dispatches one training iteration under `strategy`.
 ///
 /// # Errors
 ///
-/// Propagates allocation/launch failures; requires ≥ 2 devices.
+/// Propagates allocation/launch failures; requires ≥ 2 lanes.
 pub fn train_iter(
-    s: &mut Session<'_>,
+    lanes: &mut [DeviceLane<'_>],
     strategy: Parallelism,
     batch: usize,
 ) -> Result<ParallelReport, AccelError> {
     match strategy {
-        Parallelism::Data => train_iter_data_parallel(s, batch),
-        Parallelism::Tensor => train_iter_tensor_parallel(s, batch),
-        Parallelism::Pipeline => train_iter_pipeline_parallel(s, batch),
+        Parallelism::Data => train_iter_data_parallel(lanes, batch),
+        Parallelism::Tensor => train_iter_tensor_parallel(lanes, batch),
+        Parallelism::Pipeline => train_iter_pipeline_parallel(lanes, batch),
     }
 }
 
@@ -408,16 +509,21 @@ mod tests {
     use accel_sim::DeviceSpec;
     use vendor_nv::CudaContext;
 
-    fn two_gpu_session<T>(f: impl FnOnce(&mut Session<'_>) -> T) -> T {
-        let mut rt = CudaContext::new(vec![DeviceSpec::a100_80gb(), DeviceSpec::a100_80gb()]);
-        let mut s = Session::new(&mut rt);
-        f(&mut s)
+    fn two_lanes<T>(f: impl FnOnce(&mut [DeviceLane<'_>]) -> T) -> T {
+        let specs = vec![DeviceSpec::a100_80gb(), DeviceSpec::a100_80gb()];
+        let mut rt0 = CudaContext::new(specs.clone());
+        let mut rt1 = CudaContext::new(specs);
+        let mut lanes = [
+            DeviceLane::pin(DeviceId(0), Session::new(&mut rt0)).unwrap(),
+            DeviceLane::pin(DeviceId(1), Session::new(&mut rt1)).unwrap(),
+        ];
+        f(&mut lanes)
     }
 
     #[test]
     fn dp_peaks_are_symmetric() {
-        two_gpu_session(|s| {
-            let r = train_iter_data_parallel(s, 1).unwrap();
+        two_lanes(|lanes| {
+            let r = train_iter_data_parallel(lanes, 1).unwrap();
             let (a, b) = (r.peak_allocated[0], r.peak_allocated[1]);
             let ratio = a as f64 / b as f64;
             assert!(
@@ -430,9 +536,9 @@ mod tests {
     #[test]
     fn tp_halves_the_peak() {
         // Peaks are per-session high-water marks, so each strategy runs in
-        // a fresh session.
-        let dp = two_gpu_session(|s| train_iter_data_parallel(s, 1).unwrap());
-        let tp = two_gpu_session(|s| train_iter_tensor_parallel(s, 1).unwrap());
+        // fresh lanes.
+        let dp = two_lanes(|lanes| train_iter_data_parallel(lanes, 1).unwrap());
+        let tp = two_lanes(|lanes| train_iter_tensor_parallel(lanes, 1).unwrap());
         let ratio = tp.peak_allocated[0] as f64 / dp.peak_allocated[0] as f64;
         assert!(
             (0.35..0.75).contains(&ratio),
@@ -445,8 +551,8 @@ mod tests {
 
     #[test]
     fn pp_is_asymmetric_with_heavier_tail_gpu() {
-        two_gpu_session(|s| {
-            let pp = train_iter_pipeline_parallel(s, 1).unwrap();
+        two_lanes(|lanes| {
+            let pp = train_iter_pipeline_parallel(lanes, 1).unwrap();
             assert!(
                 pp.peak_allocated[1] > pp.peak_allocated[0],
                 "GPU1 runs the logits head: {} vs {}",
@@ -458,23 +564,43 @@ mod tests {
 
     #[test]
     fn all_strategies_clean_up() {
-        two_gpu_session(|s| {
+        two_lanes(|lanes| {
             for strategy in [
                 Parallelism::Data,
                 Parallelism::Tensor,
                 Parallelism::Pipeline,
             ] {
-                train_iter(s, strategy, 1).unwrap();
-                s.release_workspaces();
-                for d in [DeviceId(0), DeviceId(1)] {
+                train_iter(lanes, strategy, 1).unwrap();
+                for lane in lanes.iter_mut() {
+                    lane.session.release_workspaces();
                     assert_eq!(
-                        s.allocator_stats_for(d).allocated,
+                        lane.session.allocator_stats_for(lane.device()).allocated,
                         0,
-                        "{strategy:?} leaked on {d}"
+                        "{strategy:?} leaked on {}",
+                        lane.device()
                     );
                 }
             }
         });
+    }
+
+    #[test]
+    fn concurrent_runs_are_deterministic() {
+        // Two fresh DP runs driven by racing threads must report the same
+        // per-device numbers: each lane's stream is deterministic and the
+        // lanes never share state.
+        let a = two_lanes(|lanes| train_iter_data_parallel(lanes, 1).unwrap());
+        let b = two_lanes(|lanes| train_iter_data_parallel(lanes, 1).unwrap());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn too_few_lanes_is_a_clear_error() {
+        let specs = vec![DeviceSpec::a100_80gb()];
+        let mut rt = CudaContext::new(specs);
+        let mut lanes = [DeviceLane::pin(DeviceId(0), Session::new(&mut rt)).unwrap()];
+        let err = train_iter_data_parallel(&mut lanes, 1).unwrap_err();
+        assert!(err.to_string().contains("at least 2"));
     }
 
     #[test]

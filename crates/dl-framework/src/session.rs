@@ -243,7 +243,7 @@ impl<'rt> Session<'rt> {
     pub fn region_start(&mut self, label: &str) {
         let device = self.rt.current_device();
         self.callbacks.emit(&FrameworkEvent::RegionStart {
-            label: label.to_owned(),
+            label: accel_sim::Symbol::intern(label),
             device,
         });
     }
@@ -252,7 +252,7 @@ impl<'rt> Session<'rt> {
     pub fn region_end(&mut self, label: &str) {
         let device = self.rt.current_device();
         self.callbacks.emit(&FrameworkEvent::RegionEnd {
-            label: label.to_owned(),
+            label: accel_sim::Symbol::intern(label),
             device,
         });
     }
@@ -261,7 +261,7 @@ impl<'rt> Session<'rt> {
     pub fn layer_boundary(&mut self, name: &str, index: usize) {
         let device = self.rt.current_device();
         self.callbacks.emit(&FrameworkEvent::LayerBoundary {
-            name: name.to_owned(),
+            name: accel_sim::Symbol::intern(name),
             index,
             device,
         });

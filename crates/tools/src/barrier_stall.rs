@@ -134,6 +134,23 @@ impl Tool for BarrierStallTool {
         self.current_kernel.clear();
     }
 
+    fn fork(&self) -> Option<Box<dyn Tool>> {
+        Some(Box::new(BarrierStallTool::new()))
+    }
+
+    fn merge(&mut self, other: &dyn Tool) {
+        let Some(other) = other.as_any().downcast_ref::<BarrierStallTool>() else {
+            return;
+        };
+        // `current_kernel` is in-flight launch state and never merges.
+        for (kernel, theirs) in &other.per_kernel {
+            let s = self.per_kernel.entry(kernel.clone()).or_default();
+            s.barriers += theirs.barriers;
+            s.calls += theirs.calls;
+            s.duration_ns += theirs.duration_ns;
+        }
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -192,6 +209,26 @@ mod tests {
         assert!(s.stall_fraction() > 0.0 && s.stall_fraction() < 1.0);
         assert_eq!(t.stats_for("relu").unwrap().barriers, 0);
         assert_eq!(t.ranking()[0].0, "gemm");
+    }
+
+    #[test]
+    fn merge_sums_per_kernel_stats() {
+        let mut a = BarrierStallTool::new();
+        a.on_event(&begin(0, "gemm"));
+        a.on_event(&barrier(0, 100));
+        a.on_event(&end(0, "gemm", 1_000));
+        let mut b = BarrierStallTool::new();
+        b.on_event(&begin(1, "gemm"));
+        b.on_event(&barrier(1, 50));
+        b.on_event(&end(1, "gemm", 500));
+        let mut merged = a.fork().unwrap();
+        merged.merge(&a);
+        merged.merge(&b);
+        let merged = merged.as_any().downcast_ref::<BarrierStallTool>().unwrap();
+        let s = merged.stats_for("gemm").unwrap();
+        assert_eq!(s.barriers, 150);
+        assert_eq!(s.calls, 2);
+        assert_eq!(s.duration_ns, 1_500);
     }
 
     #[test]

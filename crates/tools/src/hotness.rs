@@ -83,7 +83,18 @@ impl Tool for HotnessTool {
     }
 
     fn reset(&mut self) {
-        self.hotness = BlockHotness::new(64);
+        self.hotness = BlockHotness::new(self.hotness.bin_events());
+    }
+
+    fn fork(&self) -> Option<Box<dyn Tool>> {
+        Some(Box::new(HotnessTool::new(self.hotness.bin_events())))
+    }
+
+    fn merge(&mut self, other: &dyn Tool) {
+        let Some(other) = other.as_any().downcast_ref::<HotnessTool>() else {
+            return;
+        };
+        self.hotness.merge_from(&other.hotness);
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -143,6 +154,22 @@ mod tests {
         let s = t.series();
         assert_eq!(s.blocks.len(), 2);
         assert_eq!(s.bins(), 3);
+    }
+
+    #[test]
+    fn merge_sums_block_bins() {
+        let mut a = HotnessTool::new(1);
+        a.on_event(&access(0, 1024, 100));
+        let mut b = HotnessTool::new(1);
+        b.on_event(&access(0, 1024, 50));
+        b.on_event(&access(5 * BLOCK_SIZE, 1024, 7));
+        let mut merged = a.fork().unwrap();
+        merged.merge(&a);
+        merged.merge(&b);
+        let merged = merged.as_any().downcast_ref::<HotnessTool>().unwrap();
+        let s = merged.series();
+        assert_eq!(s.blocks, vec![0, 5]);
+        assert_eq!(s.block_total(0), 150, "bin 0 of both shards sums");
     }
 
     #[test]

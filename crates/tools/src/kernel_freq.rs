@@ -90,6 +90,20 @@ impl Tool for KernelFrequencyTool {
         self.total = 0;
     }
 
+    fn fork(&self) -> Option<Box<dyn Tool>> {
+        Some(Box::new(KernelFrequencyTool::new()))
+    }
+
+    fn merge(&mut self, other: &dyn Tool) {
+        let Some(other) = other.as_any().downcast_ref::<KernelFrequencyTool>() else {
+            return;
+        };
+        for (kernel, &count) in &other.counts {
+            *self.counts.entry(kernel.clone()).or_insert(0) += count;
+        }
+        self.total += other.total;
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -145,6 +159,30 @@ mod tests {
     fn only_needs_host_events() {
         let t = KernelFrequencyTool::new();
         assert!(!t.interest().wants_device_events(), "cheap tool");
+    }
+
+    #[test]
+    fn fork_is_empty_and_merge_sums() {
+        let mut a = KernelFrequencyTool::new();
+        for i in 0..3 {
+            a.on_event(&launch("gemm", i));
+        }
+        let mut b = a.fork().unwrap();
+        assert_eq!(b.report().get("total_launches"), Some(0.0), "fork is fresh");
+        b.on_event(&launch("gemm", 3));
+        b.on_event(&launch("relu", 4));
+        let mut merged = a.fork().unwrap();
+        merged.merge(&a);
+        merged.merge(&*b);
+        let merged = merged
+            .as_any()
+            .downcast_ref::<KernelFrequencyTool>()
+            .unwrap();
+        assert_eq!(merged.count_of("gemm"), 4);
+        assert_eq!(merged.count_of("relu"), 1);
+        assert_eq!(merged.total(), 5);
+        // The merge reads, never drains, its sources.
+        assert_eq!(a.total(), 3);
     }
 
     #[test]

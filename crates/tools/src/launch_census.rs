@@ -83,6 +83,21 @@ impl Tool for LaunchCensusTool {
         *self = LaunchCensusTool::default();
     }
 
+    fn fork(&self) -> Option<Box<dyn Tool>> {
+        Some(Box::<LaunchCensusTool>::default())
+    }
+
+    fn merge(&mut self, other: &dyn Tool) {
+        let Some(other) = other.as_any().downcast_ref::<LaunchCensusTool>() else {
+            return;
+        };
+        self.launches += other.launches;
+        self.total_blocks += other.total_blocks;
+        self.total_threads += other.total_threads;
+        self.max_threads = self.max_threads.max(other.max_threads);
+        self.single_block_launches += other.single_block_launches;
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }

@@ -128,6 +128,28 @@ impl Tool for MemoryTimelineTool {
         self.counter = 0;
     }
 
+    fn fork(&self) -> Option<Box<dyn Tool>> {
+        Some(Box::new(MemoryTimelineTool::new()))
+    }
+
+    fn merge(&mut self, other: &dyn Tool) {
+        let Some(other) = other.as_any().downcast_ref::<MemoryTimelineTool>() else {
+            return;
+        };
+        // Shards see disjoint devices, so this is normally a plain union;
+        // overlapping devices append after the existing points, reindexed
+        // to keep per-device event indices dense.
+        for (device, points) in &other.series {
+            let series = self.series.entry(*device).or_default();
+            let base = series.len() as u64;
+            series.extend(points.iter().enumerate().map(|(i, p)| TimelinePoint {
+                event_index: base + i as u64,
+                ..*p
+            }));
+        }
+        self.counter += other.counter;
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -193,6 +215,26 @@ mod tests {
         let r = t.report();
         assert_eq!(r.get("gpu0_events"), Some(2.0));
         assert_eq!(r.get("gpu1_events"), Some(2.0));
+    }
+
+    #[test]
+    fn merge_unions_disjoint_devices() {
+        let mut a = MemoryTimelineTool::new();
+        a.on_event(&alloc(0, 100));
+        let mut b = MemoryTimelineTool::new();
+        b.on_event(&alloc(1, 60));
+        b.on_event(&free(1, 0));
+        let mut merged = a.fork().unwrap();
+        merged.merge(&a);
+        merged.merge(&b);
+        let merged = merged
+            .as_any()
+            .downcast_ref::<MemoryTimelineTool>()
+            .unwrap();
+        assert_eq!(merged.devices(), vec![DeviceId(0), DeviceId(1)]);
+        assert_eq!(merged.events_for(DeviceId(1)), 2);
+        assert_eq!(merged.series_for(DeviceId(1))[1].event_index, 1);
+        assert_eq!(merged.peak_for(DeviceId(0)), 100);
     }
 
     #[test]

@@ -133,6 +133,29 @@ impl Tool for MemoryCharacteristicsTool {
         self.peak_reserved = 0;
     }
 
+    fn fork(&self) -> Option<Box<dyn Tool>> {
+        Some(Box::new(MemoryCharacteristicsTool::new()))
+    }
+
+    fn merge(&mut self, other: &dyn Tool) {
+        let Some(other) = other.as_any().downcast_ref::<MemoryCharacteristicsTool>() else {
+            return;
+        };
+        // Close the other shard's in-flight launch on a snapshot so its
+        // working set joins the distribution.
+        let mut snapshot = MemoryCharacteristicsTool {
+            current_launch: other.current_launch,
+            current_ranges: other.current_ranges.clone(),
+            per_kernel_ws: Vec::new(),
+            peak_reserved: 0,
+        };
+        snapshot.finish_launch();
+        self.per_kernel_ws
+            .extend(other.per_kernel_ws.iter().copied());
+        self.per_kernel_ws.extend(snapshot.per_kernel_ws);
+        self.peak_reserved = self.peak_reserved.max(other.peak_reserved);
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }

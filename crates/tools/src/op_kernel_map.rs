@@ -136,6 +136,26 @@ impl Tool for OpKernelMapTool {
         self.stack.clear();
     }
 
+    fn fork(&self) -> Option<Box<dyn Tool>> {
+        Some(Box::new(OpKernelMapTool::new()))
+    }
+
+    fn merge(&mut self, other: &dyn Tool) {
+        let Some(other) = other.as_any().downcast_ref::<OpKernelMapTool>() else {
+            return;
+        };
+        // `stack` is in-flight operator nesting and never merges.
+        for (op, theirs) in &other.per_op {
+            let p = self.per_op.entry(op.clone()).or_default();
+            p.calls += theirs.calls;
+            p.kernels += theirs.kernels;
+            p.device_ns += theirs.device_ns;
+            for (kernel, &count) in &theirs.kernel_counts {
+                *p.kernel_counts.entry(kernel.clone()).or_insert(0) += count;
+            }
+        }
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -201,6 +221,28 @@ mod tests {
         let mut t = OpKernelMapTool::new();
         t.on_event(&kernel("stray", 0, 50));
         assert_eq!(t.op_count(), 0);
+    }
+
+    #[test]
+    fn merge_sums_op_profiles() {
+        let mut a = OpKernelMapTool::new();
+        a.on_event(&op_start("aten::linear", 0));
+        a.on_event(&kernel("sgemm", 0, 100));
+        a.on_event(&op_end("aten::linear", 0));
+        let mut b = OpKernelMapTool::new();
+        b.on_event(&op_start("aten::linear", 0));
+        b.on_event(&kernel("sgemm", 1, 50));
+        b.on_event(&kernel("bias", 2, 5));
+        b.on_event(&op_end("aten::linear", 0));
+        let mut merged = a.fork().unwrap();
+        merged.merge(&a);
+        merged.merge(&b);
+        let merged = merged.as_any().downcast_ref::<OpKernelMapTool>().unwrap();
+        let p = merged.profile("aten::linear").unwrap();
+        assert_eq!(p.calls, 2);
+        assert_eq!(p.kernels, 3);
+        assert_eq!(p.device_ns, 155);
+        assert_eq!(p.kernel_counts["sgemm"], 2);
     }
 
     #[test]

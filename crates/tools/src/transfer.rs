@@ -102,6 +102,23 @@ impl Tool for TransferTool {
         self.stats = TransferStats::default();
     }
 
+    fn fork(&self) -> Option<Box<dyn Tool>> {
+        Some(Box::new(TransferTool::new()))
+    }
+
+    fn merge(&mut self, other: &dyn Tool) {
+        let Some(other) = other.as_any().downcast_ref::<TransferTool>() else {
+            return;
+        };
+        let o = &other.stats;
+        let s = &mut self.stats;
+        s.h2d = (s.h2d.0 + o.h2d.0, s.h2d.1 + o.h2d.1);
+        s.d2h = (s.d2h.0 + o.d2h.0, s.d2h.1 + o.d2h.1);
+        s.d2d = (s.d2d.0 + o.d2d.0, s.d2d.1 + o.d2d.1);
+        s.small_copies += o.small_copies;
+        s.batch_ops = (s.batch_ops.0 + o.batch_ops.0, s.batch_ops.1 + o.batch_ops.1);
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }

@@ -163,6 +163,38 @@ impl Tool for UvmPrefetchAdvisor {
         self.launch_tensors.clear();
     }
 
+    fn fork(&self) -> Option<Box<dyn Tool>> {
+        Some(Box::new(UvmPrefetchAdvisor::new()))
+    }
+
+    fn merge(&mut self, other: &dyn Tool) {
+        let Some(other) = other.as_any().downcast_ref::<UvmPrefetchAdvisor>() else {
+            return;
+        };
+        for (&base, &len) in &other.objects {
+            self.objects.insert(base, len);
+        }
+        for (&base, &len) in &other.tensors {
+            self.tensors.insert(base, len);
+        }
+        for (idx, ranges) in other.launch_objects.iter().enumerate() {
+            let (objs, _) = self.slot(idx);
+            for r in ranges {
+                if !objs.contains(r) {
+                    objs.push(*r);
+                }
+            }
+        }
+        for (idx, ranges) in other.launch_tensors.iter().enumerate() {
+            let (_, tens) = self.slot(idx);
+            for r in ranges {
+                if !tens.contains(r) {
+                    tens.push(*r);
+                }
+            }
+        }
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }

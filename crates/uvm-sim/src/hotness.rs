@@ -49,6 +49,22 @@ impl BlockHotness {
         self.events_seen
     }
 
+    /// The configured bin width, in events.
+    pub fn bin_events(&self) -> u64 {
+        self.bin_events
+    }
+
+    /// Folds another tracker's counts into this one, summing per
+    /// (block, bin) cell. Both trackers keep their own logical clocks, so
+    /// bin *t* of `other` lands in bin *t* here — the device-shard merge,
+    /// where each shard binned its own device's access stream.
+    pub fn merge_from(&mut self, other: &BlockHotness) {
+        for (&key, &count) in &other.counts {
+            *self.counts.entry(key).or_insert(0) += count;
+        }
+        self.events_seen += other.events_seen;
+    }
+
     /// Finalizes into a dense series for reporting.
     pub fn series(&self) -> HotnessSeries {
         let blocks: Vec<u64> = {

@@ -9,7 +9,7 @@
 //! * kernels are "dispatched" with workgroup counts rather than "launched"
 //!   with grids (same semantics, different vocabulary).
 
-use accel_sim::{CopyDirection, DeviceId, Dim3, LaunchId, SimTime, StreamId};
+use accel_sim::{CopyDirection, DeviceId, Dim3, LaunchId, SimTime, StreamId, Symbol};
 use serde::{Deserialize, Serialize};
 
 /// A host-side callback from the simulated ROCm runtime.
@@ -19,6 +19,8 @@ pub enum RocCallback {
     ApiEnter {
         /// HIP API symbol.
         name: &'static str,
+        /// Device current at the call.
+        device: DeviceId,
         /// Host time.
         at: SimTime,
     },
@@ -26,6 +28,8 @@ pub enum RocCallback {
     ApiExit {
         /// HIP API symbol.
         name: &'static str,
+        /// Device current at the call.
+        device: DeviceId,
         /// Host time.
         at: SimTime,
     },
@@ -37,8 +41,8 @@ pub enum RocCallback {
         device: DeviceId,
         /// HIP stream.
         stream: StreamId,
-        /// Kernel symbol.
-        name: String,
+        /// Kernel symbol, interned.
+        name: Symbol,
         /// Workgroup count (≙ CUDA grid).
         workgroups: Dim3,
         /// Workgroup size (≙ CUDA block).

@@ -113,13 +113,13 @@ impl HipContext {
     }
 
     fn emit_api(&mut self, name: &'static str) {
-        let at = self.engine.host_now();
-        self.emit(RocCallback::ApiEnter { name, at });
+        let (device, at) = (self.current, self.engine.host_now());
+        self.emit(RocCallback::ApiEnter { name, device, at });
     }
 
     fn emit_api_exit(&mut self, name: &'static str) {
-        let at = self.engine.host_now();
-        self.emit(RocCallback::ApiExit { name, at });
+        let (device, at) = (self.current, self.engine.host_now());
+        self.emit(RocCallback::ApiExit { name, device, at });
     }
 
     fn run_prefetch_plan(&mut self, stream: StreamId) {

@@ -10,7 +10,7 @@
 //! `cuda*` API names here, `hip*` there) so that the handler's
 //! normalization layer has real work to do.
 
-use accel_sim::{CopyDirection, DeviceId, Dim3, LaunchId, SimTime, StreamId};
+use accel_sim::{CopyDirection, DeviceId, Dim3, LaunchId, SimTime, StreamId, Symbol};
 use serde::{Deserialize, Serialize};
 
 /// A host-side callback event from the simulated CUDA runtime.
@@ -20,6 +20,8 @@ pub enum NvCallback {
     ApiEnter {
         /// CUDA API symbol name.
         name: &'static str,
+        /// Device current at the call.
+        device: DeviceId,
         /// Host time at entry.
         at: SimTime,
     },
@@ -27,6 +29,8 @@ pub enum NvCallback {
     ApiExit {
         /// CUDA API symbol name.
         name: &'static str,
+        /// Device current at the call.
+        device: DeviceId,
         /// Host time at exit.
         at: SimTime,
     },
@@ -38,8 +42,8 @@ pub enum NvCallback {
         device: DeviceId,
         /// Stream.
         stream: StreamId,
-        /// Kernel symbol.
-        name: String,
+        /// Kernel symbol, interned.
+        name: Symbol,
         /// Grid dimensions.
         grid: Dim3,
         /// Block dimensions.

@@ -133,13 +133,13 @@ impl CudaContext {
     }
 
     fn emit_api(&mut self, name: &'static str) {
-        let at = self.engine.host_now();
-        self.emit(NvCallback::ApiEnter { name, at });
+        let (device, at) = (self.current, self.engine.host_now());
+        self.emit(NvCallback::ApiEnter { name, device, at });
     }
 
     fn emit_api_exit(&mut self, name: &'static str) {
-        let at = self.engine.host_now();
-        self.emit(NvCallback::ApiExit { name, at });
+        let (device, at) = (self.current, self.engine.host_now());
+        self.emit(NvCallback::ApiExit { name, device, at });
     }
 
     /// Replays the prefetch plan entry for the next launch, charging the

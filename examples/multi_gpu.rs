@@ -21,9 +21,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .a100_x2()
             .tool(MemoryTimelineTool::new())
             .build()?;
-        session.run_custom(|s| parallel::train_iter(s, strategy, 1).map(|_| ()))?;
+        // One OS thread per GPU: the sharded hub absorbs the concurrent
+        // emission, and the merged view below folds both shards together.
+        session.run_parallel(&[DeviceId(0), DeviceId(1)], |lanes| {
+            parallel::train_iter(lanes, strategy, 1).map(|_| ())
+        })?;
         let (peaks, events) = session
-            .with_tool_mut("memory-timeline", |t: &mut MemoryTimelineTool| {
+            .with_merged_tool("memory-timeline", |t: &MemoryTimelineTool| {
                 (
                     [t.peak_for(DeviceId(0)), t.peak_for(DeviceId(1))],
                     [t.events_for(DeviceId(0)), t.events_for(DeviceId(1))],
