@@ -484,6 +484,7 @@ impl Engine {
             uvm_stall_ns: uvm.extra_device_ns,
             uvm_faults: uvm.faults,
             uvm_migrated_bytes: uvm.migrated_in_bytes,
+            uvm_evicted_bytes: uvm.evicted_bytes,
             records_emitted: summary.global_records + summary.shared_records,
             global_bytes: desc.body.global_bytes(),
         })

@@ -106,6 +106,12 @@ pub trait ResidencyModel: Send {
 
     /// Mutable downcasting support.
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+
+    /// Consuming downcasting support: recovers the concrete model from a
+    /// boxed trait object. The session layer uses this to take a lane's
+    /// forked UVM manager back out of the lane runtime at the end of a
+    /// parallel region and fold its statistics into the session manager.
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any + Send>;
 }
 
 /// A trivial residency model where everything is always resident; useful
@@ -134,6 +140,10 @@ impl ResidencyModel for AlwaysResident {
     }
 
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any + Send> {
         self
     }
 }

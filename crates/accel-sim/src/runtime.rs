@@ -72,6 +72,8 @@ pub struct LaunchRecord {
     pub uvm_faults: u64,
     /// Bytes migrated in (host→device) during the launch.
     pub uvm_migrated_bytes: u64,
+    /// Bytes evicted (device→host) to make room during the launch.
+    pub uvm_evicted_bytes: u64,
     /// Warp-level memory records the launch emitted to the probe.
     pub records_emitted: u64,
     /// Total bytes moved through global memory.
@@ -253,6 +255,7 @@ mod tests {
             uvm_stall_ns: 0,
             uvm_faults: 0,
             uvm_migrated_bytes: 0,
+            uvm_evicted_bytes: 0,
             records_emitted: 8,
             global_bytes: 1024,
         };

@@ -185,6 +185,27 @@ pub enum Event {
         /// Host time.
         at: SimTime,
     },
+    /// Managed-memory fault/migration activity one launch triggered
+    /// (normalized from NVIDIA `UvmFault` and AMD `PageMigrate`
+    /// callbacks). `device` is the *faulting* device — the device the
+    /// kernel executed on — which is also the sharded hub's routing key,
+    /// so a lane's faults always land in that lane's shard.
+    UvmFault {
+        /// Launch whose accesses faulted.
+        launch: LaunchId,
+        /// The faulting device.
+        device: DeviceId,
+        /// Fault groups serviced.
+        groups: u64,
+        /// Bytes migrated host→device.
+        migrated_bytes: u64,
+        /// Bytes evicted device→host to make room.
+        evicted_bytes: u64,
+        /// Device stall charged to the launch, ns.
+        stall_ns: u64,
+        /// Host time.
+        at: SimTime,
+    },
 
     // --- Fine-grained device-side operations ------------------------------
     /// Thread-block entries+exits for a launch ("Thread Block Entry/Exit").
@@ -377,6 +398,7 @@ impl Event {
             | ResourceAlloc { device, .. }
             | ResourceFree { device, .. }
             | BatchMemOp { device, .. }
+            | UvmFault { device, .. }
             | OpStart { device, .. }
             | OpEnd { device, .. }
             | TensorAlloc { device, .. }
@@ -409,7 +431,8 @@ impl Event {
             | MemSet { .. }
             | ResourceAlloc { .. }
             | ResourceFree { .. }
-            | BatchMemOp { .. } => EventClass::Memory,
+            | BatchMemOp { .. }
+            | UvmFault { .. } => EventClass::Memory,
             Sync { .. } => EventClass::Sync,
             GlobalAccess { .. } | SharedAccess { .. } | GlobalToSharedCopy { .. } => {
                 EventClass::DeviceAccess
@@ -468,6 +491,24 @@ mod tests {
             ("Layer/Region Annotations", EventClass::Annotation),
         ];
         assert_eq!(rows.len(), 22);
+    }
+
+    #[test]
+    fn uvm_fault_routes_by_faulting_device() {
+        // The variant's device field is the sharded hub's routing key:
+        // it must surface through Event::device() and classify as a
+        // host-visible memory event.
+        let e = Event::UvmFault {
+            launch: LaunchId(4),
+            device: DeviceId(1),
+            groups: 3,
+            migrated_bytes: 1 << 20,
+            evicted_bytes: 0,
+            stall_ns: 500,
+            at: SimTime(9),
+        };
+        assert_eq!(e.device(), Some(DeviceId(1)));
+        assert_eq!(e.class(), EventClass::Memory);
     }
 
     #[test]

@@ -217,10 +217,8 @@ impl Hub {
         }
         let guards: Vec<MutexGuard<'_, EventProcessor>> =
             self.shards.iter().map(DeviceShard::lock).collect();
-        let n = guards[0].tools.len();
-        (0..n)
-            .map(|i| self.merge_tool_at(i, &guards).report())
-            .collect()
+        let procs: Vec<&EventProcessor> = guards.iter().map(|g| &**g).collect();
+        merge_all_tools(&procs).iter().map(|t| t.report()).collect()
     }
 
     /// The full merged report: merged tools, the per-shard breakdown, and
@@ -233,9 +231,8 @@ impl Hub {
         let tools = if guards.len() == 1 {
             guards[0].tools.reports()
         } else {
-            (0..guards[0].tools.len())
-                .map(|i| self.merge_tool_at(i, &guards).report())
-                .collect()
+            let procs: Vec<&EventProcessor> = guards.iter().map(|g| &**g).collect();
+            merge_all_tools(&procs).iter().map(|t| t.report()).collect()
         };
         MergedReport {
             tools,
@@ -246,6 +243,7 @@ impl Hub {
                 .map(|(s, g)| (s.device, g.tools.reports()))
                 .collect(),
             events_processed: guards.iter().map(|g| g.events_processed()).sum(),
+            uvm: None,
         }
     }
 
@@ -263,21 +261,11 @@ impl Hub {
         }
         let guards: Vec<MutexGuard<'_, EventProcessor>> =
             self.shards.iter().map(DeviceShard::lock).collect();
-        let i = (0..guards[0].tools.len())
-            .find(|&i| guards[0].tools.tool_at(i).is_some_and(|t| t.name() == name))?;
-        let merged = self.merge_tool_at(i, &guards);
+        let procs: Vec<&EventProcessor> = guards.iter().map(|g| &**g).collect();
+        let i = (0..procs[0].tools.len())
+            .find(|&i| procs[0].tools.tool_at(i).is_some_and(|t| t.name() == name))?;
+        let merged = merge_tool_index(&procs, i);
         merged.as_any().downcast_ref::<T>().map(f)
-    }
-
-    fn merge_tool_at(&self, i: usize, guards: &[MutexGuard<'_, EventProcessor>]) -> Box<dyn Tool> {
-        let primary = guards[0].tools.tool_at(i).expect("tool index in range");
-        let mut merged = primary
-            .fork()
-            .expect("sharded sessions hold only forkable tools");
-        for guard in guards {
-            merged.merge(guard.tools.tool_at(i).expect("same registration"));
-        }
-        merged
     }
 
     /// Knob aggregates merged across shards (per-kernel sums commute, so
@@ -298,6 +286,50 @@ impl Hub {
             .iter()
             .find_map(|s| s.lock().stacks.stack_for(kernel).cloned())
     }
+}
+
+/// Folds every shard's instance of tool `i` into a fresh fork, ascending
+/// device id (the callers pass `procs` in shard order, which is device
+/// order) — the sequential unit of work of the session-end merge.
+fn merge_tool_index(procs: &[&EventProcessor], i: usize) -> Box<dyn Tool> {
+    let primary = procs[0].tools.tool_at(i).expect("tool index in range");
+    let mut merged = primary
+        .fork()
+        .expect("sharded sessions hold only forkable tools");
+    for proc in procs {
+        merged.merge(proc.tools.tool_at(i).expect("same registration"));
+    }
+    merged
+}
+
+/// Merged boxes of every registered tool across `procs` (registration
+/// order). Sessions with more than two shards run the independent
+/// per-tool folds on a small scoped thread pool; each tool still folds
+/// its shards *sequentially* in ascending device id on one thread, so
+/// the output is byte-identical to the fully sequential merge — the pool
+/// only overlaps folds of different tools, never reorders a fold.
+fn merge_all_tools(procs: &[&EventProcessor]) -> Vec<Box<dyn Tool>> {
+    let n = procs[0].tools.len();
+    let workers = if procs.len() > 2 { n.min(4) } else { 1 };
+    if workers <= 1 {
+        return (0..n).map(|i| merge_tool_index(procs, i)).collect();
+    }
+    let mut merged: Vec<Option<Box<dyn Tool>>> = (0..n).map(|_| None).collect();
+    let chunk = n.div_ceil(workers);
+    std::thread::scope(|scope| {
+        for (w, slots) in merged.chunks_mut(chunk).enumerate() {
+            let base = w * chunk;
+            scope.spawn(move || {
+                for (j, slot) in slots.iter_mut().enumerate() {
+                    *slot = Some(merge_tool_index(procs, base + j));
+                }
+            });
+        }
+    });
+    merged
+        .into_iter()
+        .map(|t| t.expect("every tool merged"))
+        .collect()
 }
 
 /// Buffered events per flush: one shard lock amortizes over this many
@@ -969,6 +1001,52 @@ mod tests {
                 "region closed from gpu1 gates gpu{d} again"
             );
         }
+    }
+
+    #[test]
+    fn pooled_merge_is_byte_identical_to_sequential() {
+        // Satellite (ISSUE 4): sessions with >2 shards fold tools on a
+        // small thread pool. The pool distributes *tools*, never splits a
+        // tool's ascending-device fold, so the merged report must be
+        // byte-identical to the fully sequential merge.
+        let mut shards: Vec<(DeviceId, EventProcessor)> = Vec::new();
+        for d in 0..4u32 {
+            let mut p = EventProcessor::new();
+            // Three tools so the pool actually distributes work (the hub
+            // merges by registration index, so names play no role here).
+            p.tools.register(Box::<SpaceCounter>::default());
+            p.tools
+                .register(Box::<crate::tool::LaunchCounter>::default());
+            p.tools
+                .register(Box::<crate::tool::LaunchCounter>::default());
+            (0..=d).for_each(|i| {
+                p.process(&Event::KernelLaunchEnd {
+                    launch: LaunchId(u64::from(i)),
+                    device: DeviceId(d),
+                    name: "gemm".into(),
+                    start: accel_sim::SimTime(0),
+                    end: accel_sim::SimTime(10),
+                });
+            });
+            shards.push((DeviceId(d), p));
+        }
+        let hub = Arc::new(Hub::sharded(shards).unwrap());
+        assert!(hub.shards().len() > 2, "pooled path engages above 2 shards");
+
+        // Sequential reference: the same fold, one tool at a time on this
+        // thread.
+        let guards: Vec<_> = hub.shards().iter().map(DeviceShard::lock).collect();
+        let procs: Vec<&EventProcessor> = guards.iter().map(|g| &**g).collect();
+        let sequential: Vec<crate::report::ToolReport> = (0..procs[0].tools.len())
+            .map(|i| merge_tool_index(&procs, i).report())
+            .collect();
+        drop(guards);
+
+        let pooled = hub.merged_report();
+        assert_eq!(pooled.tools, sequential, "pool must not change the bytes");
+        // Repeatable, and stable across repeated pooled runs.
+        assert_eq!(pooled, hub.merged_report());
+        assert_eq!(pooled.tools, hub.merged_reports());
     }
 
     #[test]

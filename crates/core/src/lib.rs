@@ -76,7 +76,7 @@ pub use event::{Event, EventClass};
 pub use knob::{Knob, KnobSet};
 pub use profiler::{BackendChoice, Pasta, PastaBuilder, PastaSession, UvmSetup};
 pub use range::RangeFilter;
-pub use report::{SessionReport, ToolReport};
+pub use report::{MergedReport, SessionReport, ToolReport, UvmReport};
 pub use tool::{Interest, Tool, ToolCollection};
 pub use workload::{
     FnWorkload, KernelSweepWorkload, ModelWorkload, Workload, WorkloadCx, WorkloadStats,

@@ -133,6 +133,23 @@ pub fn normalize_nv(cb: &NvCallback) -> Option<Event> {
             bytes: *bytes,
             at: *at,
         },
+        NvCallback::UvmFault {
+            launch,
+            device,
+            groups,
+            migrated_bytes,
+            evicted_bytes,
+            stall_ns,
+            at,
+        } => Event::UvmFault {
+            launch: *launch,
+            device: *device,
+            groups: *groups,
+            migrated_bytes: *migrated_bytes,
+            evicted_bytes: *evicted_bytes,
+            stall_ns: *stall_ns,
+            at: *at,
+        },
     })
 }
 
@@ -209,6 +226,26 @@ pub fn normalize_roc(cb: &RocCallback) -> Option<Event> {
             op: normalize_batch_op(op),
             addr: *addr,
             bytes: *bytes,
+            at: *at,
+        },
+        // ROCm's SVM page-migration vocabulary and CUDA's UVM faults are
+        // the same semantic event; both normalize onto `Event::UvmFault`
+        // carrying the faulting device.
+        RocCallback::PageMigrate {
+            launch,
+            device,
+            groups,
+            migrated_bytes,
+            evicted_bytes,
+            stall_ns,
+            at,
+        } => Event::UvmFault {
+            launch: *launch,
+            device: *device,
+            groups: *groups,
+            migrated_bytes: *migrated_bytes,
+            evicted_bytes: *evicted_bytes,
+            stall_ns: *stall_ns,
             at: *at,
         },
     })
@@ -421,6 +458,36 @@ mod tests {
             at: SimTime(0)
         })
         .is_none());
+    }
+
+    #[test]
+    fn uvm_activity_unifies_across_vendors() {
+        use accel_sim::LaunchId;
+        // NVIDIA's UvmFault and AMD's PageMigrate describe the same
+        // semantic event; normalization must produce identical Events,
+        // each carrying the *faulting* device.
+        let nv = normalize_nv(&NvCallback::UvmFault {
+            launch: LaunchId(3),
+            device: DeviceId(1),
+            groups: 2,
+            migrated_bytes: 4096,
+            evicted_bytes: 1024,
+            stall_ns: 777,
+            at: SimTime(11),
+        })
+        .unwrap();
+        let roc = normalize_roc(&RocCallback::PageMigrate {
+            launch: LaunchId(3),
+            device: DeviceId(1),
+            groups: 2,
+            migrated_bytes: 4096,
+            evicted_bytes: 1024,
+            stall_ns: 777,
+            at: SimTime(11),
+        })
+        .unwrap();
+        assert_eq!(nv, roc);
+        assert_eq!(nv.device(), Some(DeviceId(1)), "routes by faulting device");
     }
 
     #[test]

@@ -21,7 +21,7 @@ use crate::hub::{new_shared, Hub, HubSink, SharedHub};
 use crate::knob::{KernelAggregate, Knob};
 use crate::processor::EventProcessor;
 use crate::range::RangeFilter;
-use crate::report::{MergedReport, SessionReport, ToolReport};
+use crate::report::{MergedReport, SessionReport, ToolReport, UvmReport};
 use crate::tool::Tool;
 use crate::workload::{ModelWorkload, Workload, WorkloadCx};
 use accel_sim::instrument::ProfilerHandle;
@@ -33,8 +33,9 @@ use dl_framework::models::{ModelZoo, RunKind};
 use dl_framework::parallel::DeviceLane;
 use dl_framework::pycall::CrossLayerStack;
 use dl_framework::session::Session;
+use std::collections::BTreeMap;
 use std::sync::Arc;
-use uvm_sim::{PrefetchPlan, UvmConfig, UvmManager};
+use uvm_sim::{PrefetchPlan, UvmConfig, UvmManager, UvmStats};
 use vendor_amd::rocprofiler::RocProfilerConfig;
 use vendor_amd::HipContext;
 use vendor_nv::nvbit::NvbitConfig;
@@ -89,6 +90,42 @@ impl RuntimeBox {
         match self {
             RuntimeBox::Cuda(c) => c,
             RuntimeBox::Hip(h) => h,
+        }
+    }
+
+    fn engine(&self) -> &accel_sim::Engine {
+        match self {
+            RuntimeBox::Cuda(c) => c.engine(),
+            RuntimeBox::Hip(h) => h.engine(),
+        }
+    }
+
+    fn engine_mut(&mut self) -> &mut accel_sim::Engine {
+        match self {
+            RuntimeBox::Cuda(c) => c.engine_mut(),
+            RuntimeBox::Hip(h) => h.engine_mut(),
+        }
+    }
+
+    /// The attached UVM manager, if any.
+    fn uvm_manager(&self) -> Option<&UvmManager> {
+        self.engine()
+            .residency()
+            .and_then(|r| r.as_any().downcast_ref())
+    }
+
+    /// Mutable access to the attached UVM manager, if any.
+    fn uvm_manager_mut(&mut self) -> Option<&mut UvmManager> {
+        self.engine_mut()
+            .residency_mut()
+            .and_then(|r| r.as_any_mut().downcast_mut())
+    }
+
+    /// Attaches `uvm` as the context's residency model.
+    fn attach_uvm(&mut self, uvm: UvmManager) {
+        match self {
+            RuntimeBox::Cuda(c) => c.attach_uvm(uvm),
+            RuntimeBox::Hip(h) => h.attach_uvm(uvm),
         }
     }
 }
@@ -349,6 +386,7 @@ impl PastaBuilder {
             wants_device,
             lane_overhead: OverheadBreakdown::default(),
             lane_records: 0,
+            lane_uvm: BTreeMap::new(),
         })
     }
 }
@@ -415,6 +453,9 @@ pub struct PastaSession {
     lane_overhead: OverheadBreakdown,
     /// Records observed by finished parallel-lane profilers.
     lane_records: u64,
+    /// Per-device UVM statistics contributed by finished parallel lanes
+    /// (the unmerged breakdown behind [`UvmReport::per_device`]).
+    lane_uvm: BTreeMap<DeviceId, UvmStats>,
 }
 
 impl std::fmt::Debug for PastaSession {
@@ -541,11 +582,28 @@ impl PastaSession {
         self.hub.merged_reports()
     }
 
-    /// The full merged report: merged tools, the per-device breakdown and
-    /// the total event count — the session-end merge stage of the sharded
-    /// hub.
+    /// The full merged report: merged tools, the per-device breakdown,
+    /// the total event count and (when UVM is attached) the merged UVM
+    /// statistics — the session-end merge stage of the sharded hub.
     pub fn merged_report(&self) -> MergedReport {
-        self.hub.merged_report()
+        let mut report = self.hub.merged_report();
+        report.uvm = self.uvm_report();
+        report
+    }
+
+    /// The UVM slice of [`PastaSession::merged_report`]: the session
+    /// manager's totals (finished parallel lanes already folded in,
+    /// ascending device id) plus the unmerged per-lane breakdown. `None`
+    /// when the session was built without [`UvmSetup`].
+    pub fn uvm_report(&self) -> Option<UvmReport> {
+        self.runtime.uvm_manager().map(|manager| UvmReport {
+            stats: manager.stats(),
+            per_device: self
+                .lane_uvm
+                .iter()
+                .map(|(&device, &stats)| (device, stats))
+                .collect(),
+        })
     }
 
     /// Runs `f` against the named tool downcast to `T`, on the *primary*
@@ -647,8 +705,8 @@ impl PastaSession {
         self.hub.merged_stack_for(kernel)
     }
 
-    /// Resets all tools, knobs and stacks on every shard (the runtime
-    /// keeps running).
+    /// Resets all tools, knobs, stacks and UVM counters on every shard
+    /// (the runtime keeps running; UVM residency and budgets stay).
     pub fn reset_analysis(&mut self) {
         self.hub.reset_all();
         if let Some(p) = &self.profiler {
@@ -656,6 +714,15 @@ impl PastaSession {
         }
         self.lane_overhead = OverheadBreakdown::default();
         self.lane_records = 0;
+        self.lane_uvm.clear();
+        if let Some(manager) = self.runtime.uvm_manager_mut() {
+            manager.reset_stats();
+            // Hotness resets with the stats: a pre-reset parallel region
+            // concatenated lane time axes into the accumulator, and
+            // leaving them would make stats and hotness describe
+            // different analysis windows.
+            manager.reset_hotness();
+        }
     }
 
     /// Creates one instrumented per-device framework session ("lane") per
@@ -667,8 +734,14 @@ impl PastaSession {
     /// lock on the emission path.
     ///
     /// Lanes inherit the session's backend, sampling and allocator
-    /// configuration; UVM attachments are not replicated into lanes.
-    /// Lane instrumentation overhead and record counts fold into
+    /// configuration. A session built with [`UvmSetup`] replicates its
+    /// UVM manager into every lane via [`UvmManager::fork`] — same
+    /// config, budgets and registrations, fresh residency and counters —
+    /// so lane tensor traffic faults and migrates with no cross-lane
+    /// lock; lane UVM state merges back into the session manager
+    /// (ascending device id) when `f` returns, and surfaces through
+    /// [`PastaSession::uvm_report`]. Lane instrumentation overhead and
+    /// record counts fold into
     /// [`PastaSession::overhead`]/[`PastaSession::records`] when `f`
     /// returns.
     ///
@@ -733,6 +806,16 @@ impl PastaSession {
             if let Some(handle) = &handle {
                 handle.set_sink(Box::new(HubSink::new(Arc::clone(&self.hub))));
             }
+            // A UVM session replicates into its lanes: each lane carries a
+            // manager forked from the session's (same config, budgets and
+            // registrations, fresh residency and counters), so managed
+            // allocations made on the lane fault, migrate and evict with
+            // no lock shared across lanes. Lane state merges back into
+            // the session manager when `f` returns.
+            let mut ctx = ctx;
+            if let Some(manager) = self.runtime.uvm_manager() {
+                ctx.attach_uvm(manager.fork(device));
+            }
             contexts.push(ctx);
             if let Some(handle) = handle {
                 handles.push(handle);
@@ -763,6 +846,31 @@ impl PastaSession {
             lane.session.synchronize();
         }
         drop(lanes);
+        // Harvest the lane UVM managers and fold them into the session
+        // manager in ascending device id — the same deterministic order
+        // as the session-end tool merge, regardless of the order the
+        // caller listed the devices in.
+        let mut lane_managers: Vec<(DeviceId, UvmManager)> = Vec::new();
+        for (ctx, &device) in contexts.iter_mut().zip(devices) {
+            let Some(model) = ctx.engine_mut().take_residency() else {
+                continue;
+            };
+            if let Ok(manager) = model.into_any().downcast::<UvmManager>() {
+                lane_managers.push((device, *manager));
+            }
+        }
+        lane_managers.sort_by_key(|&(device, _)| device);
+        if !lane_managers.is_empty() {
+            if let Some(session_manager) = self.runtime.uvm_manager_mut() {
+                for (device, lane_manager) in &lane_managers {
+                    session_manager.merge(lane_manager);
+                    self.lane_uvm
+                        .entry(*device)
+                        .or_default()
+                        .merge_from(&lane_manager.stats());
+                }
+            }
+        }
         for handle in handles {
             let b = handle.breakdown();
             self.lane_overhead.collection_ns += b.collection_ns;
@@ -1140,6 +1248,73 @@ mod tests {
         let (kernel, agg) = session.knob_selection(Knob::MaxCalledKernel).unwrap();
         assert_eq!(kernel, "lane_kernel");
         assert_eq!(agg.calls, 10);
+    }
+
+    #[test]
+    fn run_parallel_forks_and_merges_lane_uvm_managers() {
+        use dl_framework::dtype::DType;
+        let mut session = Pasta::builder()
+            .a100_x2()
+            .uvm(UvmSetup::default())
+            .tool(LaunchCounter::default())
+            .build()
+            .unwrap();
+        assert!(session.uvm_report().is_some(), "UVM session reports UVM");
+        let devices = [DeviceId(0), DeviceId(1)];
+        session
+            .run_parallel(&devices, |lanes| {
+                std::thread::scope(|scope| {
+                    for lane in lanes.iter_mut() {
+                        scope.spawn(move || {
+                            // Lane-local UVM access through the workload
+                            // surface: the manager is the lane's own fork.
+                            let mut cx = crate::workload::WorkloadCx::for_lane(lane);
+                            assert!(cx.uvm().is_some(), "lanes carry forked managers");
+                            let s = cx.session();
+                            let t = s.alloc_tensor(&[1 << 20], DType::F32).unwrap();
+                            let desc = accel_sim::KernelDesc::new(
+                                "uvm_lane_kernel",
+                                accel_sim::Dim3::linear(64),
+                                accel_sim::Dim3::linear(128),
+                            )
+                            .arg(t.ptr, t.bytes)
+                            .body(accel_sim::KernelBody::streaming(t.bytes / 2, t.bytes / 2));
+                            let rec = s.launch(desc).unwrap();
+                            assert!(rec.uvm_faults > 0, "managed tensors fault cold");
+                            s.free_tensor(&t);
+                        });
+                    }
+                });
+                Ok(())
+            })
+            .unwrap();
+        let report = session.uvm_report().expect("uvm attached");
+        assert_eq!(report.per_device.len(), 2, "one UVM entry per lane");
+        assert_eq!(report.per_device[0].0, DeviceId(0));
+        assert_eq!(report.per_device[1].0, DeviceId(1));
+        let mut sum = uvm_sim::UvmStats::default();
+        for (device, stats) in &report.per_device {
+            assert!(stats.fault_groups > 0, "{device} faulted");
+            sum.merge_from(stats);
+        }
+        assert_eq!(
+            report.stats, sum,
+            "session totals equal the lane fold (no other UVM activity ran)"
+        );
+        let merged = session.merged_report();
+        assert_eq!(merged.uvm, Some(report), "merged report carries the slice");
+        // Analysis reset clears the UVM window too — counters, the
+        // per-lane breakdown and the hotness clock together.
+        session.reset_analysis();
+        let after = session.uvm_report().expect("manager still attached");
+        assert_eq!(after.stats, uvm_sim::UvmStats::default());
+        assert!(after.per_device.is_empty());
+        let mut probe = crate::workload::FnWorkload::new("hotness-probe", |cx| {
+            let hotness = cx.uvm().expect("uvm attached").hotness();
+            assert_eq!(hotness.events_seen(), 0, "hotness clock reset with stats");
+            Ok(crate::workload::WorkloadStats::new(0))
+        });
+        session.run(&mut probe).unwrap();
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use accel_sim::{DeviceId, OverheadBreakdown, SimTime};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use uvm_sim::UvmStats;
 
 /// A tool's findings: named metrics plus free-form rendered text.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -76,6 +77,24 @@ pub struct MergedReport {
     pub per_device: Vec<(DeviceId, Vec<ToolReport>)>,
     /// Events processed across all shards.
     pub events_processed: u64,
+    /// Merged UVM statistics — present when the session attached UVM.
+    /// The hub itself fills `None` (it owns no residency state); the
+    /// session layer overlays its manager's totals and the per-lane
+    /// breakdown accumulated from parallel regions.
+    pub uvm: Option<UvmReport>,
+}
+
+/// The UVM slice of a [`MergedReport`]: the session manager's totals
+/// (per-lane statistics already folded in, ascending device id — the same
+/// deterministic order as the tool merge) plus the unmerged per-lane
+/// breakdown.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UvmReport {
+    /// Aggregate UVM statistics across the session, lanes included.
+    pub stats: UvmStats,
+    /// Per-device statistics contributed by parallel lanes, ascending
+    /// device id. Empty when no parallel region ran with UVM attached.
+    pub per_device: Vec<(DeviceId, UvmStats)>,
 }
 
 impl fmt::Display for MergedReport {
@@ -88,6 +107,25 @@ impl fmt::Display for MergedReport {
         )?;
         for report in &self.tools {
             write!(f, "{report}")?;
+        }
+        if let Some(uvm) = &self.uvm {
+            writeln!(
+                f,
+                "== uvm ==\n  pages_in: {} ({} fault groups, {} evicted, {} ns stall)",
+                uvm.stats.pages_in(),
+                uvm.stats.fault_groups,
+                uvm.stats.pages_evicted,
+                uvm.stats.total_stall_ns(),
+            )?;
+            for (device, stats) in &uvm.per_device {
+                writeln!(
+                    f,
+                    "  {device}: {} pages in, {} fault groups, {} ns stall",
+                    stats.pages_in(),
+                    stats.fault_groups,
+                    stats.total_stall_ns(),
+                )?;
+            }
         }
         Ok(())
     }
@@ -141,6 +179,39 @@ mod tests {
         assert!(s.contains("== kernel-freq =="));
         assert!(s.contains("unique: 7"));
         assert!(s.contains("sgemm"));
+    }
+
+    #[test]
+    fn merged_report_display_includes_the_uvm_slice() {
+        let report = MergedReport {
+            tools: vec![ToolReport::new("t").metric("m", 1.0)],
+            per_device: vec![(DeviceId(0), Vec::new())],
+            events_processed: 5,
+            uvm: Some(UvmReport {
+                stats: UvmStats {
+                    demand_pages_in: 32,
+                    fault_groups: 2,
+                    fault_stall_ns: 700,
+                    ..UvmStats::default()
+                },
+                per_device: vec![(
+                    DeviceId(1),
+                    UvmStats {
+                        demand_pages_in: 32,
+                        fault_groups: 2,
+                        fault_stall_ns: 700,
+                        ..UvmStats::default()
+                    },
+                )],
+            }),
+        };
+        let s = report.to_string();
+        assert!(s.contains("== uvm =="), "UVM slice rendered: {s}");
+        assert!(s.contains("pages_in: 32"), "{s}");
+        assert!(s.contains("gpu1: 32 pages in"), "{s}");
+        // Sessions without UVM print no empty section.
+        let without = MergedReport::default().to_string();
+        assert!(!without.contains("uvm"));
     }
 
     #[test]

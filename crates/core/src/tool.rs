@@ -109,7 +109,14 @@ impl Interest {
 }
 
 /// The analysis-tool template. All handlers default to no-ops.
-pub trait Tool: Send {
+///
+/// `Send + Sync` because tool instances live inside per-device hub
+/// shards: `Send` moves them across lane threads, and `Sync` lets the
+/// session-end merge stage fold several shards' instances from a small
+/// thread pool (tools only ever receive `&mut self` event delivery
+/// under their shard's lock, so the bounds cost implementations
+/// nothing — plain data structs satisfy both automatically).
+pub trait Tool: Send + Sync {
     /// Unique tool name (used for selection, like the paper's
     /// `accelprof -t <tool>` flag).
     fn name(&self) -> &str;

@@ -22,6 +22,7 @@
 use crate::error::PastaError;
 use accel_sim::{KernelDesc, LaunchRecord};
 use dl_framework::models::{ModelZoo, RunKind};
+use dl_framework::parallel::DeviceLane;
 use dl_framework::runner::{self, RunReport};
 use dl_framework::session::Session;
 use uvm_sim::UvmManager;
@@ -39,6 +40,18 @@ pub struct WorkloadCx<'a, 'rt> {
 impl<'a, 'rt> WorkloadCx<'a, 'rt> {
     pub(crate) fn new(session: &'a mut Session<'rt>) -> Self {
         WorkloadCx { session }
+    }
+
+    /// Wraps one parallel lane's session, giving per-lane code inside
+    /// [`crate::PastaSession::run_parallel`] the same instrumented
+    /// surface a [`Workload`] gets — including [`WorkloadCx::uvm`] /
+    /// [`WorkloadCx::uvm_mut`] access to the lane's *own* forked UVM
+    /// manager (each lane carries a private fork of the session manager,
+    /// so touching it from the lane's thread contends on nothing).
+    pub fn for_lane(lane: &'a mut DeviceLane<'rt>) -> Self {
+        WorkloadCx {
+            session: &mut lane.session,
+        }
     }
 
     /// The instrumented framework session.

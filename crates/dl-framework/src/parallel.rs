@@ -153,14 +153,35 @@ fn megatron_spec() -> ModelSpec {
     }
 }
 
-/// Runs every lane's closure on its own OS thread (scoped, so lanes
-/// borrow freely) and collects the per-lane results in lane order. The
-/// first failing lane (by lane order, deterministically) wins error
-/// propagation.
-fn drive_lanes<F>(lanes: &mut [DeviceLane<'_>], work: F) -> Result<Vec<LaneStats>, AccelError>
+/// How [`drive_lanes`] schedules the per-lane work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LaneSchedule {
+    /// One OS thread per lane — the production path.
+    Threaded,
+    /// One lane at a time on the calling thread — the reference run the
+    /// shard-merge tests compare concurrent output against.
+    Sequential,
+}
+
+/// Runs every lane's closure — on its own OS thread (scoped, so lanes
+/// borrow freely) or lane-at-a-time, per `schedule` — and collects the
+/// per-lane results in lane order. The first failing lane (by lane
+/// order, deterministically) wins error propagation.
+fn drive_lanes<F>(
+    lanes: &mut [DeviceLane<'_>],
+    schedule: LaneSchedule,
+    work: F,
+) -> Result<Vec<LaneStats>, AccelError>
 where
     F: Fn(usize, &mut DeviceLane<'_>) -> Result<LaneStats, AccelError> + Sync,
 {
+    if schedule == LaneSchedule::Sequential {
+        return lanes
+            .iter_mut()
+            .enumerate()
+            .map(|(i, lane)| work(i, lane))
+            .collect();
+    }
     let work = &work;
     let results: Vec<Result<LaneStats, AccelError>> = std::thread::scope(|scope| {
         let handles: Vec<_> = lanes
@@ -195,9 +216,17 @@ pub fn train_iter_data_parallel(
     lanes: &mut [DeviceLane<'_>],
     batch: usize,
 ) -> Result<ParallelReport, AccelError> {
+    data_parallel(lanes, batch, LaneSchedule::Threaded)
+}
+
+fn data_parallel(
+    lanes: &mut [DeviceLane<'_>],
+    batch: usize,
+    schedule: LaneSchedule,
+) -> Result<ParallelReport, AccelError> {
     require_lanes(lanes, 2, "data parallelism")?;
     let dims = megatron_345m_dims();
-    let stats = drive_lanes(lanes, |_i, lane| {
+    let stats = drive_lanes(lanes, schedule, |_i, lane| {
         let s = &mut lane.session;
         let mut replica = custom_lm(s, megatron_spec(), dims, batch, "megatron/pretrain_gpt2.py")?;
         // Persistent DDP gradient bucket (the long-lived communication
@@ -229,6 +258,14 @@ pub fn train_iter_tensor_parallel(
     lanes: &mut [DeviceLane<'_>],
     batch: usize,
 ) -> Result<ParallelReport, AccelError> {
+    tensor_parallel(lanes, batch, LaneSchedule::Threaded)
+}
+
+fn tensor_parallel(
+    lanes: &mut [DeviceLane<'_>],
+    batch: usize,
+    schedule: LaneSchedule,
+) -> Result<ParallelReport, AccelError> {
     require_lanes(lanes, 2, "tensor parallelism")?;
     let dims = megatron_345m_dims();
     // Each shard keeps half the heads/FFN and half the vocabulary.
@@ -238,7 +275,7 @@ pub fn train_iter_tensor_parallel(
         vocab: dims.vocab / 2,
         ..dims
     };
-    let stats = drive_lanes(lanes, |_i, lane| {
+    let stats = drive_lanes(lanes, schedule, |_i, lane| {
         let s = &mut lane.session;
         let mut shard = custom_lm(
             s,
@@ -503,6 +540,33 @@ pub fn train_iter(
     }
 }
 
+/// The sequential single-device-at-a-time reference for [`train_iter`]:
+/// identical per-lane work, driven one lane at a time on the calling
+/// thread. Concurrent runs must produce byte-identical merged profiling
+/// output to this reference — the determinism contract of the sharded
+/// hub and the per-lane UVM forks, and what the UVM-under-parallelism
+/// tests pin.
+///
+/// Pipeline parallelism is inherently cross-device sequenced by its
+/// activation/gradient handoffs (a lane-at-a-time schedule would
+/// deadlock on the channel protocol), so its reference *is* the
+/// standard driver, which those handoffs already make deterministic.
+///
+/// # Errors
+///
+/// Propagates allocation/launch failures; requires ≥ 2 lanes.
+pub fn train_iter_sequential_reference(
+    lanes: &mut [DeviceLane<'_>],
+    strategy: Parallelism,
+    batch: usize,
+) -> Result<ParallelReport, AccelError> {
+    match strategy {
+        Parallelism::Data => data_parallel(lanes, batch, LaneSchedule::Sequential),
+        Parallelism::Tensor => tensor_parallel(lanes, batch, LaneSchedule::Sequential),
+        Parallelism::Pipeline => train_iter_pipeline_parallel(lanes, batch),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -591,6 +655,27 @@ mod tests {
         // lanes never share state.
         let a = two_lanes(|lanes| train_iter_data_parallel(lanes, 1).unwrap());
         let b = two_lanes(|lanes| train_iter_data_parallel(lanes, 1).unwrap());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sequential_reference_matches_threaded_runs() {
+        for strategy in [Parallelism::Data, Parallelism::Tensor] {
+            let threaded = two_lanes(|lanes| train_iter(lanes, strategy, 1).unwrap());
+            let sequential =
+                two_lanes(|lanes| train_iter_sequential_reference(lanes, strategy, 1).unwrap());
+            assert_eq!(
+                threaded, sequential,
+                "{strategy:?}: lane streams are deterministic, so the \
+                 schedule must not change per-device results"
+            );
+        }
+        // Pipeline's reference is the standard driver; it must at least
+        // be reproducible run to run.
+        let a = two_lanes(|lanes| {
+            train_iter_sequential_reference(lanes, Parallelism::Pipeline, 1).unwrap()
+        });
+        let b = two_lanes(|lanes| train_iter_pipeline_parallel(lanes, 1).unwrap());
         assert_eq!(a, b);
     }
 

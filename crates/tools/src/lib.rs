@@ -40,9 +40,9 @@ pub use barrier_stall::BarrierStallTool;
 pub use hotness::HotnessTool;
 pub use kernel_freq::KernelFrequencyTool;
 pub use launch_census::LaunchCensusTool;
-pub use mem_timeline::{MemoryTimelineTool, TimelinePoint};
+pub use mem_timeline::{MemoryTimelineTool, TimelinePoint, UvmTraffic};
 pub use memchar::{MemoryCharacteristics, MemoryCharacteristicsTool};
 pub use op_kernel_map::OpKernelMapTool;
 pub use overflow_sanitizer::OverflowSanitizerTool;
 pub use transfer::TransferTool;
-pub use uvm_advisor::UvmPrefetchAdvisor;
+pub use uvm_advisor::{UvmActivity, UvmPrefetchAdvisor};

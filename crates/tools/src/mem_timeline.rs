@@ -23,10 +23,25 @@ pub struct TimelinePoint {
     pub is_alloc: bool,
 }
 
+/// Cumulative UVM traffic one device's launches generated — the managed
+/// -memory overlay of the per-device timeline (Fig. 15 under
+/// oversubscription).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UvmTraffic {
+    /// Bytes migrated host→device.
+    pub migrated_bytes: u64,
+    /// Bytes evicted device→host.
+    pub evicted_bytes: u64,
+    /// Device stall charged by the UVM model, ns.
+    pub stall_ns: u64,
+}
+
 /// The memory-timeline tool.
 #[derive(Debug, Default)]
 pub struct MemoryTimelineTool {
     series: HashMap<DeviceId, Vec<TimelinePoint>>,
+    /// Managed-memory traffic keyed by the *faulting* device.
+    uvm: HashMap<DeviceId, UvmTraffic>,
     counter: u64,
 }
 
@@ -41,11 +56,18 @@ impl MemoryTimelineTool {
         self.series.get(&device).map_or(&[], Vec::as_slice)
     }
 
-    /// Devices with recorded activity.
+    /// Devices with recorded activity (tensor events or UVM traffic).
     pub fn devices(&self) -> Vec<DeviceId> {
         let mut v: Vec<DeviceId> = self.series.keys().copied().collect();
+        v.extend(self.uvm.keys().copied());
         v.sort();
+        v.dedup();
         v
+    }
+
+    /// Cumulative UVM traffic of one device's launches.
+    pub fn uvm_for(&self, device: DeviceId) -> UvmTraffic {
+        self.uvm.get(&device).copied().unwrap_or_default()
     }
 
     /// Peak live bytes on one device.
@@ -82,6 +104,8 @@ impl Tool for MemoryTimelineTool {
     fn interest(&self) -> Interest {
         Interest {
             framework_events: true,
+            // Host memory events carry the UVM fault/migration stream.
+            host_events: true,
             ..Interest::default()
         }
     }
@@ -98,6 +122,19 @@ impl Tool for MemoryTimelineTool {
                 allocated_total,
                 ..
             } => (*device, *allocated_total, false),
+            Event::UvmFault {
+                device,
+                migrated_bytes,
+                evicted_bytes,
+                stall_ns,
+                ..
+            } => {
+                let traffic = self.uvm.entry(*device).or_default();
+                traffic.migrated_bytes += migrated_bytes;
+                traffic.evicted_bytes += evicted_bytes;
+                traffic.stall_ns += stall_ns;
+                return;
+            }
             _ => return,
         };
         let series = self.series.entry(device).or_default();
@@ -119,12 +156,25 @@ impl Tool for MemoryTimelineTool {
                     format!("{device}_peak_mb"),
                     crate::util::mb(self.peak_for(device)),
                 );
+            let traffic = self.uvm_for(device);
+            if traffic != UvmTraffic::default() {
+                report = report
+                    .metric(
+                        format!("{device}_uvm_migrated_mb"),
+                        crate::util::mb(traffic.migrated_bytes),
+                    )
+                    .metric(
+                        format!("{device}_uvm_evicted_mb"),
+                        crate::util::mb(traffic.evicted_bytes),
+                    );
+            }
         }
         report
     }
 
     fn reset(&mut self) {
         self.series.clear();
+        self.uvm.clear();
         self.counter = 0;
     }
 
@@ -146,6 +196,12 @@ impl Tool for MemoryTimelineTool {
                 event_index: base + i as u64,
                 ..*p
             }));
+        }
+        for (device, traffic) in &other.uvm {
+            let mine = self.uvm.entry(*device).or_default();
+            mine.migrated_bytes += traffic.migrated_bytes;
+            mine.evicted_bytes += traffic.evicted_bytes;
+            mine.stall_ns += traffic.stall_ns;
         }
         self.counter += other.counter;
     }
@@ -235,6 +291,46 @@ mod tests {
         assert_eq!(merged.events_for(DeviceId(1)), 2);
         assert_eq!(merged.series_for(DeviceId(1))[1].event_index, 1);
         assert_eq!(merged.peak_for(DeviceId(0)), 100);
+    }
+
+    #[test]
+    fn uvm_traffic_attributes_to_the_faulting_device() {
+        use accel_sim::{LaunchId, SimTime};
+        let mut t = MemoryTimelineTool::new();
+        t.on_event(&Event::UvmFault {
+            launch: LaunchId(0),
+            device: DeviceId(1),
+            groups: 2,
+            migrated_bytes: 6 << 20,
+            evicted_bytes: 1 << 20,
+            stall_ns: 500,
+            at: SimTime(0),
+        });
+        assert_eq!(t.uvm_for(DeviceId(1)).migrated_bytes, 6 << 20);
+        assert_eq!(t.uvm_for(DeviceId(0)), UvmTraffic::default());
+        assert_eq!(t.devices(), vec![DeviceId(1)]);
+        let r = t.report();
+        assert_eq!(r.get("gpu1_uvm_migrated_mb"), Some(6.0));
+        assert_eq!(r.get("gpu1_uvm_evicted_mb"), Some(1.0));
+        // Merge sums traffic per device.
+        let mut other = MemoryTimelineTool::new();
+        other.on_event(&Event::UvmFault {
+            launch: LaunchId(1),
+            device: DeviceId(1),
+            groups: 1,
+            migrated_bytes: 2 << 20,
+            evicted_bytes: 0,
+            stall_ns: 100,
+            at: SimTime(1),
+        });
+        let mut merged = t.fork().unwrap();
+        merged.merge(&t);
+        merged.merge(&other);
+        let merged = merged
+            .as_any()
+            .downcast_ref::<MemoryTimelineTool>()
+            .unwrap();
+        assert_eq!(merged.uvm_for(DeviceId(1)).migrated_bytes, 8 << 20);
     }
 
     #[test]

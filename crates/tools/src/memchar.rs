@@ -29,6 +29,10 @@ pub struct MemoryCharacteristics {
     pub median_ws: u64,
     /// 90th-percentile per-kernel accessed bytes.
     pub p90_ws: u64,
+    /// UVM fault groups kernels serviced (managed-allocator runs).
+    pub uvm_fault_groups: u64,
+    /// Bytes the UVM model migrated in for kernel accesses.
+    pub uvm_migrated_bytes: u64,
 }
 
 /// The working-set analysis tool.
@@ -38,6 +42,8 @@ pub struct MemoryCharacteristicsTool {
     current_ranges: Vec<(u64, u64)>,
     per_kernel_ws: Vec<u64>,
     peak_reserved: u64,
+    uvm_fault_groups: u64,
+    uvm_migrated_bytes: u64,
 }
 
 impl MemoryCharacteristicsTool {
@@ -78,6 +84,8 @@ impl MemoryCharacteristicsTool {
             avg_ws: sum.checked_div(count).unwrap_or(0),
             median_ws: percentile(&sorted, 50.0),
             p90_ws: percentile(&sorted, 90.0),
+            uvm_fault_groups: self.uvm_fault_groups,
+            uvm_migrated_bytes: self.uvm_migrated_bytes,
         }
     }
 }
@@ -103,6 +111,14 @@ impl Tool for MemoryCharacteristicsTool {
             | Event::TensorFree { reserved_total, .. } => {
                 self.peak_reserved = self.peak_reserved.max(*reserved_total);
             }
+            Event::UvmFault {
+                groups,
+                migrated_bytes,
+                ..
+            } => {
+                self.uvm_fault_groups += groups;
+                self.uvm_migrated_bytes += migrated_bytes;
+            }
             _ => {}
         }
     }
@@ -114,6 +130,8 @@ impl Tool for MemoryCharacteristicsTool {
             current_ranges: self.current_ranges.clone(),
             per_kernel_ws: self.per_kernel_ws.clone(),
             peak_reserved: self.peak_reserved,
+            uvm_fault_groups: self.uvm_fault_groups,
+            uvm_migrated_bytes: self.uvm_migrated_bytes,
         };
         let c = snapshot.characteristics();
         ToolReport::new(self.name())
@@ -124,6 +142,8 @@ impl Tool for MemoryCharacteristicsTool {
             .metric("avg_ws_mb", mb(c.avg_ws))
             .metric("median_ws_mb", mb(c.median_ws))
             .metric("p90_ws_mb", mb(c.p90_ws))
+            .metric("uvm_fault_groups", c.uvm_fault_groups as f64)
+            .metric("uvm_migrated_mb", mb(c.uvm_migrated_bytes))
     }
 
     fn reset(&mut self) {
@@ -131,6 +151,8 @@ impl Tool for MemoryCharacteristicsTool {
         self.current_ranges.clear();
         self.per_kernel_ws.clear();
         self.peak_reserved = 0;
+        self.uvm_fault_groups = 0;
+        self.uvm_migrated_bytes = 0;
     }
 
     fn fork(&self) -> Option<Box<dyn Tool>> {
@@ -148,12 +170,16 @@ impl Tool for MemoryCharacteristicsTool {
             current_ranges: other.current_ranges.clone(),
             per_kernel_ws: Vec::new(),
             peak_reserved: 0,
+            uvm_fault_groups: 0,
+            uvm_migrated_bytes: 0,
         };
         snapshot.finish_launch();
         self.per_kernel_ws
             .extend(other.per_kernel_ws.iter().copied());
         self.per_kernel_ws.extend(snapshot.per_kernel_ws);
         self.peak_reserved = self.peak_reserved.max(other.peak_reserved);
+        self.uvm_fault_groups += other.uvm_fault_groups;
+        self.uvm_migrated_bytes += other.uvm_migrated_bytes;
     }
 
     fn as_any(&self) -> &dyn Any {

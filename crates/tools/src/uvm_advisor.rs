@@ -19,6 +19,28 @@ use std::any::Any;
 use std::collections::BTreeMap;
 use uvm_sim::{PrefetchGranularity, PrefetchPlan, Range};
 
+/// Observed UVM fault/migration activity, per device.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UvmActivity {
+    /// Fault groups serviced.
+    pub fault_groups: u64,
+    /// Bytes migrated host→device.
+    pub migrated_bytes: u64,
+    /// Bytes evicted device→host.
+    pub evicted_bytes: u64,
+    /// Device stall charged to launches, ns.
+    pub stall_ns: u64,
+}
+
+impl UvmActivity {
+    fn merge_from(&mut self, other: &UvmActivity) {
+        self.fault_groups += other.fault_groups;
+        self.migrated_bytes += other.migrated_bytes;
+        self.evicted_bytes += other.evicted_bytes;
+        self.stall_ns += other.stall_ns;
+    }
+}
+
 /// The profiling-side advisor.
 #[derive(Debug, Default)]
 pub struct UvmPrefetchAdvisor {
@@ -30,6 +52,10 @@ pub struct UvmPrefetchAdvisor {
     launch_objects: Vec<Vec<Range>>,
     /// Per-launch-index touched tensor ranges.
     launch_tensors: Vec<Vec<Range>>,
+    /// Fault/migration activity keyed by the *faulting* device (the
+    /// routed `Event::UvmFault` stream — under parallel lanes each shard
+    /// sees exactly its own device's faults).
+    uvm: BTreeMap<accel_sim::DeviceId, UvmActivity>,
 }
 
 fn containing(map: &BTreeMap<u64, u64>, addr: u64) -> Option<Range> {
@@ -86,6 +112,16 @@ impl UvmPrefetchAdvisor {
             self.build_plan(PrefetchGranularity::Tensor).total_bytes(),
         )
     }
+
+    /// Observed fault/migration activity of one device.
+    pub fn uvm_activity_for(&self, device: accel_sim::DeviceId) -> UvmActivity {
+        self.uvm.get(&device).copied().unwrap_or_default()
+    }
+
+    /// Devices with observed UVM activity, ascending.
+    pub fn uvm_devices(&self) -> Vec<accel_sim::DeviceId> {
+        self.uvm.keys().copied().collect()
+    }
 }
 
 impl Tool for UvmPrefetchAdvisor {
@@ -136,13 +172,31 @@ impl Tool for UvmPrefetchAdvisor {
                     tens.push(tensor);
                 }
             }
+            Event::UvmFault {
+                device,
+                groups,
+                migrated_bytes,
+                evicted_bytes,
+                stall_ns,
+                ..
+            } => {
+                self.uvm
+                    .entry(*device)
+                    .or_default()
+                    .merge_from(&UvmActivity {
+                        fault_groups: *groups,
+                        migrated_bytes: *migrated_bytes,
+                        evicted_bytes: *evicted_bytes,
+                        stall_ns: *stall_ns,
+                    });
+            }
             _ => {}
         }
     }
 
     fn report(&self) -> ToolReport {
         let (obj, ten) = self.object_vs_tensor_bytes();
-        ToolReport::new(self.name())
+        let mut report = ToolReport::new(self.name())
             .metric("launches", self.launches_profiled() as f64)
             .metric("object_plan_mb", crate::util::mb(obj))
             .metric("tensor_plan_mb", crate::util::mb(ten))
@@ -153,7 +207,23 @@ impl Tool for UvmPrefetchAdvisor {
                 } else {
                     0.0
                 },
-            )
+            );
+        for (device, activity) in &self.uvm {
+            report = report
+                .metric(
+                    format!("{device}_fault_groups"),
+                    activity.fault_groups as f64,
+                )
+                .metric(
+                    format!("{device}_migrated_mb"),
+                    crate::util::mb(activity.migrated_bytes),
+                )
+                .metric(
+                    format!("{device}_evicted_mb"),
+                    crate::util::mb(activity.evicted_bytes),
+                );
+        }
+        report
     }
 
     fn reset(&mut self) {
@@ -161,6 +231,7 @@ impl Tool for UvmPrefetchAdvisor {
         self.tensors.clear();
         self.launch_objects.clear();
         self.launch_tensors.clear();
+        self.uvm.clear();
     }
 
     fn fork(&self) -> Option<Box<dyn Tool>> {
@@ -192,6 +263,9 @@ impl Tool for UvmPrefetchAdvisor {
                     tens.push(*r);
                 }
             }
+        }
+        for (device, activity) in &other.uvm {
+            self.uvm.entry(*device).or_default().merge_from(activity);
         }
     }
 
@@ -307,6 +381,45 @@ mod tests {
         // Tensor plan falls back to the raw batch extent.
         let tplan = a.build_plan(PrefetchGranularity::Tensor);
         assert_eq!(tplan.ranges_for(0).len(), 1);
+    }
+
+    #[test]
+    fn fault_activity_accumulates_per_faulting_device_and_merges() {
+        fn fault(device: u32, groups: u64, migrated: u64) -> Event {
+            Event::UvmFault {
+                launch: LaunchId(0),
+                device: DeviceId(device),
+                groups,
+                migrated_bytes: migrated,
+                evicted_bytes: migrated / 4,
+                stall_ns: groups * 100,
+                at: SimTime(0),
+            }
+        }
+        let mut shard0 = UvmPrefetchAdvisor::new();
+        shard0.on_event(&fault(0, 2, 8 << 20));
+        shard0.on_event(&fault(0, 1, 4 << 20));
+        let mut shard1 = UvmPrefetchAdvisor::new();
+        shard1.on_event(&fault(1, 5, 16 << 20));
+
+        let a0 = shard0.uvm_activity_for(DeviceId(0));
+        assert_eq!(a0.fault_groups, 3);
+        assert_eq!(a0.migrated_bytes, 12 << 20);
+        assert_eq!(shard0.uvm_activity_for(DeviceId(1)), UvmActivity::default());
+
+        let mut merged = shard0.fork().unwrap();
+        merged.merge(&shard0);
+        merged.merge(&shard1);
+        let merged = merged
+            .as_any()
+            .downcast_ref::<UvmPrefetchAdvisor>()
+            .unwrap();
+        assert_eq!(merged.uvm_devices(), vec![DeviceId(0), DeviceId(1)]);
+        assert_eq!(merged.uvm_activity_for(DeviceId(0)).fault_groups, 3);
+        assert_eq!(merged.uvm_activity_for(DeviceId(1)).fault_groups, 5);
+        let r = merged.report();
+        assert_eq!(r.get("gpu0_migrated_mb"), Some(12.0));
+        assert_eq!(r.get("gpu1_fault_groups"), Some(5.0));
     }
 
     #[test]

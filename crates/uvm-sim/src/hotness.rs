@@ -65,6 +65,27 @@ impl BlockHotness {
         self.events_seen += other.events_seen;
     }
 
+    /// A fresh, state-empty tracker with the same bin width — the
+    /// hotness half of [`crate::UvmManager::fork`].
+    pub fn fork(&self) -> BlockHotness {
+        BlockHotness::new(self.bin_events)
+    }
+
+    /// Concatenates another tracker's logical time axis after this one:
+    /// `other`'s bin *t* lands at `own_bins + t`, where `own_bins` is this
+    /// tracker's clock rounded up to a bin boundary. This is the
+    /// deterministic per-lane UVM merge — lane streams are laid out
+    /// one after another in merge (ascending device) order, exactly
+    /// matching a sequential single-manager reference run that processed
+    /// the lanes device-at-a-time (each lane starts on a fresh bin).
+    pub fn append_from(&mut self, other: &BlockHotness) {
+        let offset = self.events_seen.div_ceil(self.bin_events);
+        for (&(block, bin), &count) in &other.counts {
+            *self.counts.entry((block, offset + bin)).or_insert(0) += count;
+        }
+        self.events_seen = offset * self.bin_events + other.events_seen;
+    }
+
     /// Finalizes into a dense series for reporting.
     pub fn series(&self) -> HotnessSeries {
         let blocks: Vec<u64> = {
@@ -187,5 +208,72 @@ mod tests {
         let s = BlockHotness::new(4).series();
         assert_eq!(s.bins(), 0);
         assert!(s.persistent_blocks(0.5).is_empty());
+    }
+
+    #[test]
+    fn fork_is_empty_with_same_bin_width() {
+        let mut h = BlockHotness::new(7);
+        h.record(0, 100, 10);
+        let f = h.fork();
+        assert_eq!(f.bin_events(), 7);
+        assert_eq!(f.events_seen(), 0);
+        assert!(f.series().blocks.is_empty());
+    }
+
+    #[test]
+    fn append_concatenates_lane_time_axes() {
+        // Lane 0: 2 events in bin 0 (bin width 2). Lane 1: 2 events,
+        // also its own bin 0 — appended, they land in bin 1.
+        let mut a = BlockHotness::new(2);
+        a.record(0, 100, 10);
+        a.record(0, 100, 10);
+        let mut b = BlockHotness::new(2);
+        b.record(BLOCK_SIZE, 100, 5);
+        b.record(BLOCK_SIZE, 100, 5);
+        a.append_from(&b);
+        let s = a.series();
+        assert_eq!(s.blocks, vec![0, 1]);
+        assert_eq!(s.grid[0], vec![20, 0], "lane 0 stays in bin 0");
+        assert_eq!(s.grid[1], vec![0, 10], "lane 1 shifted to bin 1");
+        assert_eq!(a.events_seen(), 4);
+    }
+
+    #[test]
+    fn append_equals_sequential_single_clock_on_bin_boundaries() {
+        // When each lane's event count is a multiple of the bin width,
+        // fork+append reproduces one tracker that processed the lanes
+        // back to back — the sequential single-manager reference.
+        let mut reference = BlockHotness::new(2);
+        let mut lane0 = BlockHotness::new(2);
+        let mut lane1 = BlockHotness::new(2);
+        for i in 0..4u64 {
+            reference.record(i * BLOCK_SIZE, 64, 3);
+            lane0.record(i * BLOCK_SIZE, 64, 3);
+        }
+        for i in 0..6u64 {
+            reference.record(i * BLOCK_SIZE, 64, 9);
+            lane1.record(i * BLOCK_SIZE, 64, 9);
+        }
+        let mut merged = lane0.fork();
+        merged.append_from(&lane0);
+        merged.append_from(&lane1);
+        assert_eq!(merged.series(), reference.series());
+        assert_eq!(merged.events_seen(), reference.events_seen());
+    }
+
+    #[test]
+    fn append_rounds_a_partial_bin_up() {
+        // 3 events at bin width 2 occupy bins 0..2; the appended lane
+        // must start at bin 2, not overlap the partial bin 1.
+        let mut a = BlockHotness::new(2);
+        for _ in 0..3 {
+            a.record(0, 64, 1);
+        }
+        let mut b = BlockHotness::new(2);
+        b.record(0, 64, 1);
+        a.append_from(&b);
+        let s = a.series();
+        assert_eq!(s.grid[0], vec![2, 1, 1]);
+        assert_eq!(a.events_seen(), 5, "clock padded to the bin boundary");
     }
 }

@@ -23,6 +23,9 @@ pub struct UvmManager {
     seq: u64,
     stats: UvmStats,
     hotness: BlockHotness,
+    /// The device a forked lane manager serves (`None` for the session's
+    /// shared manager).
+    home: Option<DeviceId>,
 }
 
 impl UvmManager {
@@ -41,6 +44,7 @@ impl UvmManager {
             seq: 0,
             stats: UvmStats::default(),
             hotness: BlockHotness::new(bin),
+            home: None,
         }
     }
 
@@ -64,6 +68,65 @@ impl UvmManager {
         self.devices[device.index()].budget = budget;
     }
 
+    /// Number of devices registered.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// A lane-local manager for `device`, mirroring `Tool::fork` in the
+    /// sharded event hub: same config, same device table (budgets, link
+    /// bandwidths, fault latencies), same registered managed allocations —
+    /// but fresh residency, statistics and hotness, so a parallel lane
+    /// driving `device` starts cold and accumulates its own state with no
+    /// shared lock. Lane state folds back via [`UvmManager::merge`] at
+    /// session end.
+    ///
+    /// `device` names the lane's home device; it is recorded for merge
+    /// ordering and asserted to exist so a mis-pinned lane fails fast.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `device` was never added.
+    pub fn fork(&self, device: DeviceId) -> UvmManager {
+        assert!(
+            device.index() < self.devices.len(),
+            "fork target {device:?} is not a registered UVM device"
+        );
+        UvmManager {
+            config: self.config.clone(),
+            devices: self
+                .devices
+                .iter()
+                .map(|d| DeviceState::new(d.budget, d.link_bandwidth_gbps, d.fault_latency_ns))
+                .collect(),
+            allocs: self.allocs.clone(),
+            seq: 0,
+            stats: UvmStats::default(),
+            hotness: self.hotness.fork(),
+            home: Some(device),
+        }
+    }
+
+    /// The home device this manager was forked for, if any.
+    pub fn home_device(&self) -> Option<DeviceId> {
+        self.home
+    }
+
+    /// Folds a lane manager's accumulated state into this one — the merge
+    /// stage of the per-lane UVM shards, invoked at session end in
+    /// ascending device-id order (each lane's stream is internally
+    /// ordered, so the fold is deterministic). Statistics sum field-wise;
+    /// hotness concatenates the lane's logical time axis after this one
+    /// ([`BlockHotness::append_from`]), reproducing a sequential
+    /// single-manager reference run that processed the lanes
+    /// device-at-a-time. Residency state is *not* imported: a lane's
+    /// pages belong to its private replica of the managed space and are
+    /// dropped with it.
+    pub fn merge(&mut self, other: &UvmManager) {
+        self.stats.merge_from(&other.stats);
+        self.hotness.append_from(&other.hotness);
+    }
+
     /// Aggregate statistics so far.
     pub fn stats(&self) -> UvmStats {
         self.stats
@@ -72,6 +135,14 @@ impl UvmManager {
     /// Resets statistics (budgets and residency stay).
     pub fn reset_stats(&mut self) {
         self.stats = UvmStats::default();
+    }
+
+    /// Resets the hotness accumulator (same bin width, fresh counts and
+    /// clock). Paired with [`UvmManager::reset_stats`] by the session's
+    /// analysis reset, so statistics and hotness always describe the
+    /// same analysis window.
+    pub fn reset_hotness(&mut self) {
+        self.hotness = self.hotness.fork();
     }
 
     /// The hotness accumulator (Fig. 13 data source).
@@ -290,6 +361,10 @@ impl ResidencyModel for UvmManager {
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
     }
+
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any + Send> {
+        self
+    }
 }
 
 #[cfg(test)]
@@ -434,5 +509,98 @@ mod tests {
         let out = m.on_kernel_access(DeviceId(7), BASE, MB, MB, AccessKind::Load);
         assert_eq!(out, AccessOutcome::HIT);
         assert_eq!(m.prefetch(DeviceId(7), BASE, MB), 0);
+    }
+
+    fn two_device_manager(budget_mb: u64) -> UvmManager {
+        let mut m = UvmManager::new(UvmConfig::default());
+        m.add_device(budget_mb * MB, 24.0, 25_000);
+        m.add_device(budget_mb * MB, 24.0, 25_000);
+        m
+    }
+
+    #[test]
+    fn fork_starts_cold_with_parent_config_and_allocs() {
+        let mut parent = two_device_manager(64);
+        parent.register(BASE, 16 * MB);
+        parent.on_kernel_access(DeviceId(0), BASE, 4 * MB, 4 * MB, AccessKind::Load);
+        let mut lane = parent.fork(DeviceId(1));
+        assert_eq!(lane.home_device(), Some(DeviceId(1)));
+        assert_eq!(lane.device_count(), 2);
+        assert!(lane.is_managed(BASE), "registrations travel with the fork");
+        assert_eq!(lane.stats(), UvmStats::default(), "fresh statistics");
+        assert_eq!(lane.resident_bytes(DeviceId(0)), 0, "fresh residency");
+        // The fork services faults independently of the parent.
+        let parent_before = parent.stats();
+        let out = lane.on_kernel_access(DeviceId(1), BASE, 4 * MB, 4 * MB, AccessKind::Load);
+        assert!(out.faults > 0);
+        assert_eq!(
+            parent.stats(),
+            parent_before,
+            "parent untouched by lane activity"
+        );
+    }
+
+    #[test]
+    fn reset_hotness_clears_counts_and_clock_with_stats() {
+        let mut m = manager(64);
+        m.register(BASE, 4 * MB);
+        m.on_kernel_access(DeviceId(0), BASE, 2 * MB, 2 * MB, AccessKind::Load);
+        assert!(m.hotness().events_seen() > 0);
+        m.reset_stats();
+        m.reset_hotness();
+        assert_eq!(m.stats(), UvmStats::default());
+        assert_eq!(m.hotness().events_seen(), 0);
+        assert!(m.hotness().series().blocks.is_empty());
+        assert_eq!(
+            m.hotness().bin_events(),
+            UvmConfig::default().hotness_bin_events,
+            "bin width survives the reset"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not a registered UVM device")]
+    fn fork_of_unknown_device_panics() {
+        let m = manager(16);
+        let _ = m.fork(DeviceId(3));
+    }
+
+    #[test]
+    fn merge_folds_lane_stats_and_hotness_deterministically() {
+        // Bin width 1 puts every lane stream on a bin boundary, so the
+        // appended hotness axes line up exactly with the reference's
+        // single clock (wider bins align whenever a lane's event count is
+        // a bin multiple — see `BlockHotness::append_from`).
+        let config = UvmConfig {
+            hotness_bin_events: 1,
+            ..UvmConfig::default()
+        };
+        let two_device_manager = |budget_mb: u64| {
+            let mut m = UvmManager::new(config.clone());
+            m.add_device(budget_mb * MB, 24.0, 25_000);
+            m.add_device(budget_mb * MB, 24.0, 25_000);
+            m
+        };
+        let mut parent = two_device_manager(512);
+        parent.register(BASE, 8 * MB);
+        let mut lane0 = parent.fork(DeviceId(0));
+        let mut lane1 = parent.fork(DeviceId(1));
+        lane0.on_kernel_access(DeviceId(0), BASE, 2 * MB, 2 * MB, AccessKind::Load);
+        lane1.on_kernel_access(DeviceId(1), BASE, 4 * MB, 4 * MB, AccessKind::Load);
+
+        // The sequential single-manager reference: same accesses,
+        // device-at-a-time, through one manager.
+        let mut reference = two_device_manager(512);
+        reference.register(BASE, 8 * MB);
+        reference.on_kernel_access(DeviceId(0), BASE, 2 * MB, 2 * MB, AccessKind::Load);
+        reference.on_kernel_access(DeviceId(1), BASE, 4 * MB, 4 * MB, AccessKind::Load);
+
+        parent.merge(&lane0);
+        parent.merge(&lane1);
+        assert_eq!(parent.stats(), reference.stats());
+        assert_eq!(parent.hotness().series(), reference.hotness().series());
+        // Lane residency is private and never imported.
+        assert_eq!(parent.resident_bytes(DeviceId(0)), 0);
+        assert_eq!(parent.resident_bytes(DeviceId(1)), 0);
     }
 }

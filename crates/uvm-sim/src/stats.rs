@@ -33,6 +33,20 @@ impl UvmStats {
     pub fn total_stall_ns(&self) -> u64 {
         self.fault_stall_ns + self.prefetch_stall_ns + self.evict_stall_ns
     }
+
+    /// Folds another counter set into this one, field-wise — the merge
+    /// stage of the per-lane UVM shards (every field is a sum, so the
+    /// fold is commutative and any merge order yields the same totals).
+    pub fn merge_from(&mut self, other: &UvmStats) {
+        self.fault_groups += other.fault_groups;
+        self.demand_pages_in += other.demand_pages_in;
+        self.prefetch_pages_in += other.prefetch_pages_in;
+        self.pages_evicted += other.pages_evicted;
+        self.fault_stall_ns += other.fault_stall_ns;
+        self.prefetch_stall_ns += other.prefetch_stall_ns;
+        self.evict_stall_ns += other.evict_stall_ns;
+        self.prefetch_noops += other.prefetch_noops;
+    }
 }
 
 #[cfg(test)]
@@ -59,5 +73,41 @@ mod tests {
     fn default_is_zero() {
         assert_eq!(UvmStats::default().pages_in(), 0);
         assert_eq!(UvmStats::default().total_stall_ns(), 0);
+    }
+
+    #[test]
+    fn merge_sums_every_field() {
+        let a = UvmStats {
+            fault_groups: 1,
+            demand_pages_in: 2,
+            prefetch_pages_in: 3,
+            pages_evicted: 4,
+            fault_stall_ns: 5,
+            prefetch_stall_ns: 6,
+            evict_stall_ns: 7,
+            prefetch_noops: 8,
+        };
+        let b = UvmStats {
+            fault_groups: 10,
+            demand_pages_in: 20,
+            prefetch_pages_in: 30,
+            pages_evicted: 40,
+            fault_stall_ns: 50,
+            prefetch_stall_ns: 60,
+            evict_stall_ns: 70,
+            prefetch_noops: 80,
+        };
+        let mut ab = a;
+        ab.merge_from(&b);
+        let mut ba = b;
+        ba.merge_from(&a);
+        assert_eq!(ab, ba, "field-wise sums commute");
+        assert_eq!(ab.fault_groups, 11);
+        assert_eq!(ab.pages_in(), 55);
+        assert_eq!(ab.total_stall_ns(), 198);
+        // The zero counters are the identity element.
+        let mut id = a;
+        id.merge_from(&UvmStats::default());
+        assert_eq!(id, a);
     }
 }

@@ -115,6 +115,26 @@ pub enum RocCallback {
         /// Host time.
         at: SimTime,
     },
+    /// SVM/XNACK page-migration activity a kernel triggered — ROCm's
+    /// vocabulary for what CUDA calls UVM faults; the PASTA handler
+    /// normalizes both onto one event. `device` is the *faulting* device
+    /// (the dispatch target), never the host thread's current device.
+    PageMigrate {
+        /// Dispatch whose accesses migrated pages.
+        launch: LaunchId,
+        /// The faulting device.
+        device: DeviceId,
+        /// Fault (retry) groups serviced.
+        groups: u64,
+        /// Bytes migrated host→device.
+        migrated_bytes: u64,
+        /// Bytes written back device→host under pressure.
+        evicted_bytes: u64,
+        /// Device stall charged to the dispatch, ns.
+        stall_ns: u64,
+        /// Host time after the dispatch was enqueued.
+        at: SimTime,
+    },
 }
 
 impl RocCallback {
@@ -130,6 +150,7 @@ impl RocCallback {
             RocCallback::MemorySet { .. } => "ROCPROFILER_MEMORY_SET",
             RocCallback::Synchronize { .. } => "ROCPROFILER_SYNCHRONIZE",
             RocCallback::BatchMemOp { .. } => "ROCPROFILER_BATCH_MEMOP",
+            RocCallback::PageMigrate { .. } => "ROCPROFILER_PAGE_MIGRATE",
         }
     }
 }

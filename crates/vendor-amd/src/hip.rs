@@ -287,6 +287,21 @@ impl DeviceRuntime for HipContext {
             device: record.device,
             end: record.end,
         });
+        // Page-migration activity reports the *faulting* device — the
+        // dispatch target (`record.device`), never `self.current`. The
+        // sharded hub routes on this field.
+        if record.uvm_faults > 0 || record.uvm_migrated_bytes > 0 || record.uvm_evicted_bytes > 0 {
+            let at = self.engine.host_now();
+            self.emit(RocCallback::PageMigrate {
+                launch: record.launch,
+                device: record.device,
+                groups: record.uvm_faults,
+                migrated_bytes: record.uvm_migrated_bytes,
+                evicted_bytes: record.uvm_evicted_bytes,
+                stall_ns: record.uvm_stall_ns,
+                at,
+            });
+        }
         self.emit_api_exit("hipLaunchKernel");
         Ok(record)
     }

@@ -126,6 +126,27 @@ pub enum NvCallback {
         /// Host time.
         at: SimTime,
     },
+    /// UVM page-fault activity resolved while a kernel ran: the GPU
+    /// fault-buffer summary Compute Sanitizer surfaces per launch. The
+    /// `device` is always the *faulting* device — the device the kernel
+    /// executed on — never the device that happened to be current on the
+    /// host thread, so the sharded hub can route it by content.
+    UvmFault {
+        /// Launch whose accesses faulted.
+        launch: LaunchId,
+        /// The faulting device.
+        device: DeviceId,
+        /// Fault groups serviced.
+        groups: u64,
+        /// Bytes migrated host→device.
+        migrated_bytes: u64,
+        /// Bytes evicted device→host to make room.
+        evicted_bytes: u64,
+        /// Device stall charged to the kernel, ns.
+        stall_ns: u64,
+        /// Host time after the launch was enqueued.
+        at: SimTime,
+    },
 }
 
 impl NvCallback {
@@ -142,6 +163,7 @@ impl NvCallback {
             NvCallback::Memset { .. } => "SANITIZER_CBID_MEMSET",
             NvCallback::Synchronize { .. } => "SANITIZER_CBID_SYNCHRONIZE",
             NvCallback::BatchMemOp { .. } => "SANITIZER_CBID_BATCH_MEMOP",
+            NvCallback::UvmFault { .. } => "SANITIZER_CBID_UVM_FAULT",
         }
     }
 }

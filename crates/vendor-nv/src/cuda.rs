@@ -317,6 +317,22 @@ impl DeviceRuntime for CudaContext {
             device: record.device,
             end: record.end,
         });
+        // UVM activity reports the *faulting* device — the device the
+        // kernel ran on (`record.device`), never `self.current`, which on
+        // a shared multi-device context may point elsewhere by the time
+        // the fault buffer drains. The sharded hub routes on this field.
+        if record.uvm_faults > 0 || record.uvm_migrated_bytes > 0 || record.uvm_evicted_bytes > 0 {
+            let at = self.engine.host_now();
+            self.emit(NvCallback::UvmFault {
+                launch: record.launch,
+                device: record.device,
+                groups: record.uvm_faults,
+                migrated_bytes: record.uvm_migrated_bytes,
+                evicted_bytes: record.uvm_evicted_bytes,
+                stall_ns: record.uvm_stall_ns,
+                at,
+            });
+        }
         self.emit_api_exit("cuLaunchKernel");
         Ok(record)
     }
