@@ -485,6 +485,7 @@ impl Engine {
             uvm_faults: uvm.faults,
             uvm_migrated_bytes: uvm.migrated_in_bytes,
             uvm_evicted_bytes: uvm.evicted_bytes,
+            uvm_peer_bytes: uvm.peer_in_bytes,
             records_emitted: summary.global_records + summary.shared_records,
             global_bytes: desc.body.global_bytes(),
         })

@@ -76,7 +76,7 @@ pub use instrument::{
 pub use kernel::{AccessKind, AccessPattern, AccessSpec, KernelBody, KernelDesc, MemSpace};
 pub use mem::{Allocation, DevicePtr};
 pub use probe::{AnalysisMode, DeviceProbe, InstrCoverage, ProbeConfig, ProbeCosts};
-pub use residency::{AccessOutcome, ResidencyAdvice, ResidencyModel};
+pub use residency::{AccessOutcome, PeerTransfer, ResidencyAdvice, ResidencyModel};
 pub use runtime::{CopyDirection, DeviceRuntime, LaunchRecord, RuntimeStats};
 pub use symbol::{Symbol, SymbolTable};
 pub use trace::{AccessBatch, KernelTraceSummary};

@@ -21,6 +21,9 @@ pub struct AccessOutcome {
     pub migrated_in_bytes: u64,
     /// Bytes evicted device→host to make room.
     pub evicted_bytes: u64,
+    /// Bytes read-duplicated device→device over the peer link (shared
+    /// managed ranges only; zero for private ranges).
+    pub peer_in_bytes: u64,
 }
 
 impl AccessOutcome {
@@ -30,6 +33,7 @@ impl AccessOutcome {
         faults: 0,
         migrated_in_bytes: 0,
         evicted_bytes: 0,
+        peer_in_bytes: 0,
     };
 
     /// Component-wise sum.
@@ -39,8 +43,33 @@ impl AccessOutcome {
             faults: self.faults + o.faults,
             migrated_in_bytes: self.migrated_in_bytes + o.migrated_in_bytes,
             evicted_bytes: self.evicted_bytes + o.evicted_bytes,
+            peer_in_bytes: self.peer_in_bytes + o.peer_in_bytes,
         }
     }
+}
+
+/// One peer-to-peer coherence operation a residency model performed while
+/// resolving accesses to a *shared* managed range: either a read
+/// duplication (`duplicated_pages > 0`, data moved `src → dst`) or a
+/// write invalidation (`invalidated_pages > 0`, `src` wrote and `dst`'s
+/// duplicate was dropped). The vendor runtimes drain these through
+/// [`ResidencyModel::take_peer_transfers`] and surface them as host
+/// callbacks carrying both devices, so the sharded hub can route the
+/// event to the *destination* device's shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PeerTransfer {
+    /// Device the data (or the invalidating write) came from.
+    pub src: DeviceId,
+    /// Device whose residency changed — the routing key.
+    pub dst: DeviceId,
+    /// Pages read-duplicated onto `dst`.
+    pub duplicated_pages: u64,
+    /// `dst` duplicate pages invalidated by `src`'s write.
+    pub invalidated_pages: u64,
+    /// Bytes moved over the peer link (duplications only).
+    pub bytes: u64,
+    /// Device stall charged to the faulting kernel, ns.
+    pub stall_ns: u64,
 }
 
 /// UVM advice values understood by residency models, mirroring
@@ -86,6 +115,29 @@ pub trait ResidencyModel: Send {
     /// Unregisters a managed allocation, dropping its pages.
     fn unregister(&mut self, base: u64) {
         let _ = base;
+    }
+
+    /// Marks `[base, base+len)` as a managed range *shared* across
+    /// devices/lanes, with `owner` holding the home copy: remote reads
+    /// read-duplicate over the peer link, remote writes invalidate the
+    /// other devices' duplicates. Default: no-op — models without
+    /// coherence support treat every range as private.
+    fn register_shared(&mut self, base: u64, len: u64, owner: DeviceId) {
+        let _ = (base, len, owner);
+    }
+
+    /// Removes the shared marking of the range starting at `base` (its
+    /// pages fall back to private semantics). Default: no-op.
+    fn unregister_shared(&mut self, base: u64) {
+        let _ = base;
+    }
+
+    /// Drains the peer-to-peer coherence operations (read duplications,
+    /// write invalidations) accumulated since the last drain, in the
+    /// order they happened. Default: empty — private-only models never
+    /// produce peer traffic.
+    fn take_peer_transfers(&mut self) -> Vec<PeerTransfer> {
+        Vec::new()
     }
 
     /// Asynchronously prefetches `[base, base+len)` to `device`, returning
@@ -159,18 +211,21 @@ mod tests {
             faults: 1,
             migrated_in_bytes: 4096,
             evicted_bytes: 0,
+            peer_in_bytes: 512,
         };
         let b = AccessOutcome {
             extra_device_ns: 5,
             faults: 2,
             migrated_in_bytes: 0,
             evicted_bytes: 1024,
+            peer_in_bytes: 0,
         };
         let c = a.merge(b);
         assert_eq!(c.extra_device_ns, 15);
         assert_eq!(c.faults, 3);
         assert_eq!(c.migrated_in_bytes, 4096);
         assert_eq!(c.evicted_bytes, 1024);
+        assert_eq!(c.peer_in_bytes, 512);
         assert_eq!(a.merge(AccessOutcome::HIT), a);
     }
 

@@ -74,6 +74,9 @@ pub struct LaunchRecord {
     pub uvm_migrated_bytes: u64,
     /// Bytes evicted (device→host) to make room during the launch.
     pub uvm_evicted_bytes: u64,
+    /// Bytes read-duplicated onto this device over the peer link while
+    /// the launch resolved shared managed ranges.
+    pub uvm_peer_bytes: u64,
     /// Warp-level memory records the launch emitted to the probe.
     pub records_emitted: u64,
     /// Total bytes moved through global memory.
@@ -256,6 +259,7 @@ mod tests {
             uvm_faults: 0,
             uvm_migrated_bytes: 0,
             uvm_evicted_bytes: 0,
+            uvm_peer_bytes: 0,
             records_emitted: 8,
             global_bytes: 1024,
         };

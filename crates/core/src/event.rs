@@ -206,6 +206,30 @@ pub enum Event {
         /// Host time.
         at: SimTime,
     },
+    /// A peer-to-peer coherence operation on a *shared* managed range
+    /// (normalized from NVIDIA `PeerMigrate` and AMD `PeerCopy`
+    /// callbacks): either a read duplication — data moved `src → dst`
+    /// over the peer link — or a write invalidation — `src` wrote,
+    /// `dst`'s duplicate was dropped. Routed by **destination** device:
+    /// `dst` is whose residency changed, so its shard owns the event.
+    UvmPeerMigrate {
+        /// Launch whose accesses triggered the operation.
+        launch: LaunchId,
+        /// Device the data (or the invalidating write) came from.
+        src: DeviceId,
+        /// Device whose residency changed — the routing key.
+        dst: DeviceId,
+        /// Pages read-duplicated onto `dst`.
+        duplicated_pages: u64,
+        /// `dst` duplicate pages invalidated by `src`'s write.
+        invalidated_pages: u64,
+        /// Bytes moved over the peer link (duplications only).
+        bytes: u64,
+        /// Device stall charged to the launch, ns.
+        stall_ns: u64,
+        /// Host time.
+        at: SimTime,
+    },
 
     // --- Fine-grained device-side operations ------------------------------
     /// Thread-block entries+exits for a launch ("Thread Block Entry/Exit").
@@ -399,6 +423,7 @@ impl Event {
             | ResourceFree { device, .. }
             | BatchMemOp { device, .. }
             | UvmFault { device, .. }
+            | UvmPeerMigrate { dst: device, .. }
             | OpStart { device, .. }
             | OpEnd { device, .. }
             | TensorAlloc { device, .. }
@@ -432,7 +457,8 @@ impl Event {
             | ResourceAlloc { .. }
             | ResourceFree { .. }
             | BatchMemOp { .. }
-            | UvmFault { .. } => EventClass::Memory,
+            | UvmFault { .. }
+            | UvmPeerMigrate { .. } => EventClass::Memory,
             Sync { .. } => EventClass::Sync,
             GlobalAccess { .. } | SharedAccess { .. } | GlobalToSharedCopy { .. } => {
                 EventClass::DeviceAccess
@@ -506,6 +532,24 @@ mod tests {
             evicted_bytes: 0,
             stall_ns: 500,
             at: SimTime(9),
+        };
+        assert_eq!(e.device(), Some(DeviceId(1)));
+        assert_eq!(e.class(), EventClass::Memory);
+    }
+
+    #[test]
+    fn uvm_peer_migrate_routes_by_destination_device() {
+        // The destination is whose residency changed — its shard owns
+        // the event, whichever lane's context emitted it.
+        let e = Event::UvmPeerMigrate {
+            launch: LaunchId(2),
+            src: DeviceId(0),
+            dst: DeviceId(1),
+            duplicated_pages: 32,
+            invalidated_pages: 0,
+            bytes: 2 << 20,
+            stall_ns: 1_000,
+            at: SimTime(4),
         };
         assert_eq!(e.device(), Some(DeviceId(1)));
         assert_eq!(e.class(), EventClass::Memory);

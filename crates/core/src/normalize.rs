@@ -150,6 +150,25 @@ pub fn normalize_nv(cb: &NvCallback) -> Option<Event> {
             stall_ns: *stall_ns,
             at: *at,
         },
+        NvCallback::PeerMigrate {
+            launch,
+            src,
+            dst,
+            duplicated_pages,
+            invalidated_pages,
+            bytes,
+            stall_ns,
+            at,
+        } => Event::UvmPeerMigrate {
+            launch: *launch,
+            src: *src,
+            dst: *dst,
+            duplicated_pages: *duplicated_pages,
+            invalidated_pages: *invalidated_pages,
+            bytes: *bytes,
+            stall_ns: *stall_ns,
+            at: *at,
+        },
     })
 }
 
@@ -245,6 +264,28 @@ pub fn normalize_roc(cb: &RocCallback) -> Option<Event> {
             groups: *groups,
             migrated_bytes: *migrated_bytes,
             evicted_bytes: *evicted_bytes,
+            stall_ns: *stall_ns,
+            at: *at,
+        },
+        // xGMI peer copies and CUDA's UVM peer migrations are the same
+        // semantic event; both normalize onto `Event::UvmPeerMigrate`
+        // carrying source and destination devices.
+        RocCallback::PeerCopy {
+            launch,
+            src,
+            dst,
+            duplicated_pages,
+            invalidated_pages,
+            bytes,
+            stall_ns,
+            at,
+        } => Event::UvmPeerMigrate {
+            launch: *launch,
+            src: *src,
+            dst: *dst,
+            duplicated_pages: *duplicated_pages,
+            invalidated_pages: *invalidated_pages,
+            bytes: *bytes,
             stall_ns: *stall_ns,
             at: *at,
         },
@@ -488,6 +529,35 @@ mod tests {
         .unwrap();
         assert_eq!(nv, roc);
         assert_eq!(nv.device(), Some(DeviceId(1)), "routes by faulting device");
+    }
+
+    #[test]
+    fn peer_traffic_unifies_across_vendors_and_routes_by_destination() {
+        use accel_sim::LaunchId;
+        let nv = normalize_nv(&NvCallback::PeerMigrate {
+            launch: LaunchId(5),
+            src: DeviceId(0),
+            dst: DeviceId(1),
+            duplicated_pages: 16,
+            invalidated_pages: 0,
+            bytes: 1 << 20,
+            stall_ns: 321,
+            at: SimTime(13),
+        })
+        .unwrap();
+        let roc = normalize_roc(&RocCallback::PeerCopy {
+            launch: LaunchId(5),
+            src: DeviceId(0),
+            dst: DeviceId(1),
+            duplicated_pages: 16,
+            invalidated_pages: 0,
+            bytes: 1 << 20,
+            stall_ns: 321,
+            at: SimTime(13),
+        })
+        .unwrap();
+        assert_eq!(nv, roc);
+        assert_eq!(nv.device(), Some(DeviceId(1)), "routes by destination");
     }
 
     #[test]

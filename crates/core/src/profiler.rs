@@ -57,6 +57,16 @@ pub enum BackendChoice {
 }
 
 /// UVM attachment configuration.
+///
+/// Managed ranges default to *private* (per-device demand paging). A
+/// workload — or a parallel lane — can additionally mark a range
+/// **shared** across devices through
+/// [`accel_sim::ResidencyModel::register_shared`] (reachable via
+/// [`crate::WorkloadCx::uvm_mut`] or the lane session's runtime): remote
+/// reads then read-duplicate the owner's copy over the peer link and
+/// remote writes invalidate the other devices' duplicates, with the
+/// traffic surfacing in [`UvmReport::peer_bytes`] and
+/// `Event::UvmPeerMigrate`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct UvmSetup {
     /// UVM cost-model config.
@@ -343,7 +353,12 @@ impl PastaBuilder {
                             .budget_bytes
                             .unwrap_or(spec.mem_capacity)
                             .min(spec.mem_capacity);
-                        uvm.add_device(budget, spec.link_bandwidth_gbps, spec.fault_latency_ns);
+                        uvm.add_device_p2p(
+                            budget,
+                            spec.link_bandwidth_gbps,
+                            spec.p2p_bandwidth_gbps,
+                            spec.fault_latency_ns,
+                        );
                     }
                     ctx.attach_uvm(uvm);
                 }
@@ -361,7 +376,12 @@ impl PastaBuilder {
                             .budget_bytes
                             .unwrap_or(spec.mem_capacity)
                             .min(spec.mem_capacity);
-                        uvm.add_device(budget, spec.link_bandwidth_gbps, spec.fault_latency_ns);
+                        uvm.add_device_p2p(
+                            budget,
+                            spec.link_bandwidth_gbps,
+                            spec.p2p_bandwidth_gbps,
+                            spec.fault_latency_ns,
+                        );
                     }
                     ctx.attach_uvm(uvm);
                 }
@@ -603,6 +623,7 @@ impl PastaSession {
                 .iter()
                 .map(|(&device, &stats)| (device, stats))
                 .collect(),
+            peer_bytes: manager.peer_matrix(),
         })
     }
 

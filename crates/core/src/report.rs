@@ -90,11 +90,17 @@ pub struct MergedReport {
 /// breakdown.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct UvmReport {
-    /// Aggregate UVM statistics across the session, lanes included.
+    /// Aggregate UVM statistics across the session, lanes included —
+    /// peer-traffic totals ride in
+    /// [`UvmStats::peer_pages_in`]/[`UvmStats::peer_stall_ns`].
     pub stats: UvmStats,
     /// Per-device statistics contributed by parallel lanes, ascending
     /// device id. Empty when no parallel region ran with UVM attached.
     pub per_device: Vec<(DeviceId, UvmStats)>,
+    /// Shared-range peer-traffic matrix: bytes read-duplicated over the
+    /// peer link per (src, dst) device pair, ascending. Empty when no
+    /// shared managed ranges were exercised.
+    pub peer_bytes: Vec<((DeviceId, DeviceId), u64)>,
 }
 
 impl fmt::Display for MergedReport {
@@ -125,6 +131,18 @@ impl fmt::Display for MergedReport {
                     stats.fault_groups,
                     stats.total_stall_ns(),
                 )?;
+            }
+            if uvm.stats.peer_pages_in > 0 || !uvm.peer_bytes.is_empty() {
+                writeln!(
+                    f,
+                    "  peer: {} pages duplicated, {} invalidated, {} ns stall",
+                    uvm.stats.peer_pages_in,
+                    uvm.stats.duplicates_invalidated,
+                    uvm.stats.peer_stall_ns,
+                )?;
+                for ((src, dst), bytes) in &uvm.peer_bytes {
+                    writeln!(f, "  peer {src}->{dst}: {bytes} bytes duplicated")?;
+                }
             }
         }
         Ok(())
@@ -203,12 +221,14 @@ mod tests {
                         ..UvmStats::default()
                     },
                 )],
+                peer_bytes: vec![((DeviceId(0), DeviceId(1)), 4096)],
             }),
         };
         let s = report.to_string();
         assert!(s.contains("== uvm =="), "UVM slice rendered: {s}");
         assert!(s.contains("pages_in: 32"), "{s}");
         assert!(s.contains("gpu1: 32 pages in"), "{s}");
+        assert!(s.contains("peer gpu0->gpu1: 4096 bytes duplicated"), "{s}");
         // Sessions without UVM print no empty section.
         let without = MergedReport::default().to_string();
         assert!(!without.contains("uvm"));

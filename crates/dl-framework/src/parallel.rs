@@ -29,7 +29,7 @@ use crate::models::transformer::{custom_lm, LmDims};
 use crate::models::{ModelKind, ModelSpec, Workload};
 use crate::ops::{self, Act};
 use crate::session::Session;
-use accel_sim::{AccelError, DeviceId};
+use accel_sim::{AccelError, AccessSpec, DeviceId, Dim3, KernelBody, KernelDesc};
 use serde::{Deserialize, Serialize};
 use std::sync::mpsc;
 
@@ -275,6 +275,14 @@ fn tensor_parallel(
         vocab: dims.vocab / 2,
         ..dims
     };
+    // The replicated parameters' home copy lives on the lowest-id lane
+    // actually in the run — deterministic for every lane, and correct
+    // for lane sets that do not include device 0.
+    let replica_owner = lanes
+        .iter()
+        .map(DeviceLane::device)
+        .min()
+        .expect("lane count checked above");
     let stats = drive_lanes(lanes, schedule, |_i, lane| {
         let s = &mut lane.session;
         let mut shard = custom_lm(
@@ -284,14 +292,51 @@ fn tensor_parallel(
             batch,
             "megatron/pretrain_gpt2.py",
         )?;
-        shard.training_iter(s)?;
-        // Activation all-reduces: two per layer (after attention and after
-        // the MLP), on [batch, seq, d] activations.
-        let act = s.alloc_tensor(&[batch, dims.seq, dims.d], DType::F32)?;
-        for _ in 0..2 * dims.layers {
-            ops::allreduce(s, &act)?;
+        // Megatron replicates the positional embeddings and layer norms
+        // on every TP rank. Under a managed-memory session, model the
+        // replica as one *shared* managed range: the lowest-id lane owns
+        // the home copy (demand-faults it from the host), every other
+        // rank read-duplicates it over the peer link, and the iteration
+        // never writes it — replicated parameters update identically on
+        // each rank at optimizer time, outside this window. Lanes
+        // allocate in lockstep, so the range lands at the same managed
+        // address on every lane and the registrations rendezvous in the
+        // coherence directory. Sessions without UVM skip the
+        // registration and the read costs nothing extra.
+        let replicated = s.alloc_tensor(&[dims.seq, dims.d], DType::F32)?;
+        if let Some(res) = s.runtime_mut().residency_mut() {
+            res.register_shared(replicated.ptr.addr(), replicated.bytes, replica_owner);
         }
-        s.free_tensor(&act);
+        // The fallible middle runs in a closure so the shared
+        // registration is torn down even on error: the coherence
+        // directory outlives this lane (it is Arc-shared), and a stale
+        // entry keyed by a reusable allocator address would wrongly mark
+        // a later unrelated allocation as shared.
+        let mut iter = |s: &mut Session<'_>| -> Result<(), AccelError> {
+            let read = KernelDesc::new(
+                "megatron_replicated_param_read",
+                Dim3::linear(64),
+                Dim3::linear(128),
+            )
+            .arg(replicated.ptr, replicated.bytes)
+            .body(KernelBody::default().access(AccessSpec::load(0, replicated.bytes)));
+            s.launch(read)?;
+            shard.training_iter(s)?;
+            // Activation all-reduces: two per layer (after attention and
+            // after the MLP), on [batch, seq, d] activations.
+            let act = s.alloc_tensor(&[batch, dims.seq, dims.d], DType::F32)?;
+            for _ in 0..2 * dims.layers {
+                ops::allreduce(s, &act)?;
+            }
+            s.free_tensor(&act);
+            Ok(())
+        };
+        let result = iter(s);
+        if let Some(res) = s.runtime_mut().residency_mut() {
+            res.unregister_shared(replicated.ptr.addr());
+        }
+        s.free_tensor(&replicated);
+        result?;
         let stats = lane_stats(lane);
         shard.destroy(&mut lane.session);
         Ok(stats)
@@ -546,6 +591,18 @@ pub fn train_iter(
 /// output to this reference — the determinism contract of the sharded
 /// hub and the per-lane UVM forks, and what the UVM-under-parallelism
 /// tests pin.
+///
+/// The contract extends to *read-only shared* managed ranges: the
+/// tensor-parallel driver registers its replicated parameters as a
+/// shared range (owner = rank 0, never written inside the iteration),
+/// and the coherence model classifies remote reads statically (owner
+/// demand-faults, everyone else read-duplicates), so each lane's peer
+/// traffic depends only on its own stream. Running the lanes
+/// sequentially therefore defines the reference semantics for shared
+/// ranges too — the `uvm_p2p` differential suite pins concurrent runs
+/// byte-identical to it. (Concurrently *written* shared ranges make
+/// invalidation effects cross-lane and sit outside the byte-identity
+/// contract; the sequential schedule remains their reference.)
 ///
 /// Pipeline parallelism is inherently cross-device sequenced by its
 /// activation/gradient handoffs (a lane-at-a-time schedule would

@@ -45,4 +45,4 @@ pub use memchar::{MemoryCharacteristics, MemoryCharacteristicsTool};
 pub use op_kernel_map::OpKernelMapTool;
 pub use overflow_sanitizer::OverflowSanitizerTool;
 pub use transfer::TransferTool;
-pub use uvm_advisor::{UvmActivity, UvmPrefetchAdvisor};
+pub use uvm_advisor::{PeerTraffic, UvmActivity, UvmPrefetchAdvisor};

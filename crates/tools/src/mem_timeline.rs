@@ -32,6 +32,11 @@ pub struct UvmTraffic {
     pub migrated_bytes: u64,
     /// Bytes evicted device→host.
     pub evicted_bytes: u64,
+    /// Bytes read-duplicated onto this device over the peer link
+    /// (shared managed ranges).
+    pub peer_in_bytes: u64,
+    /// This device's duplicate pages invalidated by remote writes.
+    pub invalidated_pages: u64,
     /// Device stall charged by the UVM model, ns.
     pub stall_ns: u64,
 }
@@ -135,6 +140,21 @@ impl Tool for MemoryTimelineTool {
                 traffic.stall_ns += stall_ns;
                 return;
             }
+            Event::UvmPeerMigrate {
+                dst,
+                bytes,
+                invalidated_pages,
+                stall_ns,
+                ..
+            } => {
+                // Peer traffic lands on the *destination* device's
+                // overlay — that is whose residency changed.
+                let traffic = self.uvm.entry(*dst).or_default();
+                traffic.peer_in_bytes += bytes;
+                traffic.invalidated_pages += invalidated_pages;
+                traffic.stall_ns += stall_ns;
+                return;
+            }
             _ => return,
         };
         let series = self.series.entry(device).or_default();
@@ -167,6 +187,17 @@ impl Tool for MemoryTimelineTool {
                         format!("{device}_uvm_evicted_mb"),
                         crate::util::mb(traffic.evicted_bytes),
                     );
+                if traffic.peer_in_bytes > 0 || traffic.invalidated_pages > 0 {
+                    report = report
+                        .metric(
+                            format!("{device}_uvm_peer_in_mb"),
+                            crate::util::mb(traffic.peer_in_bytes),
+                        )
+                        .metric(
+                            format!("{device}_uvm_invalidated_pages"),
+                            traffic.invalidated_pages as f64,
+                        );
+                }
             }
         }
         report
@@ -201,6 +232,8 @@ impl Tool for MemoryTimelineTool {
             let mine = self.uvm.entry(*device).or_default();
             mine.migrated_bytes += traffic.migrated_bytes;
             mine.evicted_bytes += traffic.evicted_bytes;
+            mine.peer_in_bytes += traffic.peer_in_bytes;
+            mine.invalidated_pages += traffic.invalidated_pages;
             mine.stall_ns += traffic.stall_ns;
         }
         self.counter += other.counter;
@@ -331,6 +364,37 @@ mod tests {
             .downcast_ref::<MemoryTimelineTool>()
             .unwrap();
         assert_eq!(merged.uvm_for(DeviceId(1)).migrated_bytes, 8 << 20);
+    }
+
+    #[test]
+    fn peer_traffic_overlays_the_destination_device() {
+        use accel_sim::{LaunchId, SimTime};
+        let mut t = MemoryTimelineTool::new();
+        t.on_event(&Event::UvmPeerMigrate {
+            launch: LaunchId(0),
+            src: DeviceId(0),
+            dst: DeviceId(1),
+            duplicated_pages: 32,
+            invalidated_pages: 3,
+            bytes: 2 << 20,
+            stall_ns: 700,
+            at: SimTime(0),
+        });
+        assert_eq!(t.uvm_for(DeviceId(1)).peer_in_bytes, 2 << 20);
+        assert_eq!(t.uvm_for(DeviceId(1)).invalidated_pages, 3);
+        assert_eq!(t.uvm_for(DeviceId(0)), UvmTraffic::default());
+        let r = t.report();
+        assert_eq!(r.get("gpu1_uvm_peer_in_mb"), Some(2.0));
+        assert_eq!(r.get("gpu1_uvm_invalidated_pages"), Some(3.0));
+        // Merge folds the overlay per device.
+        let mut merged = t.fork().unwrap();
+        merged.merge(&t);
+        merged.merge(&t);
+        let merged = merged
+            .as_any()
+            .downcast_ref::<MemoryTimelineTool>()
+            .unwrap();
+        assert_eq!(merged.uvm_for(DeviceId(1)).peer_in_bytes, 4 << 20);
     }
 
     #[test]

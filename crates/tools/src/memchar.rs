@@ -33,6 +33,10 @@ pub struct MemoryCharacteristics {
     pub uvm_fault_groups: u64,
     /// Bytes the UVM model migrated in for kernel accesses.
     pub uvm_migrated_bytes: u64,
+    /// Bytes read-duplicated over the peer link (shared managed ranges).
+    pub uvm_peer_bytes: u64,
+    /// Duplicate pages invalidated by writes to shared ranges.
+    pub uvm_invalidated_pages: u64,
 }
 
 /// The working-set analysis tool.
@@ -44,6 +48,8 @@ pub struct MemoryCharacteristicsTool {
     peak_reserved: u64,
     uvm_fault_groups: u64,
     uvm_migrated_bytes: u64,
+    uvm_peer_bytes: u64,
+    uvm_invalidated_pages: u64,
 }
 
 impl MemoryCharacteristicsTool {
@@ -86,6 +92,8 @@ impl MemoryCharacteristicsTool {
             p90_ws: percentile(&sorted, 90.0),
             uvm_fault_groups: self.uvm_fault_groups,
             uvm_migrated_bytes: self.uvm_migrated_bytes,
+            uvm_peer_bytes: self.uvm_peer_bytes,
+            uvm_invalidated_pages: self.uvm_invalidated_pages,
         }
     }
 }
@@ -119,6 +127,14 @@ impl Tool for MemoryCharacteristicsTool {
                 self.uvm_fault_groups += groups;
                 self.uvm_migrated_bytes += migrated_bytes;
             }
+            Event::UvmPeerMigrate {
+                bytes,
+                invalidated_pages,
+                ..
+            } => {
+                self.uvm_peer_bytes += bytes;
+                self.uvm_invalidated_pages += invalidated_pages;
+            }
             _ => {}
         }
     }
@@ -132,6 +148,8 @@ impl Tool for MemoryCharacteristicsTool {
             peak_reserved: self.peak_reserved,
             uvm_fault_groups: self.uvm_fault_groups,
             uvm_migrated_bytes: self.uvm_migrated_bytes,
+            uvm_peer_bytes: self.uvm_peer_bytes,
+            uvm_invalidated_pages: self.uvm_invalidated_pages,
         };
         let c = snapshot.characteristics();
         ToolReport::new(self.name())
@@ -144,6 +162,8 @@ impl Tool for MemoryCharacteristicsTool {
             .metric("p90_ws_mb", mb(c.p90_ws))
             .metric("uvm_fault_groups", c.uvm_fault_groups as f64)
             .metric("uvm_migrated_mb", mb(c.uvm_migrated_bytes))
+            .metric("uvm_peer_mb", mb(c.uvm_peer_bytes))
+            .metric("uvm_invalidated_pages", c.uvm_invalidated_pages as f64)
     }
 
     fn reset(&mut self) {
@@ -153,6 +173,8 @@ impl Tool for MemoryCharacteristicsTool {
         self.peak_reserved = 0;
         self.uvm_fault_groups = 0;
         self.uvm_migrated_bytes = 0;
+        self.uvm_peer_bytes = 0;
+        self.uvm_invalidated_pages = 0;
     }
 
     fn fork(&self) -> Option<Box<dyn Tool>> {
@@ -172,6 +194,8 @@ impl Tool for MemoryCharacteristicsTool {
             peak_reserved: 0,
             uvm_fault_groups: 0,
             uvm_migrated_bytes: 0,
+            uvm_peer_bytes: 0,
+            uvm_invalidated_pages: 0,
         };
         snapshot.finish_launch();
         self.per_kernel_ws
@@ -180,6 +204,8 @@ impl Tool for MemoryCharacteristicsTool {
         self.peak_reserved = self.peak_reserved.max(other.peak_reserved);
         self.uvm_fault_groups += other.uvm_fault_groups;
         self.uvm_migrated_bytes += other.uvm_migrated_bytes;
+        self.uvm_peer_bytes += other.uvm_peer_bytes;
+        self.uvm_invalidated_pages += other.uvm_invalidated_pages;
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -277,6 +303,51 @@ mod tests {
         let r = t.report();
         assert_eq!(r.get("working_set_mb"), Some(10.0));
         assert_eq!(r.get("kernel_count"), Some(1.0));
+    }
+
+    #[test]
+    fn peer_and_invalidation_columns_accumulate_and_merge() {
+        use accel_sim::{DeviceId as Dev, SimTime};
+        let peer = |bytes: u64, invalidated: u64| Event::UvmPeerMigrate {
+            launch: LaunchId(0),
+            src: Dev(0),
+            dst: Dev(1),
+            duplicated_pages: bytes / (64 << 10),
+            invalidated_pages: invalidated,
+            bytes,
+            stall_ns: 1,
+            at: SimTime(0),
+        };
+        let mut t = MemoryCharacteristicsTool::new();
+        t.on_event(&peer(4 << 20, 0));
+        t.on_event(&peer(2 << 20, 5));
+        let c = t.characteristics();
+        assert_eq!(c.uvm_peer_bytes, 6 << 20);
+        assert_eq!(c.uvm_invalidated_pages, 5);
+        let r = t.report();
+        assert_eq!(r.get("uvm_peer_mb"), Some(6.0));
+        assert_eq!(r.get("uvm_invalidated_pages"), Some(5.0));
+        let mut merged = t.fork().unwrap();
+        merged.merge(&t);
+        merged.merge(&t);
+        let merged = merged
+            .as_any()
+            .downcast_ref::<MemoryCharacteristicsTool>()
+            .unwrap();
+        let mut merged = MemoryCharacteristicsTool {
+            current_launch: merged.current_launch,
+            current_ranges: merged.current_ranges.clone(),
+            per_kernel_ws: merged.per_kernel_ws.clone(),
+            peak_reserved: merged.peak_reserved,
+            uvm_fault_groups: merged.uvm_fault_groups,
+            uvm_migrated_bytes: merged.uvm_migrated_bytes,
+            uvm_peer_bytes: merged.uvm_peer_bytes,
+            uvm_invalidated_pages: merged.uvm_invalidated_pages,
+        };
+        assert_eq!(merged.characteristics().uvm_peer_bytes, 12 << 20);
+        assert_eq!(merged.characteristics().uvm_invalidated_pages, 10);
+        t.reset();
+        assert_eq!(t.characteristics().uvm_peer_bytes, 0);
     }
 
     #[test]

@@ -41,6 +41,29 @@ impl UvmActivity {
     }
 }
 
+/// Observed peer-to-peer coherence traffic between one (src, dst) device
+/// pair — shared managed ranges only.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PeerTraffic {
+    /// Pages read-duplicated src→dst.
+    pub duplicated_pages: u64,
+    /// dst duplicate pages invalidated by src's writes.
+    pub invalidated_pages: u64,
+    /// Bytes moved over the peer link.
+    pub bytes: u64,
+    /// Device stall charged to launches, ns.
+    pub stall_ns: u64,
+}
+
+impl PeerTraffic {
+    fn merge_from(&mut self, other: &PeerTraffic) {
+        self.duplicated_pages += other.duplicated_pages;
+        self.invalidated_pages += other.invalidated_pages;
+        self.bytes += other.bytes;
+        self.stall_ns += other.stall_ns;
+    }
+}
+
 /// The profiling-side advisor.
 #[derive(Debug, Default)]
 pub struct UvmPrefetchAdvisor {
@@ -56,6 +79,10 @@ pub struct UvmPrefetchAdvisor {
     /// routed `Event::UvmFault` stream — under parallel lanes each shard
     /// sees exactly its own device's faults).
     uvm: BTreeMap<accel_sim::DeviceId, UvmActivity>,
+    /// Peer-to-peer coherence traffic keyed by (src, dst) — the routed
+    /// `Event::UvmPeerMigrate` stream (each shard sees the operations
+    /// whose *destination* is its device).
+    peer: BTreeMap<(accel_sim::DeviceId, accel_sim::DeviceId), PeerTraffic>,
 }
 
 fn containing(map: &BTreeMap<u64, u64>, addr: u64) -> Option<Range> {
@@ -121,6 +148,20 @@ impl UvmPrefetchAdvisor {
     /// Devices with observed UVM activity, ascending.
     pub fn uvm_devices(&self) -> Vec<accel_sim::DeviceId> {
         self.uvm.keys().copied().collect()
+    }
+
+    /// Observed peer traffic of one (src, dst) device pair.
+    pub fn peer_traffic_for(
+        &self,
+        src: accel_sim::DeviceId,
+        dst: accel_sim::DeviceId,
+    ) -> PeerTraffic {
+        self.peer.get(&(src, dst)).copied().unwrap_or_default()
+    }
+
+    /// The full per-pair peer-traffic matrix, ascending (src, dst).
+    pub fn peer_matrix(&self) -> Vec<((accel_sim::DeviceId, accel_sim::DeviceId), PeerTraffic)> {
+        self.peer.iter().map(|(&k, &v)| (k, v)).collect()
     }
 }
 
@@ -190,6 +231,25 @@ impl Tool for UvmPrefetchAdvisor {
                         stall_ns: *stall_ns,
                     });
             }
+            Event::UvmPeerMigrate {
+                src,
+                dst,
+                duplicated_pages,
+                invalidated_pages,
+                bytes,
+                stall_ns,
+                ..
+            } => {
+                self.peer
+                    .entry((*src, *dst))
+                    .or_default()
+                    .merge_from(&PeerTraffic {
+                        duplicated_pages: *duplicated_pages,
+                        invalidated_pages: *invalidated_pages,
+                        bytes: *bytes,
+                        stall_ns: *stall_ns,
+                    });
+            }
             _ => {}
         }
     }
@@ -223,6 +283,17 @@ impl Tool for UvmPrefetchAdvisor {
                     crate::util::mb(activity.evicted_bytes),
                 );
         }
+        for ((src, dst), traffic) in &self.peer {
+            report = report
+                .metric(
+                    format!("{src}_to_{dst}_peer_mb"),
+                    crate::util::mb(traffic.bytes),
+                )
+                .metric(
+                    format!("{src}_to_{dst}_invalidated_pages"),
+                    traffic.invalidated_pages as f64,
+                );
+        }
         report
     }
 
@@ -232,6 +303,7 @@ impl Tool for UvmPrefetchAdvisor {
         self.launch_objects.clear();
         self.launch_tensors.clear();
         self.uvm.clear();
+        self.peer.clear();
     }
 
     fn fork(&self) -> Option<Box<dyn Tool>> {
@@ -266,6 +338,9 @@ impl Tool for UvmPrefetchAdvisor {
         }
         for (device, activity) in &other.uvm {
             self.uvm.entry(*device).or_default().merge_from(activity);
+        }
+        for (pair, traffic) in &other.peer {
+            self.peer.entry(*pair).or_default().merge_from(traffic);
         }
     }
 
@@ -420,6 +495,57 @@ mod tests {
         let r = merged.report();
         assert_eq!(r.get("gpu0_migrated_mb"), Some(12.0));
         assert_eq!(r.get("gpu1_fault_groups"), Some(5.0));
+    }
+
+    #[test]
+    fn peer_matrix_accumulates_per_pair_and_merges() {
+        fn peer(src: u32, dst: u32, pages: u64, invalidated: u64) -> Event {
+            Event::UvmPeerMigrate {
+                launch: LaunchId(0),
+                src: DeviceId(src),
+                dst: DeviceId(dst),
+                duplicated_pages: pages,
+                invalidated_pages: invalidated,
+                bytes: pages * (64 << 10),
+                stall_ns: pages * 10,
+                at: SimTime(0),
+            }
+        }
+        let mut shard1 = UvmPrefetchAdvisor::new();
+        shard1.on_event(&peer(0, 1, 16, 0));
+        shard1.on_event(&peer(0, 1, 16, 4));
+        let mut shard0 = UvmPrefetchAdvisor::new();
+        shard0.on_event(&peer(1, 0, 8, 0));
+
+        let t = shard1.peer_traffic_for(DeviceId(0), DeviceId(1));
+        assert_eq!(t.duplicated_pages, 32);
+        assert_eq!(t.invalidated_pages, 4);
+        assert_eq!(
+            shard1.peer_traffic_for(DeviceId(1), DeviceId(0)),
+            PeerTraffic::default(),
+            "directions are distinct matrix cells"
+        );
+
+        let mut merged = shard0.fork().unwrap();
+        merged.merge(&shard0);
+        merged.merge(&shard1);
+        let merged = merged
+            .as_any()
+            .downcast_ref::<UvmPrefetchAdvisor>()
+            .unwrap();
+        assert_eq!(
+            merged
+                .peer_matrix()
+                .iter()
+                .map(|&(pair, _)| pair)
+                .collect::<Vec<_>>(),
+            vec![(DeviceId(0), DeviceId(1)), (DeviceId(1), DeviceId(0)),],
+            "matrix rows ascending by (src, dst)"
+        );
+        let r = merged.report();
+        assert_eq!(r.get("gpu0_to_gpu1_peer_mb"), Some(2.0));
+        assert_eq!(r.get("gpu0_to_gpu1_invalidated_pages"), Some(4.0));
+        assert_eq!(r.get("gpu1_to_gpu0_peer_mb"), Some(0.5));
     }
 
     #[test]

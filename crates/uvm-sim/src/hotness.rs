@@ -16,6 +16,15 @@ pub struct BlockHotness {
     counts: BTreeMap<(u64, u64), u64>,
     events_seen: u64,
     bin_events: u64,
+    /// Per-event `(base, len, records)` log, kept only by *lane* trackers
+    /// ([`BlockHotness::fork_recording`]). It lets [`append_from`] replay
+    /// the lane's stream event by event on the merged clock, which is the
+    /// only way to reproduce the sequential single-manager reference when
+    /// the seam between streams does not land on a bin boundary — binned
+    /// counts cannot be split across a bin cut after the fact.
+    ///
+    /// [`append_from`]: BlockHotness::append_from
+    log: Option<Vec<(u64, u64, u64)>>,
 }
 
 impl BlockHotness {
@@ -25,11 +34,15 @@ impl BlockHotness {
             counts: BTreeMap::new(),
             events_seen: 0,
             bin_events: bin_events.max(1),
+            log: None,
         }
     }
 
     /// Records `records` accesses spread uniformly over `[base, base+len)`.
     pub fn record(&mut self, base: u64, len: u64, records: u64) {
+        if let Some(log) = &mut self.log {
+            log.push((base, len, records));
+        }
         let bin = self.events_seen / self.bin_events;
         self.events_seen += 1;
         if len == 0 || records == 0 {
@@ -65,20 +78,51 @@ impl BlockHotness {
         self.events_seen += other.events_seen;
     }
 
-    /// A fresh, state-empty tracker with the same bin width — the
-    /// hotness half of [`crate::UvmManager::fork`].
+    /// A fresh, state-empty tracker with the same bin width — the reset
+    /// half of [`crate::UvmManager::reset_hotness`]. The fork keeps no
+    /// event log, so a long-lived session accumulator stays O(bins).
     pub fn fork(&self) -> BlockHotness {
         BlockHotness::new(self.bin_events)
     }
 
-    /// Concatenates another tracker's logical time axis after this one:
-    /// `other`'s bin *t* lands at `own_bins + t`, where `own_bins` is this
-    /// tracker's clock rounded up to a bin boundary. This is the
-    /// deterministic per-lane UVM merge — lane streams are laid out
-    /// one after another in merge (ascending device) order, exactly
-    /// matching a sequential single-manager reference run that processed
-    /// the lanes device-at-a-time (each lane starts on a fresh bin).
+    /// A fresh tracker with the same bin width that additionally logs
+    /// every `record()` call — the hotness half of
+    /// [`crate::UvmManager::fork`]. A lane lives for one parallel region,
+    /// so the log is bounded by the lane's access count, and it buys the
+    /// merge exact equality with the sequential reference at *any* seam
+    /// (see [`BlockHotness::append_from`]).
+    pub fn fork_recording(&self) -> BlockHotness {
+        BlockHotness {
+            log: Some(Vec::new()),
+            ..BlockHotness::new(self.bin_events)
+        }
+    }
+
+    /// Concatenates another tracker's logical time axis after this one —
+    /// the deterministic per-lane UVM merge, laying lane streams one
+    /// after another in merge (ascending device) order.
+    ///
+    /// When `other` carries an event log ([`fork_recording`]), the log is
+    /// **replayed** through this tracker's own clock, reproducing a
+    /// sequential single-manager reference run *exactly*: `other`'s first
+    /// events continue this tracker's partial bin instead of being padded
+    /// past it. (The padded concatenation shipped first — ISSUE 4 — was
+    /// only equal to the reference when every lane stream happened to end
+    /// on a bin boundary; off-boundary streams shifted every later bin.)
+    ///
+    /// A log-less `other` falls back to the padded concatenation:
+    /// `other`'s bin *t* lands at `own_bins + t`, where `own_bins` is
+    /// this tracker's clock rounded up to a bin boundary, and the clock
+    /// pads to that boundary.
+    ///
+    /// [`fork_recording`]: BlockHotness::fork_recording
     pub fn append_from(&mut self, other: &BlockHotness) {
+        if let Some(log) = &other.log {
+            for &(base, len, records) in log {
+                self.record(base, len, records);
+            }
+            return;
+        }
         let offset = self.events_seen.div_ceil(self.bin_events);
         for (&(block, bin), &count) in &other.counts {
             *self.counts.entry((block, offset + bin)).or_insert(0) += count;
@@ -259,6 +303,72 @@ mod tests {
         merged.append_from(&lane1);
         assert_eq!(merged.series(), reference.series());
         assert_eq!(merged.events_seen(), reference.events_seen());
+    }
+
+    #[test]
+    fn recorded_fork_replays_exactly_across_partial_bins() {
+        // The ISSUE 5 satellite bugfix: lane streams that do NOT land on
+        // bin boundaries. Bin width 4; the parent ends mid-bin (3 events)
+        // and both lanes end mid-bin too (5 and 2 events). The padded
+        // concatenation shifted every appended bin; the replay path must
+        // be byte-identical to one tracker that saw the whole stream on a
+        // single clock.
+        let mut reference = BlockHotness::new(4);
+        let mut parent = BlockHotness::new(4);
+        for i in 0..3u64 {
+            reference.record(i * BLOCK_SIZE, 64, 2);
+            parent.record(i * BLOCK_SIZE, 64, 2);
+        }
+        let mut lane0 = parent.fork_recording();
+        for i in 0..5u64 {
+            reference.record(i * BLOCK_SIZE, 64, 7);
+            lane0.record(i * BLOCK_SIZE, 64, 7);
+        }
+        let mut lane1 = parent.fork_recording();
+        for i in 0..2u64 {
+            reference.record((i + 1) * BLOCK_SIZE, 64, 11);
+            lane1.record((i + 1) * BLOCK_SIZE, 64, 11);
+        }
+        parent.append_from(&lane0);
+        parent.append_from(&lane1);
+        assert_eq!(parent.series(), reference.series());
+        assert_eq!(parent.events_seen(), reference.events_seen());
+        assert_eq!(parent.events_seen(), 10, "no boundary padding");
+    }
+
+    #[test]
+    fn recorded_fork_replays_zero_record_clock_ticks() {
+        // Clock-only events (len/records 0) must survive the replay, or
+        // the merged clock drifts from the reference.
+        let mut reference = BlockHotness::new(2);
+        reference.record(0, 64, 1);
+        reference.record(0, 0, 0);
+        reference.record(BLOCK_SIZE, 64, 3);
+        let mut parent = BlockHotness::new(2);
+        parent.record(0, 64, 1);
+        let mut lane = parent.fork_recording();
+        lane.record(0, 0, 0);
+        lane.record(BLOCK_SIZE, 64, 3);
+        parent.append_from(&lane);
+        assert_eq!(parent.series(), reference.series());
+        assert_eq!(parent.events_seen(), 3);
+    }
+
+    #[test]
+    fn fork_recording_chains_through_intermediate_merges() {
+        // A recording tracker that absorbed another recording tracker can
+        // itself be appended later — the replay appends into the log.
+        let mut a = BlockHotness::new(3);
+        let mut b = a.fork_recording();
+        let mut c = a.fork_recording();
+        b.record(0, 64, 1);
+        c.record(BLOCK_SIZE, 64, 2);
+        b.append_from(&c);
+        let mut reference = BlockHotness::new(3);
+        reference.record(0, 64, 1);
+        reference.record(BLOCK_SIZE, 64, 2);
+        a.append_from(&b);
+        assert_eq!(a.series(), reference.series());
     }
 
     #[test]

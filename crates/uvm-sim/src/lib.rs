@@ -12,7 +12,12 @@
 //! * asynchronous prefetch with a compute-overlap discount
 //!   ([`UvmManager::prefetch`]);
 //! * pinning/advice ([`accel_sim::ResidencyAdvice`]);
-//! * per-2 MiB-block hotness accounting ([`hotness`]).
+//! * per-2 MiB-block hotness accounting ([`hotness`]);
+//! * peer-to-peer coherence for managed ranges *shared* across devices
+//!   or parallel lanes ([`coherence`]): remote reads read-duplicate the
+//!   owner's home copy over the peer link, remote writes invalidate the
+//!   other devices' duplicates — see
+//!   [`UvmManager::register_shared`](manager::UvmManager::register_shared).
 //!
 //! [`UvmManager`] implements [`accel_sim::ResidencyModel`], so plugging it
 //! into an engine turns every kernel access to managed ranges into faults,
@@ -35,6 +40,7 @@
 //! assert!(out.faults > 0, "cold pages fault");
 //! ```
 
+pub mod coherence;
 pub mod config;
 pub mod hotness;
 pub mod manager;
@@ -43,6 +49,7 @@ pub mod plan;
 pub mod state;
 pub mod stats;
 
+pub use coherence::{CoherenceDirectory, RangeDirectory};
 pub use config::UvmConfig;
 pub use hotness::{BlockHotness, HotnessSeries};
 pub use manager::UvmManager;

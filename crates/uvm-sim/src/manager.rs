@@ -1,24 +1,100 @@
 //! The UVM manager: demand faulting, prefetch, advice, eviction.
 
+use crate::coherence::{CoherenceDirectory, RangeDirectory};
 use crate::config::UvmConfig;
 use crate::hotness::BlockHotness;
-use crate::page::{page_range, PAGE_SIZE};
+use crate::page::{page_of_addr, page_range, PAGE_SIZE};
 use crate::state::DeviceState;
 use crate::stats::UvmStats;
-use accel_sim::{AccessKind, AccessOutcome, DeviceId, ResidencyAdvice, ResidencyModel};
+use accel_sim::{
+    AccessKind, AccessOutcome, DeviceId, PeerTransfer, ResidencyAdvice, ResidencyModel,
+};
 use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One shared-range registration as a lane manager caches it: the static
+/// facts (extent, owner) read lock-free on every access, plus the `Arc`
+/// of the range's directory, touched only when shared pages actually
+/// move.
+#[derive(Debug, Clone)]
+struct SharedEntry {
+    len: u64,
+    owner: DeviceId,
+    dir: Arc<RangeDirectory>,
+}
+
+/// One slice of an access that straddles private and shared territory
+/// (see [`UvmManager::segments`]).
+enum Segment {
+    /// Resolve privately (lock-free demand path).
+    Private { base: u64, len: u64 },
+    /// Resolve through the range's coherence directory.
+    Shared {
+        dir: Arc<RangeDirectory>,
+        owner: DeviceId,
+        base: u64,
+        len: u64,
+    },
+}
 
 /// The unified-virtual-memory manager.
 ///
 /// Implements [`ResidencyModel`], so an [`accel_sim::Engine`] with a
 /// `UvmManager` attached charges kernels for page faults, migrations and
 /// evictions on every access to a registered managed range.
+///
+/// # Shared managed ranges
+///
+/// A range marked shared ([`UvmManager::register_shared`]) is visible to
+/// every lane of a parallel run under home-backed coherence semantics:
+/// the registration names an **owner** device whose memory backs the
+/// range.
+///
+/// * The owner demand-faults the range from the host like any private
+///   range.
+/// * A **read** by any other device **read-duplicates** the touched
+///   pages from the owner over the peer link: a [`PeerTransfer`] plus a
+///   local clean duplicate, counted in [`UvmStats::peer_pages_in`]. The
+///   classification is static (owner vs. not), so for **read-only**
+///   shared usage a lane's counters depend only on its own access
+///   stream — the determinism contract that keeps concurrent runs
+///   byte-identical to the sequential reference (what the `uvm_p2p`
+///   differential suite pins).
+/// * A **write** to a shared page **invalidates** every other device's
+///   duplicate through the per-range coherence directory
+///   ([`crate::coherence`]): the directory's holder set is updated under
+///   the range lock at write time, so no stale duplicate is ever served.
+///   An unforked manager owns all device states and drops the victims'
+///   pages eagerly; a forked lane cannot reach its siblings' residency,
+///   so each victim drains its pending-invalidation list (and drops the
+///   stale pages) at its next shared-range access. Invalidation counts
+///   and refetches are inherently cross-lane: workloads that *write*
+///   shared ranges while siblings touch them concurrently observe
+///   schedule-dependent counters (conservation still holds — the
+///   property suite pins it) and sit outside the byte-identity
+///   contract; drive them through the sequential reference schedule
+///   when exact reproducibility is required.
+///
+/// Private ranges never touch the directory — their residency hot path
+/// stays lock-free.
 #[derive(Debug)]
 pub struct UvmManager {
     config: UvmConfig,
     devices: Vec<DeviceState>,
     /// Registered managed allocations: base → length.
     allocs: BTreeMap<u64, u64>,
+    /// Shared-range cache: base → (len, owner, range directory). Read
+    /// lock-free on the access path; empty unless sharing is in use.
+    shared: BTreeMap<u64, SharedEntry>,
+    /// Rendezvous for shared registrations: forks clone the `Arc`, so a
+    /// range registered by one lane at run time resolves to the same
+    /// per-range lock in every lane.
+    directory: Arc<CoherenceDirectory>,
+    /// Peer coherence operations since the last drain (read duplications
+    /// and write invalidations, in order).
+    peer_log: Vec<PeerTransfer>,
+    /// (src, dst) → bytes read-duplicated over the peer link.
+    peer_bytes: BTreeMap<(DeviceId, DeviceId), u64>,
     /// Global LRU sequence counter.
     seq: u64,
     stats: UvmStats,
@@ -41,6 +117,10 @@ impl UvmManager {
             config,
             devices: Vec::new(),
             allocs: BTreeMap::new(),
+            shared: BTreeMap::new(),
+            directory: Arc::new(CoherenceDirectory::new()),
+            peer_log: Vec::new(),
+            peer_bytes: BTreeMap::new(),
             seq: 0,
             stats: UvmStats::default(),
             hotness: BlockHotness::new(bin),
@@ -50,13 +130,31 @@ impl UvmManager {
 
     /// Registers a device with a managed-memory `budget` (bytes), host
     /// link bandwidth (GB/s), and fault-group latency (ns). Devices are
-    /// indexed in registration order, matching engine device ids.
+    /// indexed in registration order, matching engine device ids. The
+    /// peer link defaults to the host link bandwidth; use
+    /// [`UvmManager::add_device_p2p`] when the devices have a faster
+    /// direct interconnect (NVLink/xGMI).
     pub fn add_device(&mut self, budget: u64, link_bandwidth_gbps: f64, fault_latency_ns: u64) {
-        self.devices.push(DeviceState::new(
+        self.add_device_p2p(
             budget,
             link_bandwidth_gbps,
+            link_bandwidth_gbps,
             fault_latency_ns,
-        ));
+        );
+    }
+
+    /// Like [`UvmManager::add_device`] with an explicit peer-link
+    /// bandwidth (GB/s) used to price shared-range read duplications.
+    pub fn add_device_p2p(
+        &mut self,
+        budget: u64,
+        link_bandwidth_gbps: f64,
+        p2p_bandwidth_gbps: f64,
+        fault_latency_ns: u64,
+    ) {
+        let mut st = DeviceState::new(budget, link_bandwidth_gbps, fault_latency_ns);
+        st.p2p_bandwidth_gbps = p2p_bandwidth_gbps;
+        self.devices.push(st);
     }
 
     /// Shrinks or grows a device's managed budget (oversubscription knob).
@@ -97,12 +195,37 @@ impl UvmManager {
             devices: self
                 .devices
                 .iter()
-                .map(|d| DeviceState::new(d.budget, d.link_bandwidth_gbps, d.fault_latency_ns))
+                .map(|d| {
+                    let mut st =
+                        DeviceState::new(d.budget, d.link_bandwidth_gbps, d.fault_latency_ns);
+                    st.p2p_bandwidth_gbps = d.p2p_bandwidth_gbps;
+                    st
+                })
                 .collect(),
             allocs: self.allocs.clone(),
+            // Shared ranges and the coherence directory are the one thing
+            // lanes genuinely share: the cached entries clone their Arcs
+            // and the directory handle is the rendezvous for ranges a
+            // lane registers *after* the fork. Each inherited entry
+            // counts as a registration, so a lane tearing its shared
+            // state down cannot drop the range under its siblings. (A
+            // lane dropped without unregistering leaks its count; the
+            // allocation-free force-removal is the backstop.)
+            shared: {
+                let shared = self.shared.clone();
+                for e in shared.values() {
+                    e.dir.retain();
+                }
+                shared
+            },
+            directory: Arc::clone(&self.directory),
+            peer_log: Vec::new(),
+            peer_bytes: BTreeMap::new(),
             seq: 0,
             stats: UvmStats::default(),
-            hotness: self.hotness.fork(),
+            // Lane hotness records an event log so the merge can replay
+            // the lane's stream exactly, bin boundaries or not.
+            hotness: self.hotness.fork_recording(),
             home: Some(device),
         }
     }
@@ -125,6 +248,39 @@ impl UvmManager {
     pub fn merge(&mut self, other: &UvmManager) {
         self.stats.merge_from(&other.stats);
         self.hotness.append_from(&other.hotness);
+        for (&pair, &bytes) in &other.peer_bytes {
+            *self.peer_bytes.entry(pair).or_insert(0) += bytes;
+        }
+        // Shared-range registrations a lane made after the fork travel
+        // back with the merge, so the parent keeps routing the range
+        // through the coherence path — the directory entry is shared
+        // already; only the lane-local cache needs importing (counted as
+        // a registration of its own). Copies this manager holds from
+        // *before* it learned the range was shared are untracked in the
+        // directory and may predate shared writes — drop them unless the
+        // directory lists them; they refault under coherence.
+        let imported: Vec<(u64, SharedEntry)> = other
+            .shared
+            .iter()
+            .filter(|(rbase, _)| !self.shared.contains_key(rbase))
+            .map(|(&rbase, e)| (rbase, e.clone()))
+            .collect();
+        for (rbase, e) in imported {
+            let range = page_range(rbase, e.len);
+            for (i, st) in self.devices.iter_mut().enumerate() {
+                let device = DeviceId(i as u32);
+                for p in range.iter() {
+                    if st.is_resident(p) && !e.dir.holders(p).contains(&device) {
+                        st.remove(p);
+                    }
+                }
+            }
+            e.dir.retain();
+            self.shared.insert(rbase, e);
+        }
+        // Any coherence operations a lane performed after its last
+        // launch drain (normally none) surface through the parent.
+        self.peer_log.extend(other.peer_log.iter().copied());
     }
 
     /// Aggregate statistics so far.
@@ -132,9 +288,37 @@ impl UvmManager {
         self.stats
     }
 
-    /// Resets statistics (budgets and residency stay).
+    /// Resets statistics, the peer-traffic matrix and the undrained peer
+    /// log (budgets and residency stay).
     pub fn reset_stats(&mut self) {
         self.stats = UvmStats::default();
+        self.peer_bytes.clear();
+        self.peer_log.clear();
+    }
+
+    /// Bytes read-duplicated over the peer link, per (src, dst) device
+    /// pair, ascending — the session-level peer-traffic matrix behind
+    /// `MergedReport::uvm`.
+    pub fn peer_matrix(&self) -> Vec<((DeviceId, DeviceId), u64)> {
+        self.peer_bytes.iter().map(|(&p, &b)| (p, b)).collect()
+    }
+
+    /// The shared-range coherence directory (forks share it).
+    pub fn directory(&self) -> &Arc<CoherenceDirectory> {
+        &self.directory
+    }
+
+    /// The owner of the shared range containing `addr`, if any.
+    pub fn shared_owner(&self, addr: u64) -> Option<DeviceId> {
+        self.shared_entry_for(addr).map(|(_, _, e)| e.owner)
+    }
+
+    /// True when `addr`'s page is resident on `device` (tests and the
+    /// conformance suites; private *and* shared pages).
+    pub fn page_resident(&self, device: DeviceId, addr: u64) -> bool {
+        self.devices
+            .get(device.index())
+            .is_some_and(|st| st.is_resident(page_of_addr(addr)))
     }
 
     /// Resets the hotness accumulator (same bin width, fresh counts and
@@ -171,6 +355,64 @@ impl UvmManager {
         (bytes as f64 / (st.link_bandwidth_gbps * efficiency)) as u64
     }
 
+    fn peer_migration_ns(&self, st: &DeviceState, bytes: u64, efficiency: f64) -> u64 {
+        (bytes as f64 / (st.p2p_bandwidth_gbps * efficiency)) as u64
+    }
+
+    /// The cached shared-range entry containing `addr`, if any.
+    fn shared_entry_for(&self, addr: u64) -> Option<(u64, u64, &SharedEntry)> {
+        self.shared
+            .range(..=addr)
+            .next_back()
+            .filter(|&(&base, e)| addr < base + e.len)
+            .map(|(&base, e)| (base, e.len, e))
+    }
+
+    /// Splits `[base, base+len)` into alternating private/shared
+    /// segments — the one place the straddling-access semantics live,
+    /// shared by `on_kernel_access` and `prefetch`. Only called when the
+    /// shared map is non-empty.
+    fn segments(&self, base: u64, len: u64) -> Vec<Segment> {
+        let end = base + len;
+        let mut out = Vec::new();
+        let mut cur = base;
+        while cur < end {
+            match self.shared_entry_for(cur) {
+                Some((sbase, slen, e)) => {
+                    let seg_end = (sbase + slen).min(end);
+                    out.push(Segment::Shared {
+                        dir: Arc::clone(&e.dir),
+                        owner: e.owner,
+                        base: cur,
+                        len: seg_end - cur,
+                    });
+                    cur = seg_end;
+                }
+                None => {
+                    // Private up to the next shared range (or the end).
+                    let seg_end = self.shared.range(cur..end).next().map_or(end, |(&b, _)| b);
+                    out.push(Segment::Private {
+                        base: cur,
+                        len: seg_end - cur,
+                    });
+                    cur = seg_end;
+                }
+            }
+        }
+        out
+    }
+
+    /// Deregisters evicted duplicate pages from their range directories,
+    /// so the directory never lists a holder whose copy is gone. Only
+    /// called when shared ranges exist at all.
+    fn deregister_evicted(&mut self, device: DeviceId, victims: &[u64]) {
+        for &page in victims {
+            if let Some((_, _, e)) = self.shared_entry_for(page * PAGE_SIZE) {
+                e.dir.remove_holder(page, device);
+            }
+        }
+    }
+
     /// Migrates the missing pages of `[base, len)` onto `device`.
     ///
     /// Returns `(pages_migrated, evict_result, groups)`.
@@ -187,6 +429,12 @@ impl UvmManager {
             range.iter().filter(|p| !st.is_resident(*p)).collect()
         };
         let wb = self.config.writeback_fraction;
+        // Private evictions can evict *shared* duplicates (one budget per
+        // device); track victim identities for directory hygiene — but
+        // only when sharing is in use, so the private-only hot path stays
+        // allocation- and lock-free.
+        let track_victims = !self.shared.is_empty();
+        let mut victims: Vec<u64> = Vec::new();
         let st = &mut self.devices[device.index()];
         // Refresh already-resident pages first (each with a distinct LRU
         // stamp — the LRU index is keyed by stamp), then fault the missing
@@ -200,43 +448,32 @@ impl UvmManager {
         }
         let mut evict = crate::state::EvictResult::default();
         for p in &missing {
-            let e = st.make_room(PAGE_SIZE, wb);
+            let e = st.make_room_logged(
+                PAGE_SIZE,
+                wb,
+                if track_victims {
+                    Some(&mut victims)
+                } else {
+                    None
+                },
+            );
             evict.pages += e.pages;
             evict.writeback_bytes += e.writeback_bytes;
             seq += 1;
             st.insert(*p, seq);
         }
         self.seq = seq + 1;
+        if !victims.is_empty() {
+            self.deregister_evicted(device, &victims);
+        }
         let groups = (missing.len() as u64).div_ceil(self.config.fault_group_pages.max(1));
         (missing.len() as u64, evict, groups)
     }
-}
 
-impl ResidencyModel for UvmManager {
-    fn is_managed(&self, addr: u64) -> bool {
-        self.allocs
-            .range(..=addr)
-            .next_back()
-            .is_some_and(|(&base, &len)| addr < base + len)
-    }
-
-    fn on_kernel_access(
-        &mut self,
-        device: DeviceId,
-        base: u64,
-        len: u64,
-        bytes: u64,
-        _kind: AccessKind,
-    ) -> AccessOutcome {
-        if device.index() >= self.devices.len() {
-            return AccessOutcome::HIT;
-        }
-        let Some((base, len)) = self.clamp_to_alloc(base, len) else {
-            return AccessOutcome::HIT;
-        };
-        let records = bytes / 128; // warp-level records, for hotness only
-        self.hotness.record(base, len, records.max(1));
-
+    /// The private-range demand path (everything `on_kernel_access` did
+    /// before shared ranges existed), factored out so a straddling access
+    /// can resolve its private tail here.
+    fn private_access(&mut self, device: DeviceId, base: u64, len: u64) -> AccessOutcome {
         let (pages, evict, groups) = self.fault_in(device, base, len);
         if pages == 0 {
             return AccessOutcome::HIT;
@@ -259,33 +496,14 @@ impl ResidencyModel for UvmManager {
             faults: groups,
             migrated_in_bytes: migrated,
             evicted_bytes: evict.pages * PAGE_SIZE,
+            peer_in_bytes: 0,
         }
     }
 
-    fn register(&mut self, base: u64, len: u64) {
-        if len > 0 {
-            self.allocs.insert(base, len);
-        }
-    }
-
-    fn unregister(&mut self, base: u64) {
-        if let Some(len) = self.allocs.remove(&base) {
-            let range = page_range(base, len);
-            for st in &mut self.devices {
-                for p in range.iter() {
-                    st.remove(p);
-                }
-            }
-        }
-    }
-
-    fn prefetch(&mut self, device: DeviceId, base: u64, len: u64) -> u64 {
-        if device.index() >= self.devices.len() {
-            return 0;
-        }
-        let Some((base, len)) = self.clamp_to_alloc(base, len) else {
-            return 0;
-        };
+    /// The private-range prefetch core (the pre-shared-range `prefetch`
+    /// body), factored out so a prefetch straddling shared territory can
+    /// resolve its private segments here.
+    fn private_prefetch(&mut self, device: DeviceId, base: u64, len: u64) -> u64 {
         let (pages, evict, _groups) = self.fault_in(device, base, len);
         if pages == 0 {
             self.stats.prefetch_noops += 1;
@@ -314,6 +532,336 @@ impl ResidencyModel for UvmManager {
         stall
     }
 
+    /// The shared-range coherence path: home-backed read duplication plus
+    /// write invalidation. `dir`/`owner` come from the caller's cache
+    /// lookup; `[base, len)` lies entirely inside the shared range.
+    fn shared_access(
+        &mut self,
+        device: DeviceId,
+        dir: Arc<RangeDirectory>,
+        owner: DeviceId,
+        base: u64,
+        len: u64,
+        kind: AccessKind,
+    ) -> AccessOutcome {
+        // 1. One critical section drains this lane's pending
+        //    invalidations and claims holder entries for the pages about
+        //    to be fetched — registering the claim *before* the data
+        //    moves, so a write racing in from another lane either
+        //    happened before the claim (its invalidation is in `stale`)
+        //    or sees the claim and queues a pending entry this lane
+        //    drains on its next visit. A page drained as stale counts as
+        //    missing even while locally present: it must refetch.
+        let range = page_range(base, len);
+        let is_owner = device == owner;
+        let wb = self.config.writeback_fraction;
+        let (stale, missing) = {
+            let st = &self.devices[device.index()];
+            dir.claim_read(device, range.iter(), |p| st.is_resident(p))
+        };
+        if !stale.is_empty() {
+            let st = &mut self.devices[device.index()];
+            for p in stale {
+                st.remove(p);
+            }
+        }
+
+        // 2. Fault the missing pages in: from the host on the owner, as
+        //    clean peer duplicates everywhere else. Classification is
+        //    static (owner vs. not), so under read-only sharing a lane's
+        //    counters depend only on its own stream — the determinism
+        //    contract (writes make invalidation effects cross-lane).
+        let mut seq = self.seq;
+        let mut victims: Vec<u64> = Vec::new();
+        let mut evict = crate::state::EvictResult::default();
+        {
+            let st = &mut self.devices[device.index()];
+            for p in range.iter() {
+                seq += 1;
+                st.touch(p, seq);
+            }
+            for p in &missing {
+                let e = st.make_room_logged(PAGE_SIZE, wb, Some(&mut victims));
+                evict.pages += e.pages;
+                evict.writeback_bytes += e.writeback_bytes;
+                seq += 1;
+                st.insert(*p, seq);
+                if !is_owner {
+                    // Read duplicates are clean copies: evicting one
+                    // needs no write-back (a write below dirties it).
+                    st.set_read_mostly(*p, true);
+                }
+            }
+        }
+        self.seq = seq + 1;
+
+        let pages = missing.len() as u64;
+        let groups = pages.div_ceil(self.config.fault_group_pages.max(1));
+        let moved = pages * PAGE_SIZE;
+        let evict_ns = {
+            let st = &self.devices[device.index()];
+            self.migration_ns(st, evict.writeback_bytes, 1.0)
+        };
+        let mut out = AccessOutcome {
+            extra_device_ns: evict_ns,
+            faults: 0,
+            migrated_in_bytes: 0,
+            evicted_bytes: evict.pages * PAGE_SIZE,
+            peer_in_bytes: 0,
+        };
+        self.stats.pages_evicted += evict.pages;
+        self.stats.evict_stall_ns += evict_ns;
+        // Holder claims were registered up front; an access larger than
+        // the budget evicts its own earliest pages mid-loop, and those
+        // must end up out of the holder set again.
+        if !victims.is_empty() {
+            self.deregister_evicted(device, &victims);
+        }
+        if pages > 0 {
+            let st = &self.devices[device.index()];
+            if is_owner {
+                let stall = groups * st.fault_latency_ns
+                    + self.migration_ns(st, moved, self.config.demand_bw_efficiency);
+                self.stats.fault_groups += groups;
+                self.stats.demand_pages_in += pages;
+                self.stats.fault_stall_ns += stall;
+                out.extra_device_ns += stall;
+                out.faults = groups;
+                out.migrated_in_bytes = moved;
+            } else {
+                let stall = groups * st.fault_latency_ns
+                    + self.peer_migration_ns(st, moved, self.config.demand_bw_efficiency);
+                self.stats.peer_pages_in += pages;
+                self.stats.peer_stall_ns += stall;
+                out.extra_device_ns += stall;
+                out.peer_in_bytes = moved;
+                *self.peer_bytes.entry((owner, device)).or_insert(0) += moved;
+                self.peer_log.push(PeerTransfer {
+                    src: owner,
+                    dst: device,
+                    duplicated_pages: pages,
+                    invalidated_pages: 0,
+                    bytes: moved,
+                    stall_ns: stall,
+                });
+            }
+        }
+
+        // 3. Writes claim exclusivity: every other holder of each written
+        //    page is invalidated through the directory. The invalidation
+        //    itself is metadata (its latency shows up as the victims'
+        //    later re-duplication faults).
+        if kind != AccessKind::Load {
+            let mut victim_pages: BTreeMap<DeviceId, u64> = BTreeMap::new();
+            for &(v, p) in &dir.write_range(range.iter(), device) {
+                *victim_pages.entry(v).or_insert(0) += 1;
+                if self.home.is_none() {
+                    // Unforked manager: every device state is local, so
+                    // the stale duplicate drops eagerly.
+                    self.devices[v.index()].remove(p);
+                }
+            }
+            // `write_range` claims every written page for the writer;
+            // where the writer's own copy was evicted mid-access (range
+            // larger than the budget), the claim must not outlive it.
+            // Everything still resident is now dirty.
+            let mut unclaim: Vec<u64> = Vec::new();
+            {
+                let st = &mut self.devices[device.index()];
+                for p in range.iter() {
+                    if st.is_resident(p) {
+                        st.set_read_mostly(p, false);
+                    } else {
+                        unclaim.push(p);
+                    }
+                }
+            }
+            for p in unclaim {
+                dir.remove_holder(p, device);
+            }
+            if self.home.is_none() {
+                for &v in victim_pages.keys() {
+                    // Consume the pending entries the directory queued —
+                    // the pages are already gone.
+                    let _ = dir.drain_pending(v);
+                }
+            }
+            for (&v, &count) in &victim_pages {
+                self.stats.duplicates_invalidated += count;
+                self.peer_log.push(PeerTransfer {
+                    src: device,
+                    dst: v,
+                    duplicated_pages: 0,
+                    invalidated_pages: count,
+                    bytes: 0,
+                    stall_ns: 0,
+                });
+            }
+        }
+        out
+    }
+}
+
+impl ResidencyModel for UvmManager {
+    fn is_managed(&self, addr: u64) -> bool {
+        self.allocs
+            .range(..=addr)
+            .next_back()
+            .is_some_and(|(&base, &len)| addr < base + len)
+    }
+
+    fn on_kernel_access(
+        &mut self,
+        device: DeviceId,
+        base: u64,
+        len: u64,
+        bytes: u64,
+        kind: AccessKind,
+    ) -> AccessOutcome {
+        if device.index() >= self.devices.len() {
+            return AccessOutcome::HIT;
+        }
+        let Some((base, len)) = self.clamp_to_alloc(base, len) else {
+            return AccessOutcome::HIT;
+        };
+        let records = bytes / 128; // warp-level records, for hotness only
+        self.hotness.record(base, len, records.max(1));
+
+        // Shared ranges go through the coherence path; everything else —
+        // including the shared map being empty, the common case — stays
+        // on the lock-free private path. An access may straddle any mix
+        // of private and shared territory (start before a shared range,
+        // run past its end, span several); each segment resolves under
+        // its own semantics so shared pages can never slip through the
+        // private path and bypass the directory.
+        if self.shared.is_empty() {
+            return self.private_access(device, base, len);
+        }
+        let mut out = AccessOutcome::HIT;
+        for seg in self.segments(base, len) {
+            out = out.merge(match seg {
+                Segment::Private { base, len } => self.private_access(device, base, len),
+                Segment::Shared {
+                    dir,
+                    owner,
+                    base,
+                    len,
+                } => self.shared_access(device, dir, owner, base, len, kind),
+            });
+        }
+        out
+    }
+
+    fn register(&mut self, base: u64, len: u64) {
+        if len > 0 {
+            self.allocs.insert(base, len);
+        }
+    }
+
+    fn unregister(&mut self, base: u64) {
+        if let Some(len) = self.allocs.remove(&base) {
+            let range = page_range(base, len);
+            for st in &mut self.devices {
+                for p in range.iter() {
+                    st.remove(p);
+                }
+            }
+            // Shared subranges die with the allocation that held them —
+            // force-removed from the directory regardless of registrant
+            // count, because the backing address range is gone and may
+            // be reused.
+            let inside: Vec<u64> = self
+                .shared
+                .range(base..base + len)
+                .map(|(&b, _)| b)
+                .collect();
+            for b in inside {
+                self.shared.remove(&b);
+                self.directory.remove(b);
+            }
+        }
+    }
+
+    fn register_shared(&mut self, base: u64, len: u64, owner: DeviceId) {
+        if len == 0 {
+            return;
+        }
+        // The directory is the rendezvous: whichever lane registers first
+        // fixes the extent and the owner, and everyone else's cache entry
+        // resolves to the same per-range lock. Registrations are counted,
+        // so one lane unregistering does not tear the range down under
+        // its siblings.
+        let dir = self.directory.ensure(base, len, owner);
+        // Pages this manager already holds from pre-registration private
+        // accesses become tracked duplicates, so a later write can
+        // invalidate them — otherwise the old copies would survive as
+        // served-stale data the directory never knew about.
+        let range = page_range(dir.base(), dir.len());
+        for (i, st) in self.devices.iter().enumerate() {
+            let resident: Vec<u64> = range.iter().filter(|&p| st.is_resident(p)).collect();
+            if !resident.is_empty() {
+                dir.add_holders(resident, DeviceId(i as u32));
+            }
+        }
+        self.shared.insert(
+            dir.base(),
+            SharedEntry {
+                len: dir.len(),
+                owner: dir.owner(),
+                dir,
+            },
+        );
+    }
+
+    fn unregister_shared(&mut self, base: u64) {
+        // Drop the local cache entry; the directory entry survives until
+        // the last registrant releases it (a lane finishing early must
+        // not split coherence for the lanes still using the range). The
+        // cache entry *is* this manager's registration, so only its
+        // actual removal releases a count — calling twice cannot release
+        // a sibling's registration.
+        if self.shared.remove(&base).is_some() {
+            self.directory.release(base);
+        }
+    }
+
+    fn take_peer_transfers(&mut self) -> Vec<PeerTransfer> {
+        std::mem::take(&mut self.peer_log)
+    }
+
+    fn prefetch(&mut self, device: DeviceId, base: u64, len: u64) -> u64 {
+        if device.index() >= self.devices.len() {
+            return 0;
+        }
+        let Some((base, len)) = self.clamp_to_alloc(base, len) else {
+            return 0;
+        };
+        if self.shared.is_empty() {
+            return self.private_prefetch(device, base, len);
+        }
+        // Prefetching a shared segment behaves like a read access: the
+        // owner pulls from the host, everyone else read-duplicates —
+        // counted under the demand/peer counters, and the directory
+        // learns the new holders either way. Private segments (before,
+        // between or after shared ranges) keep the prefetch cost model.
+        let mut stall = 0u64;
+        for seg in self.segments(base, len) {
+            stall += match seg {
+                Segment::Private { base, len } => self.private_prefetch(device, base, len),
+                Segment::Shared {
+                    dir,
+                    owner,
+                    base,
+                    len,
+                } => {
+                    self.shared_access(device, dir, owner, base, len, AccessKind::Load)
+                        .extra_device_ns
+                }
+            };
+        }
+        stall
+    }
+
     fn advise(&mut self, device: DeviceId, base: u64, len: u64, advice: ResidencyAdvice) {
         if device.index() >= self.devices.len() {
             return;
@@ -326,16 +874,39 @@ impl ResidencyModel for UvmManager {
             ResidencyAdvice::PinOnDevice => {
                 // Pinning implies making the range resident first.
                 let _ = self.fault_in(device, base, len);
-                let st = &mut self.devices[device.index()];
-                for p in range.iter() {
-                    st.set_pinned(p, true);
+                {
+                    let st = &mut self.devices[device.index()];
+                    for p in range.iter() {
+                        st.set_pinned(p, true);
+                    }
+                }
+                // Pinned shared pages are duplicates like any other: the
+                // directory must list them or a write cannot see them.
+                if !self.shared.is_empty() {
+                    for p in range.iter() {
+                        if let Some((_, _, e)) = self.shared_entry_for(p * PAGE_SIZE) {
+                            e.dir.add_holder(p, device);
+                        }
+                    }
                 }
             }
             ResidencyAdvice::PreferHost => {
-                let st = &mut self.devices[device.index()];
-                for p in range.iter() {
-                    st.set_pinned(p, false);
-                    st.remove(p);
+                let dropped: Vec<u64> = {
+                    let st = &mut self.devices[device.index()];
+                    range
+                        .iter()
+                        .filter(|&p| {
+                            st.set_pinned(p, false);
+                            let was = st.is_resident(p);
+                            st.remove(p);
+                            was
+                        })
+                        .collect()
+                };
+                // Dropped shared duplicates leave the holder set, so the
+                // directory census keeps matching actual residency.
+                if !self.shared.is_empty() {
+                    self.deregister_evicted(device, &dropped);
                 }
             }
             ResidencyAdvice::ReadMostly => {
@@ -563,6 +1134,422 @@ mod tests {
     fn fork_of_unknown_device_panics() {
         let m = manager(16);
         let _ = m.fork(DeviceId(3));
+    }
+
+    #[test]
+    fn shared_owner_faults_from_host_and_remote_reads_duplicate() {
+        let mut m = two_device_manager(512);
+        m.register(BASE, 8 * MB);
+        m.register_shared(BASE, 4 * MB, DeviceId(0));
+        assert_eq!(m.shared_owner(BASE), Some(DeviceId(0)));
+        assert_eq!(m.shared_owner(BASE + 4 * MB), None, "rest stays private");
+
+        // Owner read: plain host demand faulting.
+        let own = m.on_kernel_access(DeviceId(0), BASE, 4 * MB, 4 * MB, AccessKind::Load);
+        assert!(own.faults > 0);
+        assert_eq!(own.peer_in_bytes, 0);
+        assert_eq!(own.migrated_in_bytes, 4 * MB);
+
+        // Remote read: a peer read-duplication, not a host migration.
+        let remote = m.on_kernel_access(DeviceId(1), BASE, 4 * MB, 4 * MB, AccessKind::Load);
+        assert_eq!(remote.faults, 0, "no host fault groups");
+        assert_eq!(remote.migrated_in_bytes, 0);
+        assert_eq!(remote.peer_in_bytes, 4 * MB);
+        assert!(
+            remote.extra_device_ns > 0,
+            "peer transfer stalls the kernel"
+        );
+
+        // Both copies are resident; the directory lists both holders.
+        assert!(m.page_resident(DeviceId(0), BASE));
+        assert!(m.page_resident(DeviceId(1), BASE));
+        let dir = m.directory().range_containing(BASE).unwrap();
+        assert_eq!(
+            dir.holders(BASE / PAGE_SIZE),
+            vec![DeviceId(0), DeviceId(1)]
+        );
+
+        let s = m.stats();
+        assert_eq!(s.demand_pages_in, (4 * MB) / PAGE_SIZE);
+        assert_eq!(s.peer_pages_in, (4 * MB) / PAGE_SIZE);
+        assert!(s.peer_stall_ns > 0);
+        assert_eq!(
+            m.peer_matrix(),
+            vec![((DeviceId(0), DeviceId(1)), 4 * MB)],
+            "per-pair traffic matrix records src→dst bytes"
+        );
+    }
+
+    #[test]
+    fn peer_link_bandwidth_prices_duplication() {
+        // NVLink-class peer link: duplication must stall far less than a
+        // host demand fault of the same bytes.
+        let mut m = UvmManager::new(UvmConfig::default());
+        m.add_device_p2p(512 * MB, 24.0, 300.0, 25_000);
+        m.add_device_p2p(512 * MB, 24.0, 300.0, 25_000);
+        m.register(BASE, 8 * MB);
+        m.register_shared(BASE, 8 * MB, DeviceId(0));
+        let host = m.on_kernel_access(DeviceId(0), BASE, 8 * MB, 8 * MB, AccessKind::Load);
+        let peer = m.on_kernel_access(DeviceId(1), BASE, 8 * MB, 8 * MB, AccessKind::Load);
+        assert!(
+            peer.extra_device_ns * 2 < host.extra_device_ns,
+            "peer {} should be well under host {}",
+            peer.extra_device_ns,
+            host.extra_device_ns
+        );
+    }
+
+    #[test]
+    fn shared_write_invalidates_remote_duplicates_eagerly_on_unforked_manager() {
+        let mut m = two_device_manager(512);
+        m.register(BASE, 4 * MB);
+        m.register_shared(BASE, 4 * MB, DeviceId(0));
+        m.on_kernel_access(DeviceId(0), BASE, 4 * MB, 4 * MB, AccessKind::Load);
+        m.on_kernel_access(DeviceId(1), BASE, 4 * MB, 4 * MB, AccessKind::Load);
+        assert!(m.page_resident(DeviceId(1), BASE));
+
+        // Owner writes: device 1's duplicates drop immediately — an
+        // unforked manager owns every device state.
+        m.on_kernel_access(DeviceId(0), BASE, 4 * MB, 4 * MB, AccessKind::Store);
+        assert!(m.page_resident(DeviceId(0), BASE), "writer keeps its copy");
+        assert!(
+            !m.page_resident(DeviceId(1), BASE),
+            "stale duplicate must not be counted as resident"
+        );
+        let dir = m.directory().range_containing(BASE).unwrap();
+        assert_eq!(dir.holders(BASE / PAGE_SIZE), vec![DeviceId(0)]);
+        assert_eq!(m.stats().duplicates_invalidated, (4 * MB) / PAGE_SIZE);
+
+        // The next remote read re-duplicates.
+        let before = m.stats().peer_pages_in;
+        let again = m.on_kernel_access(DeviceId(1), BASE, 4 * MB, 4 * MB, AccessKind::Load);
+        assert_eq!(again.peer_in_bytes, 4 * MB);
+        assert_eq!(m.stats().peer_pages_in, before + (4 * MB) / PAGE_SIZE);
+    }
+
+    #[test]
+    fn forked_lane_invalidation_is_lazy_but_never_served() {
+        let mut parent = two_device_manager(512);
+        parent.register(BASE, 2 * MB);
+        parent.register_shared(BASE, 2 * MB, DeviceId(0));
+        let mut lane0 = parent.fork(DeviceId(0));
+        let mut lane1 = parent.fork(DeviceId(1));
+
+        lane1.on_kernel_access(DeviceId(1), BASE, 2 * MB, 2 * MB, AccessKind::Load);
+        assert!(lane1.page_resident(DeviceId(1), BASE));
+        lane0.on_kernel_access(DeviceId(0), BASE, 2 * MB, 2 * MB, AccessKind::Store);
+
+        // The directory no longer lists lane 1 — the write removed the
+        // holder under the range lock, so the stale copy can never be
+        // *served* as the authoritative duplicate...
+        let dir = parent.directory().range_containing(BASE).unwrap();
+        assert_eq!(dir.holders(BASE / PAGE_SIZE), vec![DeviceId(0)]);
+        assert_eq!(
+            lane0.stats().duplicates_invalidated,
+            (2 * MB) / PAGE_SIZE,
+            "the writer counted every victim page"
+        );
+        // ...and lane 1's next touch of the range drains the pending
+        // invalidations: the pages drop, refault over the peer link, and
+        // residency is consistent again.
+        let before = lane1.stats().peer_pages_in;
+        let refetch = lane1.on_kernel_access(DeviceId(1), BASE, 2 * MB, 2 * MB, AccessKind::Load);
+        assert_eq!(refetch.peer_in_bytes, 2 * MB, "stale pages refault");
+        assert_eq!(lane1.stats().peer_pages_in, before + (2 * MB) / PAGE_SIZE);
+        assert!(lane1.page_resident(DeviceId(1), BASE));
+    }
+
+    #[test]
+    fn shared_ranges_registered_after_fork_rendezvous_in_the_directory() {
+        let mut parent = two_device_manager(512);
+        parent.register(BASE, 2 * MB);
+        let mut lane0 = parent.fork(DeviceId(0));
+        let mut lane1 = parent.fork(DeviceId(1));
+        // Both lanes register the same replicated tensor at run time —
+        // the TP pattern. They must resolve to one range directory.
+        lane0.register_shared(BASE, 2 * MB, DeviceId(0));
+        lane1.register_shared(BASE, 2 * MB, DeviceId(0));
+        lane1.on_kernel_access(DeviceId(1), BASE, MB, MB, AccessKind::Load);
+        let dir = lane0.directory().range_containing(BASE).unwrap();
+        assert_eq!(
+            dir.holders(BASE / PAGE_SIZE),
+            vec![DeviceId(1)],
+            "lane 0 sees lane 1's duplicate through the shared directory"
+        );
+    }
+
+    #[test]
+    fn access_straddling_the_shared_range_end_splits() {
+        let mut m = two_device_manager(512);
+        m.register(BASE, 8 * MB);
+        m.register_shared(BASE, 2 * MB, DeviceId(0));
+        let out = m.on_kernel_access(DeviceId(1), BASE, 4 * MB, 4 * MB, AccessKind::Load);
+        assert_eq!(out.peer_in_bytes, 2 * MB, "shared head duplicates");
+        assert_eq!(out.migrated_in_bytes, 2 * MB, "private tail demand-faults");
+        let s = m.stats();
+        assert_eq!(s.peer_pages_in, (2 * MB) / PAGE_SIZE);
+        assert_eq!(s.demand_pages_in, (2 * MB) / PAGE_SIZE);
+    }
+
+    #[test]
+    fn access_starting_before_the_shared_range_still_takes_the_coherence_path() {
+        // Review regression: an access whose *base* lies in private
+        // territory but which overlaps a shared range must not resolve
+        // the shared pages privately (that would bypass the directory
+        // and leave un-invalidatable duplicates).
+        let mut m = two_device_manager(512);
+        m.register(BASE, 8 * MB);
+        m.register_shared(BASE + 4 * MB, 2 * MB, DeviceId(0));
+        // Device 1 reads [BASE, BASE+8MB): 4 MiB private head, 2 MiB
+        // shared middle, 2 MiB private tail.
+        let out = m.on_kernel_access(DeviceId(1), BASE, 8 * MB, 8 * MB, AccessKind::Load);
+        assert_eq!(out.peer_in_bytes, 2 * MB, "shared middle duplicated");
+        assert_eq!(out.migrated_in_bytes, 6 * MB, "private head+tail demand");
+        let dir = m.directory().range_containing(BASE + 4 * MB).unwrap();
+        assert_eq!(
+            dir.holders((BASE + 4 * MB) / PAGE_SIZE),
+            vec![DeviceId(1)],
+            "the duplicate is directory-tracked"
+        );
+        // A write by the owner therefore invalidates it.
+        m.on_kernel_access(
+            DeviceId(0),
+            BASE + 4 * MB,
+            2 * MB,
+            2 * MB,
+            AccessKind::Store,
+        );
+        assert!(!m.page_resident(DeviceId(1), BASE + 4 * MB));
+        assert_eq!(m.stats().duplicates_invalidated, (2 * MB) / PAGE_SIZE);
+    }
+
+    #[test]
+    fn prefetch_straddling_the_shared_range_end_covers_the_private_tail() {
+        // Review regression: a prefetch over [shared | private] must not
+        // silently drop the private tail.
+        let mut m = two_device_manager(512);
+        m.register(BASE, 8 * MB);
+        m.register_shared(BASE, 2 * MB, DeviceId(0));
+        let stall = m.prefetch(DeviceId(1), BASE, 4 * MB);
+        assert!(stall > 0);
+        let s = m.stats();
+        assert_eq!(
+            s.peer_pages_in,
+            (2 * MB) / PAGE_SIZE,
+            "shared head duplicated"
+        );
+        assert_eq!(
+            s.prefetch_pages_in,
+            (2 * MB) / PAGE_SIZE,
+            "private tail prefetched"
+        );
+        // The whole 4 MiB is now resident: a read is a pure hit.
+        let out = m.on_kernel_access(DeviceId(1), BASE, 4 * MB, 4 * MB, AccessKind::Load);
+        assert_eq!(out, AccessOutcome::HIT);
+    }
+
+    #[test]
+    fn merge_imports_lane_shared_registrations() {
+        // Review regression: a range a lane registered after the fork
+        // must survive the merge, or the parent would resolve it through
+        // the private path while the shared directory still tracks it.
+        let mut parent = two_device_manager(512);
+        parent.register(BASE, 4 * MB);
+        let mut lane1 = parent.fork(DeviceId(1));
+        lane1.register_shared(BASE, 4 * MB, DeviceId(0));
+        lane1.on_kernel_access(DeviceId(1), BASE, MB, MB, AccessKind::Load);
+        parent.merge(&lane1);
+        assert_eq!(parent.shared_owner(BASE), Some(DeviceId(0)));
+        // The parent routes the range through the coherence path now.
+        let out = parent.on_kernel_access(DeviceId(1), BASE, MB, MB, AccessKind::Load);
+        assert_eq!(out.peer_in_bytes, MB, "coherence semantics, not private");
+    }
+
+    #[test]
+    fn register_shared_imports_pre_existing_residency() {
+        // Review regression: pages resident from *before* the range was
+        // marked shared must become tracked duplicates — otherwise a
+        // later write cannot invalidate them and the old copy survives
+        // as served-stale data.
+        let mut m = two_device_manager(512);
+        m.register(BASE, 2 * MB);
+        m.on_kernel_access(DeviceId(1), BASE, 2 * MB, 2 * MB, AccessKind::Load);
+        m.register_shared(BASE, 2 * MB, DeviceId(0));
+        let dir = m.directory().range_containing(BASE).unwrap();
+        assert_eq!(
+            dir.holders(BASE / PAGE_SIZE),
+            vec![DeviceId(1)],
+            "pre-registration copy is directory-tracked"
+        );
+        m.on_kernel_access(DeviceId(0), BASE, 2 * MB, 2 * MB, AccessKind::Store);
+        assert!(
+            !m.page_resident(DeviceId(1), BASE),
+            "the old private copy was invalidated by the shared write"
+        );
+        let hit = m.on_kernel_access(DeviceId(1), BASE, MB, MB, AccessKind::Load);
+        assert_eq!(hit.peer_in_bytes, MB, "stale data refaults, never served");
+    }
+
+    #[test]
+    fn merge_reconciles_pre_fork_copies_against_imported_shared_ranges() {
+        // Review regression (round 3): the parent holds a private copy
+        // from *before* a lane marked the range shared and wrote it. The
+        // merge imports the registration; the parent's untracked copy
+        // must not survive as a servable hit — it predates the write.
+        let mut parent = two_device_manager(512);
+        parent.register(BASE, 2 * MB);
+        parent.on_kernel_access(DeviceId(1), BASE, 2 * MB, 2 * MB, AccessKind::Load);
+        let mut lane0 = parent.fork(DeviceId(0));
+        lane0.register_shared(BASE, 2 * MB, DeviceId(0));
+        lane0.on_kernel_access(DeviceId(0), BASE, 2 * MB, 2 * MB, AccessKind::Store);
+        parent.merge(&lane0);
+        assert_eq!(parent.shared_owner(BASE), Some(DeviceId(0)));
+        assert!(
+            !parent.page_resident(DeviceId(1), BASE),
+            "the untracked pre-fork copy was dropped at import"
+        );
+        let out = parent.on_kernel_access(DeviceId(1), BASE, 2 * MB, 2 * MB, AccessKind::Load);
+        assert_eq!(
+            out.peer_in_bytes,
+            2 * MB,
+            "stale data refaults, never served"
+        );
+    }
+
+    #[test]
+    fn fork_inherited_shared_entries_count_as_registrations() {
+        // Review regression (round 3): a fork inherits the parent's
+        // shared cache; tearing it down must not drop the range under
+        // the parent, and over-releasing must not wrap the count.
+        let mut parent = two_device_manager(512);
+        parent.register(BASE, 2 * MB);
+        parent.register_shared(BASE, 2 * MB, DeviceId(0));
+        let mut lane1 = parent.fork(DeviceId(1));
+        lane1.unregister_shared(BASE);
+        lane1.unregister_shared(BASE); // over-release: harmless
+        assert!(
+            parent.directory().range_containing(BASE).is_some(),
+            "the parent's registration keeps the range alive"
+        );
+        let out = parent.on_kernel_access(DeviceId(1), BASE, MB, MB, AccessKind::Load);
+        assert_eq!(out.peer_in_bytes, MB, "parent still routes coherently");
+    }
+
+    #[test]
+    fn unregister_shared_is_refcounted_across_registrants() {
+        // Review regression: one lane finishing early must not tear the
+        // range directory down under siblings still sharing it — a late
+        // registrant would otherwise get a fresh directory and coherence
+        // would split.
+        let mut parent = two_device_manager(512);
+        parent.register(BASE, 2 * MB);
+        let mut lane0 = parent.fork(DeviceId(0));
+        let mut lane1 = parent.fork(DeviceId(1));
+        lane0.register_shared(BASE, 2 * MB, DeviceId(0));
+        lane1.register_shared(BASE, 2 * MB, DeviceId(0));
+        let dir_before = lane1.directory().range_containing(BASE).unwrap();
+        // Lane 0 finishes and unregisters; lane 1 is still registered.
+        lane0.unregister_shared(BASE);
+        let dir_after = parent
+            .directory()
+            .range_containing(BASE)
+            .expect("range survives while lane 1 is registered");
+        assert!(
+            Arc::ptr_eq(&dir_before, &dir_after),
+            "same directory: no coherence split"
+        );
+        // A late registrant rendezvouses with the surviving directory.
+        let mut late = parent.fork(DeviceId(0));
+        late.register_shared(BASE, 2 * MB, DeviceId(0));
+        lane1.on_kernel_access(DeviceId(1), BASE, MB, MB, AccessKind::Load);
+        late.on_kernel_access(DeviceId(0), BASE, MB, MB, AccessKind::Store);
+        assert_eq!(
+            dir_after.holders(BASE / PAGE_SIZE),
+            vec![DeviceId(0)],
+            "the write went through the one shared directory"
+        );
+        // Last registrants release → the range is dropped.
+        lane1.unregister_shared(BASE);
+        late.unregister_shared(BASE);
+        assert!(parent.directory().range_containing(BASE).is_none());
+    }
+
+    #[test]
+    fn advise_keeps_the_directory_census_consistent() {
+        let mut m = two_device_manager(512);
+        m.register(BASE, 2 * MB);
+        m.register_shared(BASE, 2 * MB, DeviceId(0));
+        let dir = m.directory().range_containing(BASE).unwrap();
+
+        // PinOnDevice faults pages in through the private core: the
+        // holders must still be registered.
+        m.advise(DeviceId(1), BASE, MB, ResidencyAdvice::PinOnDevice);
+        assert!(m.page_resident(DeviceId(1), BASE));
+        assert_eq!(dir.holders(BASE / PAGE_SIZE), vec![DeviceId(1)]);
+
+        // PreferHost drops the pages: the holders must leave with them.
+        m.advise(DeviceId(1), BASE, MB, ResidencyAdvice::PreferHost);
+        assert!(!m.page_resident(DeviceId(1), BASE));
+        assert_eq!(dir.holders(BASE / PAGE_SIZE), Vec::<DeviceId>::new());
+        assert_eq!(dir.holder_entries(), 0, "census matches residency");
+    }
+
+    #[test]
+    fn take_peer_transfers_drains_operations_in_order() {
+        let mut m = two_device_manager(512);
+        m.register(BASE, 2 * MB);
+        m.register_shared(BASE, 2 * MB, DeviceId(0));
+        m.on_kernel_access(DeviceId(1), BASE, 2 * MB, 2 * MB, AccessKind::Load);
+        m.on_kernel_access(DeviceId(0), BASE, 2 * MB, 2 * MB, AccessKind::Store);
+        let ops = m.take_peer_transfers();
+        assert_eq!(ops.len(), 2, "one duplication, one invalidation");
+        assert_eq!(ops[0].src, DeviceId(0));
+        assert_eq!(ops[0].dst, DeviceId(1));
+        assert_eq!(ops[0].duplicated_pages, (2 * MB) / PAGE_SIZE);
+        assert_eq!(ops[0].bytes, 2 * MB);
+        assert!(ops[0].stall_ns > 0);
+        assert_eq!(ops[1].src, DeviceId(0));
+        assert_eq!(ops[1].dst, DeviceId(1));
+        assert_eq!(ops[1].invalidated_pages, (2 * MB) / PAGE_SIZE);
+        assert!(m.take_peer_transfers().is_empty(), "drained once");
+    }
+
+    #[test]
+    fn unregister_drops_shared_subranges_with_the_allocation() {
+        let mut m = two_device_manager(512);
+        m.register(BASE, 4 * MB);
+        m.register_shared(BASE + MB, MB, DeviceId(0));
+        assert!(m.shared_owner(BASE + MB).is_some());
+        m.unregister(BASE);
+        assert!(m.shared_owner(BASE + MB).is_none());
+        assert!(m.directory().range_containing(BASE + MB).is_none());
+    }
+
+    #[test]
+    fn shared_duplicates_evict_clean_and_deregister() {
+        // 1 MiB budget on device 1, 2 MiB shared range: duplicating the
+        // second half evicts the first — with no write-back (duplicates
+        // are clean) and with the directory updated.
+        let mut m = UvmManager::new(UvmConfig::default());
+        m.add_device(512 * MB, 24.0, 25_000);
+        m.add_device(MB, 24.0, 25_000);
+        m.register(BASE, 2 * MB);
+        m.register_shared(BASE, 2 * MB, DeviceId(0));
+        m.on_kernel_access(DeviceId(1), BASE, MB, MB, AccessKind::Load);
+        let evict_stall_before = m.stats().evict_stall_ns;
+        let out = m.on_kernel_access(DeviceId(1), BASE + MB, MB, MB, AccessKind::Load);
+        assert!(out.evicted_bytes > 0, "budget forces eviction");
+        assert_eq!(
+            m.stats().evict_stall_ns,
+            evict_stall_before,
+            "clean duplicates evict without write-back"
+        );
+        let dir = m.directory().range_containing(BASE).unwrap();
+        assert_eq!(
+            dir.holders(BASE / PAGE_SIZE),
+            Vec::<DeviceId>::new(),
+            "evicted duplicate left the holder set"
+        );
     }
 
     #[test]

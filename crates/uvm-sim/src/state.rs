@@ -34,6 +34,9 @@ pub struct DeviceState {
     pub budget: u64,
     /// Host-link bandwidth, GB/s.
     pub link_bandwidth_gbps: f64,
+    /// Peer-link (device↔device) bandwidth, GB/s — prices shared-range
+    /// read duplications. Defaults to the host link.
+    pub p2p_bandwidth_gbps: f64,
     /// Latency of one fault group, ns.
     pub fault_latency_ns: u64,
     resident: HashMap<u64, PageInfo>,
@@ -47,6 +50,7 @@ impl DeviceState {
         DeviceState {
             budget,
             link_bandwidth_gbps,
+            p2p_bandwidth_gbps: link_bandwidth_gbps,
             fault_latency_ns,
             resident: HashMap::new(),
             lru: BTreeMap::new(),
@@ -123,6 +127,20 @@ impl DeviceState {
     /// write-back. `writeback_fraction` models the dirty ratio for pages
     /// not marked read-mostly.
     pub fn make_room(&mut self, need_bytes: u64, writeback_fraction: f64) -> EvictResult {
+        self.make_room_logged(need_bytes, writeback_fraction, None)
+    }
+
+    /// Like [`DeviceState::make_room`], additionally appending each
+    /// evicted page index to `victims` when given. The shared-range
+    /// coherence path needs the identities to deregister evicted
+    /// duplicates from the directory; the private path passes `None` and
+    /// pays nothing.
+    pub fn make_room_logged(
+        &mut self,
+        need_bytes: u64,
+        writeback_fraction: f64,
+        mut victims: Option<&mut Vec<u64>>,
+    ) -> EvictResult {
         let mut result = EvictResult::default();
         if need_bytes > self.budget {
             // The kernel's own working set exceeds the budget; evict
@@ -143,6 +161,9 @@ impl DeviceState {
             result.pages += 1;
             if !info.read_mostly {
                 result.writeback_bytes += (PAGE_SIZE as f64 * writeback_fraction) as u64;
+            }
+            if let Some(log) = victims.as_deref_mut() {
+                log.push(page);
             }
         }
         result
@@ -229,6 +250,22 @@ mod tests {
         let r = s.make_room(PAGE_SIZE, 0.5);
         assert_eq!(r.pages, 0, "pinned page may not be evicted");
         assert!(s.is_resident(1));
+    }
+
+    #[test]
+    fn make_room_logged_reports_victim_identities() {
+        let mut s = state(2);
+        s.insert(3, 1);
+        s.insert(9, 2);
+        let mut victims = Vec::new();
+        let r = s.make_room_logged(2 * PAGE_SIZE, 0.0, Some(&mut victims));
+        assert_eq!(r.pages, 2);
+        assert_eq!(victims, vec![3, 9], "LRU order, oldest first");
+        // The unlogged variant is byte-identical in effect.
+        let mut t = state(2);
+        t.insert(3, 1);
+        t.insert(9, 2);
+        assert_eq!(t.make_room(2 * PAGE_SIZE, 0.0), r);
     }
 
     #[test]

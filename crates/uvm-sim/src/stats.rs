@@ -21,17 +21,26 @@ pub struct UvmStats {
     pub evict_stall_ns: u64,
     /// Prefetch requests that found all pages already resident.
     pub prefetch_noops: u64,
+    /// Pages read-duplicated device→device over the peer link (shared
+    /// managed ranges only).
+    pub peer_pages_in: u64,
+    /// Device stall caused by peer read-duplication, ns.
+    pub peer_stall_ns: u64,
+    /// Remote duplicate pages invalidated by writes to shared ranges.
+    pub duplicates_invalidated: u64,
 }
 
 impl UvmStats {
-    /// Total pages migrated in, by either mechanism.
+    /// Total pages migrated in from the *host*, by either mechanism
+    /// (peer duplications are device→device and counted separately in
+    /// [`UvmStats::peer_pages_in`]).
     pub fn pages_in(&self) -> u64 {
         self.demand_pages_in + self.prefetch_pages_in
     }
 
     /// Total device stall attributable to UVM, ns.
     pub fn total_stall_ns(&self) -> u64 {
-        self.fault_stall_ns + self.prefetch_stall_ns + self.evict_stall_ns
+        self.fault_stall_ns + self.prefetch_stall_ns + self.evict_stall_ns + self.peer_stall_ns
     }
 
     /// Folds another counter set into this one, field-wise — the merge
@@ -46,6 +55,9 @@ impl UvmStats {
         self.prefetch_stall_ns += other.prefetch_stall_ns;
         self.evict_stall_ns += other.evict_stall_ns;
         self.prefetch_noops += other.prefetch_noops;
+        self.peer_pages_in += other.peer_pages_in;
+        self.peer_stall_ns += other.peer_stall_ns;
+        self.duplicates_invalidated += other.duplicates_invalidated;
     }
 }
 
@@ -64,9 +76,12 @@ mod tests {
             prefetch_stall_ns: 50,
             evict_stall_ns: 25,
             prefetch_noops: 1,
+            peer_pages_in: 6,
+            peer_stall_ns: 30,
+            duplicates_invalidated: 2,
         };
-        assert_eq!(s.pages_in(), 15);
-        assert_eq!(s.total_stall_ns(), 175);
+        assert_eq!(s.pages_in(), 15, "peer pages are not host pages");
+        assert_eq!(s.total_stall_ns(), 205, "peer stall is device stall");
     }
 
     #[test]
@@ -86,6 +101,9 @@ mod tests {
             prefetch_stall_ns: 6,
             evict_stall_ns: 7,
             prefetch_noops: 8,
+            peer_pages_in: 9,
+            peer_stall_ns: 10,
+            duplicates_invalidated: 11,
         };
         let b = UvmStats {
             fault_groups: 10,
@@ -96,6 +114,9 @@ mod tests {
             prefetch_stall_ns: 60,
             evict_stall_ns: 70,
             prefetch_noops: 80,
+            peer_pages_in: 90,
+            peer_stall_ns: 100,
+            duplicates_invalidated: 110,
         };
         let mut ab = a;
         ab.merge_from(&b);
@@ -104,7 +125,9 @@ mod tests {
         assert_eq!(ab, ba, "field-wise sums commute");
         assert_eq!(ab.fault_groups, 11);
         assert_eq!(ab.pages_in(), 55);
-        assert_eq!(ab.total_stall_ns(), 198);
+        assert_eq!(ab.peer_pages_in, 99);
+        assert_eq!(ab.duplicates_invalidated, 121);
+        assert_eq!(ab.total_stall_ns(), 308);
         // The zero counters are the identity element.
         let mut id = a;
         id.merge_from(&UvmStats::default());

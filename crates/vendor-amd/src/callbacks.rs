@@ -135,6 +135,28 @@ pub enum RocCallback {
         /// Host time after the dispatch was enqueued.
         at: SimTime,
     },
+    /// xGMI peer copy / invalidation on a shared managed range — ROCm's
+    /// vocabulary for what CUDA calls a UVM peer migration; the PASTA
+    /// handler normalizes both onto one event. Carries both devices so
+    /// the sharded hub can route by the *destination*.
+    PeerCopy {
+        /// Dispatch whose accesses triggered the operation.
+        launch: LaunchId,
+        /// Device the data (or the invalidating write) came from.
+        src: DeviceId,
+        /// Device whose residency changed.
+        dst: DeviceId,
+        /// Pages read-duplicated onto `dst`.
+        duplicated_pages: u64,
+        /// `dst` duplicate pages invalidated by `src`'s write.
+        invalidated_pages: u64,
+        /// Bytes moved over the xGMI link (duplications only).
+        bytes: u64,
+        /// Device stall charged to the dispatch, ns.
+        stall_ns: u64,
+        /// Host time after the dispatch was enqueued.
+        at: SimTime,
+    },
 }
 
 impl RocCallback {
@@ -151,6 +173,7 @@ impl RocCallback {
             RocCallback::Synchronize { .. } => "ROCPROFILER_SYNCHRONIZE",
             RocCallback::BatchMemOp { .. } => "ROCPROFILER_BATCH_MEMOP",
             RocCallback::PageMigrate { .. } => "ROCPROFILER_PAGE_MIGRATE",
+            RocCallback::PeerCopy { .. } => "ROCPROFILER_PAGE_PEER_COPY",
         }
     }
 }

@@ -122,6 +122,40 @@ impl HipContext {
         self.emit(RocCallback::ApiExit { name, device, at });
     }
 
+    /// Drains the residency model's peer-to-peer coherence log (shared
+    /// managed ranges: read duplications, write invalidations).
+    fn take_peer_transfers(&mut self) -> Vec<accel_sim::PeerTransfer> {
+        self.engine
+            .residency_mut()
+            .map(|res| res.take_peer_transfers())
+            .unwrap_or_default()
+    }
+
+    /// Surfaces drained coherence operations as `PeerCopy` callbacks
+    /// carrying source *and* destination devices.
+    fn emit_peer_transfers(
+        &mut self,
+        launch: accel_sim::LaunchId,
+        transfers: Vec<accel_sim::PeerTransfer>,
+    ) {
+        if transfers.is_empty() {
+            return;
+        }
+        let at = self.engine.host_now();
+        for t in transfers {
+            self.emit(RocCallback::PeerCopy {
+                launch,
+                src: t.src,
+                dst: t.dst,
+                duplicated_pages: t.duplicated_pages,
+                invalidated_pages: t.invalidated_pages,
+                bytes: t.bytes,
+                stall_ns: t.stall_ns,
+                at,
+            });
+        }
+    }
+
     fn run_prefetch_plan(&mut self, stream: StreamId) {
         let Some(plan) = self.prefetch_plan.as_ref() else {
             return;
@@ -143,6 +177,12 @@ impl HipContext {
                 .device_mut(device)
                 .set_stream_time(stream, t + stall_total);
         }
+        // Plan prefetches over shared ranges may have read-duplicated
+        // pages; drain their transfers here, attributed to the launch
+        // being issued, so they never bleed into the launch's own drain
+        // (whose stall arithmetic assumes launch-time transfers only).
+        let transfers = self.take_peer_transfers();
+        self.emit_peer_transfers(accel_sim::LaunchId(self.launches_seen), transfers);
     }
 }
 
@@ -290,6 +330,12 @@ impl DeviceRuntime for HipContext {
         // Page-migration activity reports the *faulting* device — the
         // dispatch target (`record.device`), never `self.current`. The
         // sharded hub routes on this field.
+        // The dispatch's total UVM stall covers host faulting AND peer
+        // coherence; the peer share is reported by the PeerCopy events
+        // below, so PageMigrate carries only the host remainder — tools
+        // summing both streams must not double-count.
+        let transfers = self.take_peer_transfers();
+        let peer_stall: u64 = transfers.iter().map(|t| t.stall_ns).sum();
         if record.uvm_faults > 0 || record.uvm_migrated_bytes > 0 || record.uvm_evicted_bytes > 0 {
             let at = self.engine.host_now();
             self.emit(RocCallback::PageMigrate {
@@ -298,10 +344,11 @@ impl DeviceRuntime for HipContext {
                 groups: record.uvm_faults,
                 migrated_bytes: record.uvm_migrated_bytes,
                 evicted_bytes: record.uvm_evicted_bytes,
-                stall_ns: record.uvm_stall_ns,
+                stall_ns: record.uvm_stall_ns.saturating_sub(peer_stall),
                 at,
             });
         }
+        self.emit_peer_transfers(record.launch, transfers);
         self.emit_api_exit("hipLaunchKernel");
         Ok(record)
     }
@@ -342,6 +389,12 @@ impl DeviceRuntime for HipContext {
             bytes,
             at,
         });
+        // A prefetch of a shared range may have read-duplicated pages.
+        // Prefetches front-run the launch that consumes them, so the
+        // transfers carry the id of the *upcoming* launch (a forward
+        // reference when no further launch is ever issued).
+        let transfers = self.take_peer_transfers();
+        self.emit_peer_transfers(accel_sim::LaunchId(self.launches_seen), transfers);
         self.emit_api_exit("hipMemPrefetchAsync");
         Ok(())
     }

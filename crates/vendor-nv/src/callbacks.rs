@@ -147,6 +147,30 @@ pub enum NvCallback {
         /// Host time after the launch was enqueued.
         at: SimTime,
     },
+    /// A peer-to-peer coherence operation on a *shared* managed range,
+    /// resolved while a kernel ran: either a read duplication (data moved
+    /// `src → dst` over NVLink/PCIe peer mappings) or a write
+    /// invalidation (`src` wrote, `dst`'s duplicate was dropped). Both
+    /// devices ride in the callback so the sharded hub can route the
+    /// normalized event to the *destination* device's shard.
+    PeerMigrate {
+        /// Launch whose accesses triggered the operation.
+        launch: LaunchId,
+        /// Device the data (or the invalidating write) came from.
+        src: DeviceId,
+        /// Device whose residency changed.
+        dst: DeviceId,
+        /// Pages read-duplicated onto `dst`.
+        duplicated_pages: u64,
+        /// `dst` duplicate pages invalidated by `src`'s write.
+        invalidated_pages: u64,
+        /// Bytes moved over the peer link (duplications only).
+        bytes: u64,
+        /// Device stall charged to the launch, ns.
+        stall_ns: u64,
+        /// Host time after the launch was enqueued.
+        at: SimTime,
+    },
 }
 
 impl NvCallback {
@@ -164,6 +188,7 @@ impl NvCallback {
             NvCallback::Synchronize { .. } => "SANITIZER_CBID_SYNCHRONIZE",
             NvCallback::BatchMemOp { .. } => "SANITIZER_CBID_BATCH_MEMOP",
             NvCallback::UvmFault { .. } => "SANITIZER_CBID_UVM_FAULT",
+            NvCallback::PeerMigrate { .. } => "SANITIZER_CBID_UVM_PEER_MIGRATE",
         }
     }
 }

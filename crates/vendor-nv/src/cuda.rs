@@ -142,6 +142,40 @@ impl CudaContext {
         self.emit(NvCallback::ApiExit { name, device, at });
     }
 
+    /// Drains the residency model's peer-to-peer coherence log (shared
+    /// managed ranges: read duplications, write invalidations).
+    fn take_peer_transfers(&mut self) -> Vec<accel_sim::PeerTransfer> {
+        self.engine
+            .residency_mut()
+            .map(|res| res.take_peer_transfers())
+            .unwrap_or_default()
+    }
+
+    /// Surfaces drained coherence operations as `PeerMigrate` callbacks
+    /// carrying source *and* destination devices.
+    fn emit_peer_transfers(
+        &mut self,
+        launch: accel_sim::LaunchId,
+        transfers: Vec<accel_sim::PeerTransfer>,
+    ) {
+        if transfers.is_empty() {
+            return;
+        }
+        let at = self.engine.host_now();
+        for t in transfers {
+            self.emit(NvCallback::PeerMigrate {
+                launch,
+                src: t.src,
+                dst: t.dst,
+                duplicated_pages: t.duplicated_pages,
+                invalidated_pages: t.invalidated_pages,
+                bytes: t.bytes,
+                stall_ns: t.stall_ns,
+                at,
+            });
+        }
+    }
+
     /// Replays the prefetch plan entry for the next launch, charging the
     /// non-overlapped stall to the launch stream.
     fn run_prefetch_plan(&mut self, stream: StreamId) {
@@ -165,6 +199,12 @@ impl CudaContext {
                 .device_mut(device)
                 .set_stream_time(stream, t + stall_total);
         }
+        // Plan prefetches over shared ranges may have read-duplicated
+        // pages; drain their transfers here, attributed to the launch
+        // being issued, so they never bleed into the launch's own drain
+        // (whose stall arithmetic assumes launch-time transfers only).
+        let transfers = self.take_peer_transfers();
+        self.emit_peer_transfers(accel_sim::LaunchId(self.launches_seen), transfers);
         let at = self.engine.host_now();
         for r in ranges {
             self.emit(NvCallback::BatchMemOp {
@@ -321,6 +361,12 @@ impl DeviceRuntime for CudaContext {
         // kernel ran on (`record.device`), never `self.current`, which on
         // a shared multi-device context may point elsewhere by the time
         // the fault buffer drains. The sharded hub routes on this field.
+        // The launch's total UVM stall covers host faulting AND peer
+        // coherence; the peer share is reported by the PeerMigrate
+        // events below, so the UvmFault event carries only the host
+        // remainder — tools summing both streams must not double-count.
+        let transfers = self.take_peer_transfers();
+        let peer_stall: u64 = transfers.iter().map(|t| t.stall_ns).sum();
         if record.uvm_faults > 0 || record.uvm_migrated_bytes > 0 || record.uvm_evicted_bytes > 0 {
             let at = self.engine.host_now();
             self.emit(NvCallback::UvmFault {
@@ -329,10 +375,11 @@ impl DeviceRuntime for CudaContext {
                 groups: record.uvm_faults,
                 migrated_bytes: record.uvm_migrated_bytes,
                 evicted_bytes: record.uvm_evicted_bytes,
-                stall_ns: record.uvm_stall_ns,
+                stall_ns: record.uvm_stall_ns.saturating_sub(peer_stall),
                 at,
             });
         }
+        self.emit_peer_transfers(record.launch, transfers);
         self.emit_api_exit("cuLaunchKernel");
         Ok(record)
     }
@@ -373,6 +420,12 @@ impl DeviceRuntime for CudaContext {
             bytes,
             at,
         });
+        // A prefetch of a shared range may have read-duplicated pages.
+        // Prefetches front-run the launch that consumes them, so the
+        // transfers carry the id of the *upcoming* launch (a forward
+        // reference when no further launch is ever issued).
+        let transfers = self.take_peer_transfers();
+        self.emit_peer_transfers(accel_sim::LaunchId(self.launches_seen), transfers);
         self.emit_api_exit("cudaMemPrefetchAsync");
         Ok(())
     }
@@ -480,6 +533,51 @@ mod tests {
         let rec = c.launch(desc).unwrap();
         assert!(rec.uvm_faults > 0, "cold managed pages fault");
         assert!(rec.uvm_stall_ns > 0);
+        c.free(p).unwrap();
+    }
+
+    #[test]
+    fn peer_and_fault_events_partition_the_launch_stall() {
+        // A launch that both demand-faults a private region and
+        // read-duplicates a shared one must report each nanosecond of
+        // UVM stall exactly once: UvmFault carries the host share,
+        // PeerMigrate the peer share, and they sum to the record's
+        // total — tools adding both streams must not double-count.
+        use accel_sim::AccessSpec;
+        use uvm_sim::UvmConfig;
+        let mut c = CudaContext::new(vec![DeviceSpec::rtx_3060(), DeviceSpec::rtx_3060()]);
+        c.set_device(DeviceId(1)).unwrap();
+        let mut uvm = UvmManager::new(UvmConfig::default());
+        uvm.add_device(1 << 30, 12.0, 35_000);
+        uvm.add_device(1 << 30, 12.0, 35_000);
+        c.attach_uvm(uvm);
+        let p = c.malloc_managed(8 << 20).unwrap();
+        c.engine_mut()
+            .residency_mut()
+            .unwrap()
+            .register_shared(p.addr(), 4 << 20, DeviceId(0));
+
+        let stalls = Arc::new(Mutex::new((0u64, 0u64))); // (fault, peer)
+        let stalls2 = Arc::clone(&stalls);
+        c.subscribe(Box::new(move |cb| match cb {
+            NvCallback::UvmFault { stall_ns, .. } => stalls2.lock().0 += stall_ns,
+            NvCallback::PeerMigrate { stall_ns, .. } => stalls2.lock().1 += stall_ns,
+            _ => {}
+        }));
+        // One launch covering shared head (peer-duplicates onto dev 1)
+        // and private tail (host demand faults).
+        let desc = KernelDesc::new("mixed", Dim3::linear(64), Dim3::linear(128))
+            .arg(p, 8 << 20)
+            .body(KernelBody::default().access(AccessSpec::load(0, 8 << 20)));
+        let rec = c.launch(desc).unwrap();
+        assert!(rec.uvm_peer_bytes > 0 && rec.uvm_migrated_bytes > 0);
+        let (fault, peer) = *stalls.lock();
+        assert!(fault > 0 && peer > 0, "both streams fired");
+        assert_eq!(
+            fault + peer,
+            rec.uvm_stall_ns,
+            "every stall nanosecond reported exactly once"
+        );
         c.free(p).unwrap();
     }
 

@@ -1,0 +1,101 @@
+//! The Fig. 12-style oversubscribed multi-GPU sweep: scale the managed
+//! budget (`UvmSetup::budget_bytes`) below the working-set size across
+//! 2–4 devices and watch the fault/eviction/peer-traffic curves.
+//!
+//! Two workloads, both driven through `train_iter_*` over `run_parallel`
+//! lanes:
+//!
+//! * **Tensor parallelism, 2 GPUs** — the lanes share a managed range
+//!   (Megatron's replicated parameters, rank 0 owning the home copy), so
+//!   shrinking the budget also forces evicted duplicates to re-travel
+//!   the peer link: the peer-traffic curve climbs with oversubscription.
+//! * **Data parallelism, 4 GPUs** — fully private replicas; the classic
+//!   Fig. 12 fault/eviction blow-up, one curve per budget point.
+//!
+//! The working set is measured first with an unconstrained budget (at
+//! 100% nothing evicts, so pages-faulted-once == pages touched), then
+//! the sweep pins the budget to fractions of it.
+//!
+//! ```sh
+//! cargo run --release --example uvm_oversubscription
+//! ```
+
+use pasta::core::{Pasta, PastaSession, UvmSetup};
+use pasta::dl::parallel::{self, Parallelism};
+use pasta::sim::{DeviceId, DeviceSpec};
+use pasta::uvm::PAGE_SIZE;
+
+fn session(devices: usize, budget: Option<u64>) -> PastaSession {
+    Pasta::builder()
+        .devices(vec![DeviceSpec::a100_80gb(); devices])
+        .uvm(UvmSetup {
+            budget_bytes: budget,
+            ..UvmSetup::default()
+        })
+        .build()
+        .expect("session builds")
+}
+
+fn run(
+    devices: usize,
+    strategy: Parallelism,
+    budget: Option<u64>,
+) -> pasta::core::report::UvmReport {
+    let mut s = session(devices, budget);
+    let ids: Vec<DeviceId> = (0..devices as u32).map(DeviceId).collect();
+    s.run_parallel(&ids, |lanes| {
+        parallel::train_iter(lanes, strategy, 1).map(|_| ())
+    })
+    .expect("training iteration");
+    s.uvm_report().expect("uvm attached")
+}
+
+fn sweep(devices: usize, strategy: Parallelism) {
+    // 100% point doubles as the working-set measurement: nothing evicts,
+    // so the per-lane demand pages are exactly the pages touched.
+    let full = run(devices, strategy, None);
+    let ws = full
+        .per_device
+        .iter()
+        .map(|(_, s)| (s.demand_pages_in + s.peer_pages_in) * PAGE_SIZE)
+        .max()
+        .unwrap_or(0);
+    println!(
+        "{} on {} GPUs — per-device working set {} MiB",
+        strategy.label(),
+        devices,
+        ws >> 20
+    );
+    println!(
+        "  {:>7}  {:>12}  {:>12}  {:>12}  {:>12}  {:>10}",
+        "budget", "faults", "pages-in", "evicted-MiB", "peer-MiB", "stall-ms"
+    );
+    for percent in [100u64, 75, 50, 25] {
+        let budget = ws * percent / 100;
+        let report = run(devices, strategy, Some(budget));
+        let s = report.stats;
+        println!(
+            "  {percent:>6}%  {:>12}  {:>12}  {:>12}  {:>12}  {:>10.1}",
+            s.fault_groups,
+            s.pages_in(),
+            (s.pages_evicted * PAGE_SIZE) >> 20,
+            (s.peer_pages_in * PAGE_SIZE) >> 20,
+            s.total_stall_ns() as f64 / 1e6,
+        );
+        for ((src, dst), bytes) in &report.peer_bytes {
+            println!(
+                "           peer {src}->{dst}: {} MiB duplicated",
+                bytes >> 20
+            );
+        }
+    }
+    println!();
+}
+
+fn main() {
+    // 2-GPU tensor parallelism: the shared replicated parameters make
+    // the peer-traffic column move with the budget.
+    sweep(2, Parallelism::Tensor);
+    // 4-GPU data parallelism: private replicas, the pure Fig. 12 curve.
+    sweep(4, Parallelism::Data);
+}

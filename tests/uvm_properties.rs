@@ -145,6 +145,166 @@ proptest! {
         prop_assert_eq!(merged.stats(), reference.stats());
     }
 
+    /// Shared ranges, ISSUE 5 bugfix pin: fork+merge equals the
+    /// sequential reference **at any bin width and any stream length** —
+    /// lane streams that do *not* land on bin boundaries included. Lane
+    /// hotness logs its events and the merge replays them on the parent
+    /// clock, so the partial-bin seam is exact (ISSUE 4's padded
+    /// concatenation only guaranteed equality on boundaries).
+    #[test]
+    fn fork_merge_hotness_equals_reference_off_bin_boundaries(
+        stream0 in prop::collection::vec((0u64..400, 1u64..32), 1..10),
+        stream1 in prop::collection::vec((0u64..400, 1u64..32), 1..10),
+        bin_events in 2u64..16,
+        prior in 0usize..5
+    ) {
+        let streams: [LaneStream; 2] = [stream0, stream1];
+        let mut reference = manager(2, 512, bin_events);
+        let mut parent = manager(2, 512, bin_events);
+        // The session manager may already sit mid-bin when the parallel
+        // region starts.
+        for i in 0..prior {
+            let access = [(i as u64, 1u64)];
+            drive(&mut reference, DeviceId(0), &access);
+            drive(&mut parent, DeviceId(0), &access);
+        }
+        for (i, stream) in streams.iter().enumerate() {
+            drive(&mut reference, DeviceId(i as u32), stream);
+        }
+        let mut lanes: Vec<(DeviceId, UvmManager)> = (0..2)
+            .map(|i| {
+                let mut lane = parent.fork(DeviceId(i));
+                drive(&mut lane, DeviceId(i), &streams[i as usize]);
+                (DeviceId(i), lane)
+            })
+            .collect();
+        lanes.sort_by_key(|&(d, _)| d);
+        for (_, lane) in &lanes {
+            parent.merge(lane);
+        }
+        prop_assert_eq!(parent.hotness().series(), reference.hotness().series());
+        prop_assert_eq!(parent.hotness().events_seen(), reference.hotness().events_seen());
+    }
+
+    /// Shared blocks conserve bytes under arbitrary read/write
+    /// interleavings, against the never-forked single-manager oracle:
+    /// every page ever brought in (host demand + peer duplication) is
+    /// either still resident somewhere, was evicted, or was invalidated —
+    /// and immediately after a write, no page of the written range is
+    /// resident on two devices (the writer holds the only copy).
+    #[test]
+    fn shared_duplicates_and_invalidations_conserve_bytes(
+        ops in prop::collection::vec(
+            (0u32..3, 0u64..96, 1u64..32, any::<bool>()), 1..24),
+        budget_pages in 24u64..256
+    ) {
+        let shared_pages = 96u64;
+        let mut m = manager(3, budget_pages, 64);
+        m.register_shared(BASE, shared_pages * PAGE_SIZE, DeviceId(0));
+        for &(device, page, pages, write) in &ops {
+            let device = DeviceId(device);
+            let page = page.min(shared_pages - 1);
+            let pages = pages.min(shared_pages - page);
+            let base = BASE + page * PAGE_SIZE;
+            let len = pages * PAGE_SIZE;
+            let kind = if write { AccessKind::Store } else { AccessKind::Load };
+            m.on_kernel_access(device, base, len, len, kind);
+            if write {
+                // Exclusivity: after a write, no device but the writer
+                // holds a written page — no block double-counted
+                // resident. (The writer itself may have lost the page
+                // again if the written range exceeded its own budget and
+                // the access's LRU thrash evicted it.)
+                for p in page..page + pages {
+                    let addr = BASE + p * PAGE_SIZE;
+                    let holders = (0..3u32)
+                        .filter(|&d| m.page_resident(DeviceId(d), addr))
+                        .collect::<Vec<_>>();
+                    prop_assert!(
+                        holders.is_empty() || holders == vec![device.0],
+                        "page {} resident on {:?} after a write by {:?}",
+                        p, holders, device
+                    );
+                }
+            }
+        }
+        // Flow balance: pages in == pages still resident + pages evicted
+        // + duplicates invalidated (every shared access in this test, so
+        // all resident pages are shared pages).
+        let s = m.stats();
+        let resident: u64 = (0..3u32)
+            .map(|d| m.resident_bytes(DeviceId(d)) / PAGE_SIZE)
+            .sum();
+        prop_assert_eq!(
+            s.demand_pages_in + s.peer_pages_in,
+            resident + s.pages_evicted + s.duplicates_invalidated,
+            "shared bytes leaked or double-counted"
+        );
+        // The directory's holder census agrees with actual residency.
+        let dir = m.directory().range_containing(BASE).unwrap();
+        prop_assert_eq!(dir.holder_entries(), resident);
+    }
+
+    /// Read-only shared streams through forked lanes equal the oracle
+    /// byte-for-byte — statistics, peer traffic and hotness — for any
+    /// per-lane streams, any interleaving and any budget. This is the
+    /// determinism contract the `uvm_p2p` differential suite rests on:
+    /// remote-read classification is static (owner vs. not), so the
+    /// schedule cannot reach the counters.
+    #[test]
+    fn forked_shared_reads_equal_never_forked_oracle(
+        stream0 in prop::collection::vec((0u64..96, 1u64..32), 1..10),
+        stream1 in prop::collection::vec((0u64..96, 1u64..32), 1..10),
+        stream2 in prop::collection::vec((0u64..96, 1u64..32), 0..10),
+        budget_pages in 16u64..256,
+        skew in 1usize..4
+    ) {
+        let shared_pages = 96u64;
+        let clamp = |s: &LaneStream| -> LaneStream {
+            s.iter()
+                .map(|&(p, n)| {
+                    let p = p.min(shared_pages - 1);
+                    (p, n.min(shared_pages - p))
+                })
+                .collect()
+        };
+        let streams: [LaneStream; 3] =
+            [clamp(&stream0), clamp(&stream1), clamp(&stream2)];
+
+        let mut oracle = manager(3, budget_pages, 5);
+        oracle.register_shared(BASE, shared_pages * PAGE_SIZE, DeviceId(0));
+        for (i, stream) in streams.iter().enumerate() {
+            drive(&mut oracle, DeviceId(i as u32), stream);
+        }
+
+        let mut parent = manager(3, budget_pages, 5);
+        parent.register_shared(BASE, shared_pages * PAGE_SIZE, DeviceId(0));
+        let mut lanes: Vec<(DeviceId, UvmManager)> = (0..3)
+            .map(|i| (DeviceId(i), parent.fork(DeviceId(i))))
+            .collect();
+        // Interleave: lane 0 advances `skew` accesses per single access
+        // of lanes 1 and 2 — standing in for an arbitrary schedule.
+        let mut cursors = [0usize; 3];
+        while cursors.iter().zip(&streams).any(|(&c, s)| c < s.len()) {
+            for (i, steps) in [(0usize, skew), (1, 1), (2, 1)] {
+                for _ in 0..steps {
+                    if cursors[i] < streams[i].len() {
+                        let access = [streams[i][cursors[i]]];
+                        drive(&mut lanes[i].1, DeviceId(i as u32), &access);
+                        cursors[i] += 1;
+                    }
+                }
+            }
+        }
+        lanes.sort_by_key(|&(d, _)| d);
+        for (_, lane) in &lanes {
+            parent.merge(lane);
+        }
+        prop_assert_eq!(parent.stats(), oracle.stats());
+        prop_assert_eq!(parent.peer_matrix(), oracle.peer_matrix());
+        prop_assert_eq!(parent.hotness().series(), oracle.hotness().series());
+    }
+
     /// Merging lane stats is interleaving-independent by construction,
     /// and equals the plain sum of per-lane stats.
     #[test]
