@@ -192,6 +192,29 @@ impl Hub {
         }
     }
 
+    /// Attaches one trace recorder per shard: `make` is called once per
+    /// shard in ascending device order and the returned recorder observes
+    /// every event that shard processes from then on (the capture half of
+    /// `pasta-trace`). Replaces any previously attached recorders.
+    pub fn attach_recorders(
+        &self,
+        mut make: impl FnMut(DeviceId) -> Box<dyn crate::processor::EventRecorder>,
+    ) {
+        for shard in &self.shards {
+            let recorder = make(shard.device);
+            shard.lock().set_recorder(recorder);
+        }
+    }
+
+    /// Detaches every shard's trace recorder, returning them in ascending
+    /// device order (shards without one are skipped).
+    pub fn detach_recorders(&self) -> Vec<(DeviceId, Box<dyn crate::processor::EventRecorder>)> {
+        self.shards
+            .iter()
+            .filter_map(|s| s.lock().take_recorder().map(|r| (s.device, r)))
+            .collect()
+    }
+
     /// Events processed across all shards.
     pub fn events_processed(&self) -> u64 {
         self.shards

@@ -74,6 +74,7 @@ pub use accel_sim::{AnalysisMode, OverheadBreakdown, Symbol, SymbolTable};
 pub use error::PastaError;
 pub use event::{Event, EventClass};
 pub use knob::{Knob, KnobSet};
+pub use processor::{EventProcessor, EventRecorder};
 pub use profiler::{BackendChoice, Pasta, PastaBuilder, PastaSession, UvmSetup};
 pub use range::RangeFilter;
 pub use report::{MergedReport, SessionReport, ToolReport, UvmReport};

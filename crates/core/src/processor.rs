@@ -13,6 +13,27 @@ use crate::range::RangeFilter;
 use crate::tool::ToolCollection;
 use accel_sim::{LaunchId, ProbeConfig, Symbol};
 
+/// Observes every event a processor counts, in processing order — the
+/// capture hook behind binary trace writers (`pasta-trace`).
+///
+/// A recorder sees exactly the events that bump
+/// [`EventProcessor::events_processed`]: everything delivered through
+/// [`EventProcessor::process`] and [`EventProcessor::process_class_batch`],
+/// and nothing from [`EventProcessor::observe_range`] (range bookkeeping is
+/// not part of the dispatched stream). Replaying a recorded stream through
+/// a fresh processor therefore reproduces the tool-visible history of the
+/// shard exactly.
+///
+/// `Send + Sync` because processors live inside hub shards shared across
+/// lane threads and borrowed by the pooled session-end merge (recording
+/// itself only ever happens through `&mut self` under the shard lock, so
+/// the bounds cost implementations nothing); `Debug` keeps the processor
+/// derivable.
+pub trait EventRecorder: Send + Sync + std::fmt::Debug {
+    /// Called for each event, before tool dispatch, under the shard lock.
+    fn record(&mut self, event: &Event);
+}
+
 /// The dispatch-and-preprocess core shared by handler and sink.
 #[derive(Debug, Default)]
 pub struct EventProcessor {
@@ -26,6 +47,9 @@ pub struct EventProcessor {
     pub stacks: StackCapture,
     /// When set, capture stacks for the kernel this knob currently selects.
     pub capture_knob: Option<Knob>,
+    /// Attached trace recorder, if any. With no recorder the event path
+    /// pays exactly one `Option` discriminant check.
+    recorder: Option<Box<dyn EventRecorder>>,
     events_processed: u64,
 }
 
@@ -56,8 +80,26 @@ impl EventProcessor {
         self.tools.wants_class(class)
     }
 
+    /// Attaches a trace recorder; replaces any previous one.
+    pub fn set_recorder(&mut self, recorder: Box<dyn EventRecorder>) {
+        self.recorder = Some(recorder);
+    }
+
+    /// Detaches and returns the trace recorder, if one was attached.
+    pub fn take_recorder(&mut self) -> Option<Box<dyn EventRecorder>> {
+        self.recorder.take()
+    }
+
+    /// True when a trace recorder is attached.
+    pub fn has_recorder(&self) -> bool {
+        self.recorder.is_some()
+    }
+
     /// Preprocesses and dispatches one event.
     pub fn process(&mut self, event: &Event) {
+        if let Some(recorder) = &mut self.recorder {
+            recorder.record(event);
+        }
         self.events_processed += 1;
         self.range.observe(event);
         self.stacks.observe(event);
@@ -106,6 +148,11 @@ impl EventProcessor {
             matches!(class, EventClass::DeviceAccess | EventClass::DeviceControl),
             "only launch-scoped fine-grained classes may take the fast drain"
         );
+        if let Some(recorder) = &mut self.recorder {
+            for event in events {
+                recorder.record(event);
+            }
+        }
         self.events_processed += events.len() as u64;
         self.tools.dispatch_class_batch(class, events);
     }
@@ -124,12 +171,15 @@ impl EventProcessor {
     /// some tool declines to fork (the session then keeps one shared
     /// shard).
     pub fn fork(&self) -> Option<EventProcessor> {
+        // A fork never inherits the recorder: each trace stream belongs to
+        // exactly one shard, and capture attachment is the hub's job.
         Some(EventProcessor {
             tools: self.tools.fork_all()?,
             range: self.range.clone(),
             knobs: KnobSet::new(),
             stacks: StackCapture::new(),
             capture_knob: self.capture_knob,
+            recorder: None,
             events_processed: 0,
         })
     }
@@ -231,6 +281,53 @@ mod tests {
         p.range = RangeFilter::grid_window(10, 20);
         assert!(p.probe_config_for(LaunchId(5)).is_disabled());
         assert!(p.probe_config_for(LaunchId(15)).global_accesses);
+    }
+
+    #[derive(Debug, Default, Clone)]
+    struct CountingRecorder {
+        seen: std::sync::Arc<parking_lot::Mutex<Vec<Event>>>,
+    }
+    impl EventRecorder for CountingRecorder {
+        fn record(&mut self, event: &Event) {
+            self.seen.lock().push(event.clone());
+        }
+    }
+
+    #[test]
+    fn recorder_sees_exactly_the_counted_events() {
+        let mut p = EventProcessor::new();
+        assert!(!p.has_recorder());
+        let recorder = CountingRecorder::default();
+        let seen = std::sync::Arc::clone(&recorder.seen);
+        p.set_recorder(Box::new(recorder));
+        assert!(p.has_recorder());
+        p.process(&launch_end("gemm", 0));
+        let barriers = [Event::Barrier {
+            launch: LaunchId(0),
+            count: 4,
+            cluster: false,
+        }];
+        p.process_class_batch(EventClass::DeviceControl, &barriers);
+        // Range observation is bookkeeping, not dispatch: never recorded.
+        p.observe_range(&Event::RegionStart {
+            label: "r".into(),
+            device: DeviceId(0),
+        });
+        assert!(p.take_recorder().is_some());
+        assert!(!p.has_recorder());
+        let seen = seen.lock();
+        assert_eq!(seen.len() as u64, p.events_processed());
+        assert_eq!(seen.len(), 2);
+        assert!(matches!(seen[1], Event::Barrier { .. }));
+    }
+
+    #[test]
+    fn fork_never_inherits_the_recorder() {
+        let mut p = EventProcessor::new();
+        p.set_recorder(Box::<CountingRecorder>::default());
+        let forked = p.fork().expect("empty tool set forks");
+        assert!(!forked.has_recorder(), "streams belong to one shard each");
+        assert!(p.has_recorder(), "the original keeps recording");
     }
 
     #[test]

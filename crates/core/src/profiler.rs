@@ -690,6 +690,25 @@ impl PastaSession {
         self.hub.events_processed()
     }
 
+    /// Attaches one trace recorder per hub shard (ascending device order).
+    /// Every event a shard processes from now on — sequential runs and
+    /// [`PastaSession::run_parallel`] lanes alike, since lanes feed the
+    /// same shared hub — is offered to that shard's recorder. This is the
+    /// capture attachment point of the `pasta-trace` subsystem.
+    pub fn attach_event_recorders(
+        &self,
+        make: impl FnMut(DeviceId) -> Box<dyn crate::processor::EventRecorder>,
+    ) {
+        self.hub.attach_recorders(make);
+    }
+
+    /// Detaches every shard's trace recorder, ascending device order.
+    pub fn detach_event_recorders(
+        &self,
+    ) -> Vec<(DeviceId, Box<dyn crate::processor::EventRecorder>)> {
+        self.hub.detach_recorders()
+    }
+
     /// Installs a UVM prefetch plan to replay before upcoming launches.
     pub fn set_prefetch_plan(&mut self, plan: PrefetchPlan) {
         match &mut self.runtime {

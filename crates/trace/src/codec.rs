@@ -1,0 +1,1055 @@
+//! The per-shard record codec.
+//!
+//! One [`ShardEncoder`] serializes one device shard's event stream, in
+//! processing order, into a compact byte payload:
+//!
+//! * every string (kernel symbols, API names, Python frames) is replaced
+//!   by a small integer id into a per-shard dictionary, snapshotted next
+//!   to the payload so names round-trip without carrying bytes per event;
+//! * timestamps (`at`/`start`/`end`) and launch ids are delta-encoded
+//!   against the previous value in the stream, zigzag-mapped, and written
+//!   as LEB128 varints — both with *wrapping* arithmetic, so arbitrary
+//!   (even non-monotone) `u64` sequences survive losslessly;
+//! * each record starts with a one-byte variant tag; fixed enums
+//!   (`AccessKind`, `CopyDirection`, …) are single bytes.
+//!
+//! The encode match over [`Event`] is deliberately wildcard-free: adding
+//! an event variant without teaching the codec about it fails compilation
+//! right here, instead of silently dropping the variant from traces.
+
+use crate::error::TraceError;
+use crate::wire::{put_varint, unzigzag, zigzag, Cursor};
+use accel_sim::{
+    AccessBatch, AccessKind, AccessPattern, CopyDirection, DeviceId, Dim3, KernelTraceSummary,
+    LaunchId, MemSpace, SimTime, Symbol, SymbolTable,
+};
+use dl_framework::callbacks::Pass;
+use dl_framework::pycall::PyFrame;
+use dl_framework::tensor::TensorId;
+use pasta_core::report::UvmReport;
+use pasta_core::Event;
+use std::collections::HashMap;
+use uvm_sim::UvmStats;
+
+/// One-byte record tags, one per [`Event`] variant.
+mod tag {
+    pub const DRIVER_API: u8 = 0;
+    pub const RUNTIME_API: u8 = 1;
+    pub const SYNC: u8 = 2;
+    pub const KERNEL_LAUNCH_BEGIN: u8 = 3;
+    pub const KERNEL_LAUNCH_END: u8 = 4;
+    pub const MEM_COPY: u8 = 5;
+    pub const MEM_SET: u8 = 6;
+    pub const RESOURCE_ALLOC: u8 = 7;
+    pub const RESOURCE_FREE: u8 = 8;
+    pub const BATCH_MEM_OP: u8 = 9;
+    pub const UVM_FAULT: u8 = 10;
+    pub const UVM_PEER_MIGRATE: u8 = 11;
+    pub const BLOCK_BOUNDARY: u8 = 12;
+    pub const GLOBAL_ACCESS: u8 = 13;
+    pub const SHARED_ACCESS: u8 = 14;
+    pub const BARRIER: u8 = 15;
+    pub const DEVICE_FUNC_CALL: u8 = 16;
+    pub const DEVICE_MALLOC: u8 = 17;
+    pub const DEVICE_FREE: u8 = 18;
+    pub const GLOBAL_TO_SHARED_COPY: u8 = 19;
+    pub const PIPELINE_OP: u8 = 20;
+    pub const INSTRUCTIONS: u8 = 21;
+    pub const KERNEL_TRACE: u8 = 22;
+    pub const OP_START: u8 = 23;
+    pub const OP_END: u8 = 24;
+    pub const TENSOR_ALLOC: u8 = 25;
+    pub const TENSOR_FREE: u8 = 26;
+    pub const LAYER_BOUNDARY: u8 = 27;
+    pub const PASS_BOUNDARY: u8 = 28;
+    pub const REGION_START: u8 = 29;
+    pub const REGION_END: u8 = 30;
+}
+
+fn kind_code(k: AccessKind) -> u8 {
+    match k {
+        AccessKind::Load => 0,
+        AccessKind::Store => 1,
+        AccessKind::Atomic => 2,
+    }
+}
+
+fn kind_from(b: u8, offset: usize) -> Result<AccessKind, TraceError> {
+    match b {
+        0 => Ok(AccessKind::Load),
+        1 => Ok(AccessKind::Store),
+        2 => Ok(AccessKind::Atomic),
+        _ => Err(TraceError::Corrupt {
+            offset,
+            what: format!("bad AccessKind code {b}"),
+        }),
+    }
+}
+
+fn space_code(s: MemSpace) -> u8 {
+    match s {
+        MemSpace::Global => 0,
+        MemSpace::Shared => 1,
+        MemSpace::RemoteShared => 2,
+        MemSpace::Local => 3,
+    }
+}
+
+fn space_from(b: u8, offset: usize) -> Result<MemSpace, TraceError> {
+    match b {
+        0 => Ok(MemSpace::Global),
+        1 => Ok(MemSpace::Shared),
+        2 => Ok(MemSpace::RemoteShared),
+        3 => Ok(MemSpace::Local),
+        _ => Err(TraceError::Corrupt {
+            offset,
+            what: format!("bad MemSpace code {b}"),
+        }),
+    }
+}
+
+fn direction_code(d: CopyDirection) -> u8 {
+    match d {
+        CopyDirection::HostToDevice => 0,
+        CopyDirection::DeviceToHost => 1,
+        CopyDirection::DeviceToDevice => 2,
+        CopyDirection::HostToHost => 3,
+    }
+}
+
+fn direction_from(b: u8, offset: usize) -> Result<CopyDirection, TraceError> {
+    match b {
+        0 => Ok(CopyDirection::HostToDevice),
+        1 => Ok(CopyDirection::DeviceToHost),
+        2 => Ok(CopyDirection::DeviceToDevice),
+        3 => Ok(CopyDirection::HostToHost),
+        _ => Err(TraceError::Corrupt {
+            offset,
+            what: format!("bad CopyDirection code {b}"),
+        }),
+    }
+}
+
+fn pass_code(p: Pass) -> u8 {
+    match p {
+        Pass::Forward => 0,
+        Pass::Backward => 1,
+        Pass::Optimizer => 2,
+    }
+}
+
+fn pass_from(b: u8, offset: usize) -> Result<Pass, TraceError> {
+    match b {
+        0 => Ok(Pass::Forward),
+        1 => Ok(Pass::Backward),
+        2 => Ok(Pass::Optimizer),
+        _ => Err(TraceError::Corrupt {
+            offset,
+            what: format!("bad Pass code {b}"),
+        }),
+    }
+}
+
+fn bool_from(b: u8, offset: usize) -> Result<bool, TraceError> {
+    match b {
+        0 => Ok(false),
+        1 => Ok(true),
+        _ => Err(TraceError::Corrupt {
+            offset,
+            what: format!("bad bool byte {b}"),
+        }),
+    }
+}
+
+/// Serializes one shard's event stream. Holds only growable in-memory
+/// buffers — the hot [`ShardEncoder::encode`] path never touches the
+/// filesystem (all I/O happens in [`crate::Trace::save`], after capture).
+#[derive(Debug)]
+pub(crate) struct ShardEncoder {
+    pub(crate) device: DeviceId,
+    /// Dictionary, in first-appearance order; snapshotted into the shard
+    /// header so ids resolve on read.
+    symbols: Vec<String>,
+    ids: HashMap<String, u64>,
+    payload: Vec<u8>,
+    records: u64,
+    last_time: u64,
+    last_launch: u64,
+}
+
+impl ShardEncoder {
+    pub(crate) fn new(device: DeviceId) -> Self {
+        ShardEncoder {
+            device,
+            symbols: Vec::new(),
+            ids: HashMap::new(),
+            payload: Vec::new(),
+            records: 0,
+            last_time: 0,
+            last_launch: 0,
+        }
+    }
+
+    pub(crate) fn records(&self) -> u64 {
+        self.records
+    }
+
+    pub(crate) fn into_parts(self) -> (DeviceId, Vec<String>, u64, Vec<u8>) {
+        (self.device, self.symbols, self.records, self.payload)
+    }
+
+    fn v(&mut self, v: u64) {
+        put_varint(&mut self.payload, v);
+    }
+
+    fn sym(&mut self, s: &str) {
+        let id = match self.ids.get(s) {
+            Some(&id) => id,
+            None => {
+                let id = self.symbols.len() as u64;
+                self.symbols.push(s.to_owned());
+                self.ids.insert(s.to_owned(), id);
+                id
+            }
+        };
+        self.v(id);
+    }
+
+    fn time(&mut self, t: SimTime) {
+        let delta = t.0.wrapping_sub(self.last_time) as i64;
+        self.last_time = t.0;
+        self.v(zigzag(delta));
+    }
+
+    fn launch(&mut self, l: LaunchId) {
+        let delta = l.0.wrapping_sub(self.last_launch) as i64;
+        self.last_launch = l.0;
+        self.v(zigzag(delta));
+    }
+
+    fn dim3(&mut self, d: Dim3) {
+        self.v(d.x.into());
+        self.v(d.y.into());
+        self.v(d.z.into());
+    }
+
+    fn batch(&mut self, b: &AccessBatch) {
+        self.launch(b.launch);
+        self.v(b.spec_index as u64);
+        self.v(b.base);
+        self.v(b.len);
+        self.v(b.records);
+        self.v(b.bytes);
+        self.v(b.elem_size.into());
+        self.payload.push(kind_code(b.kind));
+        self.payload.push(space_code(b.space));
+        match b.pattern {
+            AccessPattern::Sequential => self.payload.push(0),
+            AccessPattern::Strided { stride } => {
+                self.payload.push(1);
+                self.v(stride);
+            }
+            AccessPattern::Random => self.payload.push(2),
+        }
+    }
+
+    /// Appends one event. The match is exhaustive *without* a wildcard on
+    /// purpose — a new [`Event`] variant must get a codec arm (and a tag)
+    /// before it compiles, so variants can never silently vanish from
+    /// traces.
+    pub(crate) fn encode(&mut self, event: &Event) {
+        self.records += 1;
+        match event {
+            Event::DriverApi { name, device, at } => {
+                self.payload.push(tag::DRIVER_API);
+                self.sym(name);
+                self.v(device.0.into());
+                self.time(*at);
+            }
+            Event::RuntimeApi { name, device, at } => {
+                self.payload.push(tag::RUNTIME_API);
+                self.sym(name);
+                self.v(device.0.into());
+                self.time(*at);
+            }
+            Event::Sync { device, at } => {
+                self.payload.push(tag::SYNC);
+                self.v(device.0.into());
+                self.time(*at);
+            }
+            Event::KernelLaunchBegin {
+                launch,
+                device,
+                stream,
+                name,
+                grid,
+                block,
+            } => {
+                self.payload.push(tag::KERNEL_LAUNCH_BEGIN);
+                self.launch(*launch);
+                self.v(device.0.into());
+                self.v((*stream).into());
+                self.sym(name);
+                self.dim3(*grid);
+                self.dim3(*block);
+            }
+            Event::KernelLaunchEnd {
+                launch,
+                device,
+                name,
+                start,
+                end,
+            } => {
+                self.payload.push(tag::KERNEL_LAUNCH_END);
+                self.launch(*launch);
+                self.v(device.0.into());
+                self.sym(name);
+                self.time(*start);
+                self.time(*end);
+            }
+            Event::MemCopy {
+                device,
+                direction,
+                bytes,
+                at,
+            } => {
+                self.payload.push(tag::MEM_COPY);
+                self.v(device.0.into());
+                self.payload.push(direction_code(*direction));
+                self.v(*bytes);
+                self.time(*at);
+            }
+            Event::MemSet {
+                device,
+                addr,
+                bytes,
+                at,
+            } => {
+                self.payload.push(tag::MEM_SET);
+                self.v(device.0.into());
+                self.v(*addr);
+                self.v(*bytes);
+                self.time(*at);
+            }
+            Event::ResourceAlloc {
+                device,
+                addr,
+                bytes,
+                managed,
+                at,
+            } => {
+                self.payload.push(tag::RESOURCE_ALLOC);
+                self.v(device.0.into());
+                self.v(*addr);
+                self.v(*bytes);
+                self.payload.push(u8::from(*managed));
+                self.time(*at);
+            }
+            Event::ResourceFree {
+                device,
+                addr,
+                bytes,
+                at,
+            } => {
+                self.payload.push(tag::RESOURCE_FREE);
+                self.v(device.0.into());
+                self.v(*addr);
+                self.v(*bytes);
+                self.time(*at);
+            }
+            Event::BatchMemOp {
+                device,
+                op,
+                addr,
+                bytes,
+                at,
+            } => {
+                self.payload.push(tag::BATCH_MEM_OP);
+                self.v(device.0.into());
+                self.sym(op);
+                self.v(*addr);
+                self.v(*bytes);
+                self.time(*at);
+            }
+            Event::UvmFault {
+                launch,
+                device,
+                groups,
+                migrated_bytes,
+                evicted_bytes,
+                stall_ns,
+                at,
+            } => {
+                self.payload.push(tag::UVM_FAULT);
+                self.launch(*launch);
+                self.v(device.0.into());
+                self.v(*groups);
+                self.v(*migrated_bytes);
+                self.v(*evicted_bytes);
+                self.v(*stall_ns);
+                self.time(*at);
+            }
+            Event::UvmPeerMigrate {
+                launch,
+                src,
+                dst,
+                duplicated_pages,
+                invalidated_pages,
+                bytes,
+                stall_ns,
+                at,
+            } => {
+                self.payload.push(tag::UVM_PEER_MIGRATE);
+                self.launch(*launch);
+                self.v(src.0.into());
+                self.v(dst.0.into());
+                self.v(*duplicated_pages);
+                self.v(*invalidated_pages);
+                self.v(*bytes);
+                self.v(*stall_ns);
+                self.time(*at);
+            }
+            Event::BlockBoundary { launch, count } => {
+                self.payload.push(tag::BLOCK_BOUNDARY);
+                self.launch(*launch);
+                self.v(*count);
+            }
+            Event::GlobalAccess {
+                launch,
+                kernel,
+                batch,
+            } => {
+                self.payload.push(tag::GLOBAL_ACCESS);
+                self.launch(*launch);
+                self.sym(kernel);
+                self.batch(batch);
+            }
+            Event::SharedAccess {
+                launch,
+                kernel,
+                batch,
+            } => {
+                self.payload.push(tag::SHARED_ACCESS);
+                self.launch(*launch);
+                self.sym(kernel);
+                self.batch(batch);
+            }
+            Event::Barrier {
+                launch,
+                count,
+                cluster,
+            } => {
+                self.payload.push(tag::BARRIER);
+                self.launch(*launch);
+                self.v(*count);
+                self.payload.push(u8::from(*cluster));
+            }
+            Event::DeviceFuncCall { launch, count } => {
+                self.payload.push(tag::DEVICE_FUNC_CALL);
+                self.launch(*launch);
+                self.v(*count);
+            }
+            Event::DeviceMalloc { launch, bytes } => {
+                self.payload.push(tag::DEVICE_MALLOC);
+                self.launch(*launch);
+                self.v(*bytes);
+            }
+            Event::DeviceFree { launch, bytes } => {
+                self.payload.push(tag::DEVICE_FREE);
+                self.launch(*launch);
+                self.v(*bytes);
+            }
+            Event::GlobalToSharedCopy { launch, bytes } => {
+                self.payload.push(tag::GLOBAL_TO_SHARED_COPY);
+                self.launch(*launch);
+                self.v(*bytes);
+            }
+            Event::PipelineOp { launch, count } => {
+                self.payload.push(tag::PIPELINE_OP);
+                self.launch(*launch);
+                self.v(*count);
+            }
+            Event::Instructions { launch, count } => {
+                self.payload.push(tag::INSTRUCTIONS);
+                self.launch(*launch);
+                self.v(*count);
+            }
+            Event::KernelTrace {
+                launch,
+                kernel,
+                summary,
+            } => {
+                self.payload.push(tag::KERNEL_TRACE);
+                self.launch(*launch);
+                self.sym(kernel);
+                self.v(summary.global_records);
+                self.v(summary.shared_records);
+                self.v(summary.barriers);
+                self.v(summary.blocks);
+                self.v(summary.instructions);
+                self.v(summary.global_bytes);
+            }
+            Event::OpStart {
+                seq,
+                name,
+                device,
+                py_stack,
+            } => {
+                self.payload.push(tag::OP_START);
+                self.v(*seq);
+                self.sym(name);
+                self.v(device.0.into());
+                self.v(py_stack.len() as u64);
+                for frame in py_stack {
+                    self.sym(&frame.file);
+                    self.v(frame.line.into());
+                    self.sym(&frame.func);
+                }
+            }
+            Event::OpEnd { seq, name, device } => {
+                self.payload.push(tag::OP_END);
+                self.v(*seq);
+                self.sym(name);
+                self.v(device.0.into());
+            }
+            Event::TensorAlloc {
+                tensor,
+                addr,
+                bytes,
+                allocated_total,
+                reserved_total,
+                device,
+            } => {
+                self.payload.push(tag::TENSOR_ALLOC);
+                self.v(tensor.0);
+                self.v(*addr);
+                self.v(*bytes);
+                self.v(*allocated_total);
+                self.v(*reserved_total);
+                self.v(device.0.into());
+            }
+            Event::TensorFree {
+                tensor,
+                addr,
+                bytes,
+                allocated_total,
+                reserved_total,
+                device,
+            } => {
+                self.payload.push(tag::TENSOR_FREE);
+                self.v(tensor.0);
+                self.v(*addr);
+                self.v(*bytes);
+                self.v(*allocated_total);
+                self.v(*reserved_total);
+                self.v(device.0.into());
+            }
+            Event::LayerBoundary {
+                name,
+                index,
+                device,
+            } => {
+                self.payload.push(tag::LAYER_BOUNDARY);
+                self.sym(name);
+                self.v(*index as u64);
+                self.v(device.0.into());
+            }
+            Event::PassBoundary { pass, device } => {
+                self.payload.push(tag::PASS_BOUNDARY);
+                self.payload.push(pass_code(*pass));
+                self.v(device.0.into());
+            }
+            Event::RegionStart { label, device } => {
+                self.payload.push(tag::REGION_START);
+                self.sym(label);
+                self.v(device.0.into());
+            }
+            Event::RegionEnd { label, device } => {
+                self.payload.push(tag::REGION_END);
+                self.sym(label);
+                self.v(device.0.into());
+            }
+        }
+    }
+}
+
+/// Decodes one shard's payload back into events, resolving dictionary ids
+/// through symbols freshly interned into the reader's table.
+pub(crate) struct ShardDecoder {
+    symbols: Vec<Symbol>,
+    last_time: u64,
+    last_launch: u64,
+}
+
+impl ShardDecoder {
+    pub(crate) fn new(symbols: Vec<Symbol>) -> Self {
+        ShardDecoder {
+            symbols,
+            last_time: 0,
+            last_launch: 0,
+        }
+    }
+
+    fn sym(&self, cur: &mut Cursor<'_>) -> Result<Symbol, TraceError> {
+        let id = cur.varint_usize()?;
+        self.symbols.get(id).cloned().ok_or(TraceError::Corrupt {
+            offset: cur.pos(),
+            what: format!(
+                "symbol id {id} out of range (dictionary has {})",
+                self.symbols.len()
+            ),
+        })
+    }
+
+    fn string(&self, cur: &mut Cursor<'_>) -> Result<String, TraceError> {
+        Ok(self.sym(cur)?.as_str().to_owned())
+    }
+
+    fn device(&self, cur: &mut Cursor<'_>) -> Result<DeviceId, TraceError> {
+        let v = cur.varint()?;
+        u32::try_from(v)
+            .map(DeviceId)
+            .map_err(|_| TraceError::Corrupt {
+                offset: cur.pos(),
+                what: format!("device id {v} exceeds u32"),
+            })
+    }
+
+    fn u32v(&self, cur: &mut Cursor<'_>) -> Result<u32, TraceError> {
+        let v = cur.varint()?;
+        u32::try_from(v).map_err(|_| TraceError::Corrupt {
+            offset: cur.pos(),
+            what: format!("value {v} exceeds u32"),
+        })
+    }
+
+    fn time(&mut self, cur: &mut Cursor<'_>) -> Result<SimTime, TraceError> {
+        let delta = unzigzag(cur.varint()?);
+        self.last_time = self.last_time.wrapping_add(delta as u64);
+        Ok(SimTime(self.last_time))
+    }
+
+    fn launch(&mut self, cur: &mut Cursor<'_>) -> Result<LaunchId, TraceError> {
+        let delta = unzigzag(cur.varint()?);
+        self.last_launch = self.last_launch.wrapping_add(delta as u64);
+        Ok(LaunchId(self.last_launch))
+    }
+
+    fn dim3(&self, cur: &mut Cursor<'_>) -> Result<Dim3, TraceError> {
+        Ok(Dim3 {
+            x: self.u32v(cur)?,
+            y: self.u32v(cur)?,
+            z: self.u32v(cur)?,
+        })
+    }
+
+    fn batch(&mut self, cur: &mut Cursor<'_>) -> Result<AccessBatch, TraceError> {
+        let launch = self.launch(cur)?;
+        let spec_index = cur.varint_usize()?;
+        let base = cur.varint()?;
+        let len = cur.varint()?;
+        let records = cur.varint()?;
+        let bytes = cur.varint()?;
+        let elem_size = self.u32v(cur)?;
+        let kind = kind_from(cur.u8()?, cur.pos())?;
+        let space = space_from(cur.u8()?, cur.pos())?;
+        let pattern = match cur.u8()? {
+            0 => AccessPattern::Sequential,
+            1 => AccessPattern::Strided {
+                stride: cur.varint()?,
+            },
+            2 => AccessPattern::Random,
+            b => {
+                return Err(TraceError::Corrupt {
+                    offset: cur.pos(),
+                    what: format!("bad AccessPattern code {b}"),
+                })
+            }
+        };
+        Ok(AccessBatch {
+            launch,
+            spec_index,
+            base,
+            len,
+            records,
+            bytes,
+            elem_size,
+            kind,
+            space,
+            pattern,
+        })
+    }
+
+    /// Decodes the next record.
+    pub(crate) fn decode(&mut self, cur: &mut Cursor<'_>) -> Result<Event, TraceError> {
+        let t = cur.u8()?;
+        let event = match t {
+            tag::DRIVER_API => Event::DriverApi {
+                name: self.sym(cur)?,
+                device: self.device(cur)?,
+                at: self.time(cur)?,
+            },
+            tag::RUNTIME_API => Event::RuntimeApi {
+                name: self.sym(cur)?,
+                device: self.device(cur)?,
+                at: self.time(cur)?,
+            },
+            tag::SYNC => Event::Sync {
+                device: self.device(cur)?,
+                at: self.time(cur)?,
+            },
+            tag::KERNEL_LAUNCH_BEGIN => Event::KernelLaunchBegin {
+                launch: self.launch(cur)?,
+                device: self.device(cur)?,
+                stream: self.u32v(cur)?,
+                name: self.sym(cur)?,
+                grid: self.dim3(cur)?,
+                block: self.dim3(cur)?,
+            },
+            tag::KERNEL_LAUNCH_END => Event::KernelLaunchEnd {
+                launch: self.launch(cur)?,
+                device: self.device(cur)?,
+                name: self.sym(cur)?,
+                start: self.time(cur)?,
+                end: self.time(cur)?,
+            },
+            tag::MEM_COPY => Event::MemCopy {
+                device: self.device(cur)?,
+                direction: direction_from(cur.u8()?, cur.pos())?,
+                bytes: cur.varint()?,
+                at: self.time(cur)?,
+            },
+            tag::MEM_SET => Event::MemSet {
+                device: self.device(cur)?,
+                addr: cur.varint()?,
+                bytes: cur.varint()?,
+                at: self.time(cur)?,
+            },
+            tag::RESOURCE_ALLOC => Event::ResourceAlloc {
+                device: self.device(cur)?,
+                addr: cur.varint()?,
+                bytes: cur.varint()?,
+                managed: bool_from(cur.u8()?, cur.pos())?,
+                at: self.time(cur)?,
+            },
+            tag::RESOURCE_FREE => Event::ResourceFree {
+                device: self.device(cur)?,
+                addr: cur.varint()?,
+                bytes: cur.varint()?,
+                at: self.time(cur)?,
+            },
+            tag::BATCH_MEM_OP => Event::BatchMemOp {
+                device: self.device(cur)?,
+                op: self.sym(cur)?,
+                addr: cur.varint()?,
+                bytes: cur.varint()?,
+                at: self.time(cur)?,
+            },
+            tag::UVM_FAULT => Event::UvmFault {
+                launch: self.launch(cur)?,
+                device: self.device(cur)?,
+                groups: cur.varint()?,
+                migrated_bytes: cur.varint()?,
+                evicted_bytes: cur.varint()?,
+                stall_ns: cur.varint()?,
+                at: self.time(cur)?,
+            },
+            tag::UVM_PEER_MIGRATE => Event::UvmPeerMigrate {
+                launch: self.launch(cur)?,
+                src: self.device(cur)?,
+                dst: self.device(cur)?,
+                duplicated_pages: cur.varint()?,
+                invalidated_pages: cur.varint()?,
+                bytes: cur.varint()?,
+                stall_ns: cur.varint()?,
+                at: self.time(cur)?,
+            },
+            tag::BLOCK_BOUNDARY => Event::BlockBoundary {
+                launch: self.launch(cur)?,
+                count: cur.varint()?,
+            },
+            tag::GLOBAL_ACCESS => Event::GlobalAccess {
+                launch: self.launch(cur)?,
+                kernel: self.sym(cur)?,
+                batch: self.batch(cur)?,
+            },
+            tag::SHARED_ACCESS => Event::SharedAccess {
+                launch: self.launch(cur)?,
+                kernel: self.sym(cur)?,
+                batch: self.batch(cur)?,
+            },
+            tag::BARRIER => Event::Barrier {
+                launch: self.launch(cur)?,
+                count: cur.varint()?,
+                cluster: bool_from(cur.u8()?, cur.pos())?,
+            },
+            tag::DEVICE_FUNC_CALL => Event::DeviceFuncCall {
+                launch: self.launch(cur)?,
+                count: cur.varint()?,
+            },
+            tag::DEVICE_MALLOC => Event::DeviceMalloc {
+                launch: self.launch(cur)?,
+                bytes: cur.varint()?,
+            },
+            tag::DEVICE_FREE => Event::DeviceFree {
+                launch: self.launch(cur)?,
+                bytes: cur.varint()?,
+            },
+            tag::GLOBAL_TO_SHARED_COPY => Event::GlobalToSharedCopy {
+                launch: self.launch(cur)?,
+                bytes: cur.varint()?,
+            },
+            tag::PIPELINE_OP => Event::PipelineOp {
+                launch: self.launch(cur)?,
+                count: cur.varint()?,
+            },
+            tag::INSTRUCTIONS => Event::Instructions {
+                launch: self.launch(cur)?,
+                count: cur.varint()?,
+            },
+            tag::KERNEL_TRACE => Event::KernelTrace {
+                launch: self.launch(cur)?,
+                kernel: self.sym(cur)?,
+                summary: KernelTraceSummary {
+                    global_records: cur.varint()?,
+                    shared_records: cur.varint()?,
+                    barriers: cur.varint()?,
+                    blocks: cur.varint()?,
+                    instructions: cur.varint()?,
+                    global_bytes: cur.varint()?,
+                },
+            },
+            tag::OP_START => {
+                let seq = cur.varint()?;
+                let name = self.sym(cur)?;
+                let device = self.device(cur)?;
+                let frames = cur.varint_usize()?;
+                let mut py_stack = Vec::new();
+                for _ in 0..frames {
+                    py_stack.push(PyFrame {
+                        file: self.string(cur)?,
+                        line: self.u32v(cur)?,
+                        func: self.string(cur)?,
+                    });
+                }
+                Event::OpStart {
+                    seq,
+                    name,
+                    device,
+                    py_stack,
+                }
+            }
+            tag::OP_END => Event::OpEnd {
+                seq: cur.varint()?,
+                name: self.sym(cur)?,
+                device: self.device(cur)?,
+            },
+            tag::TENSOR_ALLOC => Event::TensorAlloc {
+                tensor: TensorId(cur.varint()?),
+                addr: cur.varint()?,
+                bytes: cur.varint()?,
+                allocated_total: cur.varint()?,
+                reserved_total: cur.varint()?,
+                device: self.device(cur)?,
+            },
+            tag::TENSOR_FREE => Event::TensorFree {
+                tensor: TensorId(cur.varint()?),
+                addr: cur.varint()?,
+                bytes: cur.varint()?,
+                allocated_total: cur.varint()?,
+                reserved_total: cur.varint()?,
+                device: self.device(cur)?,
+            },
+            tag::LAYER_BOUNDARY => Event::LayerBoundary {
+                name: self.sym(cur)?,
+                index: cur.varint_usize()?,
+                device: self.device(cur)?,
+            },
+            tag::PASS_BOUNDARY => Event::PassBoundary {
+                pass: pass_from(cur.u8()?, cur.pos())?,
+                device: self.device(cur)?,
+            },
+            tag::REGION_START => Event::RegionStart {
+                label: self.sym(cur)?,
+                device: self.device(cur)?,
+            },
+            tag::REGION_END => Event::RegionEnd {
+                label: self.sym(cur)?,
+                device: self.device(cur)?,
+            },
+            _ => {
+                return Err(TraceError::Corrupt {
+                    offset: cur.pos(),
+                    what: format!("unknown event tag {t}"),
+                })
+            }
+        };
+        Ok(event)
+    }
+}
+
+/// Interns a shard dictionary into `table`, yielding the decoder's symbol
+/// vector.
+pub(crate) fn intern_dictionary(table: &SymbolTable, names: &[String]) -> Vec<Symbol> {
+    names.iter().map(|n| table.intern(n)).collect()
+}
+
+fn put_stats(buf: &mut Vec<u8>, s: &UvmStats) {
+    for v in [
+        s.fault_groups,
+        s.demand_pages_in,
+        s.prefetch_pages_in,
+        s.pages_evicted,
+        s.fault_stall_ns,
+        s.prefetch_stall_ns,
+        s.evict_stall_ns,
+        s.prefetch_noops,
+        s.peer_pages_in,
+        s.peer_stall_ns,
+        s.duplicates_invalidated,
+    ] {
+        put_varint(buf, v);
+    }
+}
+
+fn stats(cur: &mut Cursor<'_>) -> Result<UvmStats, TraceError> {
+    Ok(UvmStats {
+        fault_groups: cur.varint()?,
+        demand_pages_in: cur.varint()?,
+        prefetch_pages_in: cur.varint()?,
+        pages_evicted: cur.varint()?,
+        fault_stall_ns: cur.varint()?,
+        prefetch_stall_ns: cur.varint()?,
+        evict_stall_ns: cur.varint()?,
+        prefetch_noops: cur.varint()?,
+        peer_pages_in: cur.varint()?,
+        peer_stall_ns: cur.varint()?,
+        duplicates_invalidated: cur.varint()?,
+    })
+}
+
+fn device(cur: &mut Cursor<'_>) -> Result<DeviceId, TraceError> {
+    let v = cur.varint()?;
+    u32::try_from(v)
+        .map(DeviceId)
+        .map_err(|_| TraceError::Corrupt {
+            offset: cur.pos(),
+            what: format!("device id {v} exceeds u32"),
+        })
+}
+
+/// Serializes the UVM footer — the session-layer residency totals that
+/// live *outside* the event stream (the manager overlay, not events), so
+/// replay can restore [`pasta_core::MergedReport::uvm`] exactly.
+pub(crate) fn encode_uvm(buf: &mut Vec<u8>, uvm: &UvmReport) {
+    put_stats(buf, &uvm.stats);
+    put_varint(buf, uvm.per_device.len() as u64);
+    for (dev, s) in &uvm.per_device {
+        put_varint(buf, dev.0.into());
+        put_stats(buf, s);
+    }
+    put_varint(buf, uvm.peer_bytes.len() as u64);
+    for ((src, dst), bytes) in &uvm.peer_bytes {
+        put_varint(buf, src.0.into());
+        put_varint(buf, dst.0.into());
+        put_varint(buf, *bytes);
+    }
+}
+
+/// Inverse of [`encode_uvm`].
+pub(crate) fn decode_uvm(cur: &mut Cursor<'_>) -> Result<UvmReport, TraceError> {
+    let totals = stats(cur)?;
+    let lanes = cur.varint_usize()?;
+    let mut per_device = Vec::new();
+    for _ in 0..lanes {
+        let dev = device(cur)?;
+        per_device.push((dev, stats(cur)?));
+    }
+    let pairs = cur.varint_usize()?;
+    let mut peer_bytes = Vec::new();
+    for _ in 0..pairs {
+        let src = device(cur)?;
+        let dst = device(cur)?;
+        peer_bytes.push(((src, dst), cur.varint()?));
+    }
+    Ok(UvmReport {
+        stats: totals,
+        per_device,
+        peer_bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbols_dedup_into_one_dictionary_slot() {
+        let mut enc = ShardEncoder::new(DeviceId(0));
+        for launch in 0..4 {
+            enc.encode(&Event::KernelLaunchEnd {
+                launch: LaunchId(launch),
+                device: DeviceId(0),
+                name: "ampere_sgemm".into(),
+                start: SimTime(launch * 100),
+                end: SimTime(launch * 100 + 80),
+            });
+        }
+        let (_, symbols, records, _) = enc.into_parts();
+        assert_eq!(records, 4);
+        assert_eq!(symbols, vec!["ampere_sgemm".to_owned()]);
+    }
+
+    #[test]
+    fn delta_coding_keeps_steady_streams_tiny() {
+        // 100 launch-end records with monotone ids and times: the ids and
+        // timestamps should cost ~1-2 bytes each, not 8.
+        let mut enc = ShardEncoder::new(DeviceId(0));
+        for launch in 0..100u64 {
+            enc.encode(&Event::KernelLaunchEnd {
+                launch: LaunchId(launch),
+                device: DeviceId(0),
+                name: "k".into(),
+                start: SimTime(1_000_000 + launch * 500),
+                end: SimTime(1_000_000 + launch * 500 + 450),
+            });
+        }
+        let (_, _, records, payload) = enc.into_parts();
+        assert_eq!(records, 100);
+        let per_event = payload.len() as f64 / 100.0;
+        assert!(
+            per_event < 12.0,
+            "steady kernel stream should encode well under 12 B/event, got {per_event}"
+        );
+    }
+
+    #[test]
+    fn uvm_footer_round_trips() {
+        let report = UvmReport {
+            stats: UvmStats {
+                fault_groups: 7,
+                demand_pages_in: 1 << 40,
+                peer_pages_in: 32,
+                duplicates_invalidated: 3,
+                ..UvmStats::default()
+            },
+            per_device: vec![
+                (DeviceId(0), UvmStats::default()),
+                (
+                    DeviceId(1),
+                    UvmStats {
+                        peer_stall_ns: 9_999,
+                        ..UvmStats::default()
+                    },
+                ),
+            ],
+            peer_bytes: vec![((DeviceId(0), DeviceId(1)), 1 << 21)],
+        };
+        let mut buf = Vec::new();
+        encode_uvm(&mut buf, &report);
+        let mut cur = Cursor::new(&buf);
+        let back = decode_uvm(&mut cur).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(cur.remaining(), 0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Offline replay: drive a decoded trace through a tool collection and
+//! reproduce the live run's [`MergedReport`] byte-identically.
+//!
+//! Each trace shard is replayed through a fresh [`EventProcessor`] in
+//! recorded order — exactly the events that bumped the live shard's
+//! `events_processed`, which is exactly the tool-visible history (the
+//! capture hook records before dispatch, and cross-shard range
+//! *observation* is bookkeeping that never reaches tools). The shards
+//! then merge through the same deterministic hub fold as a live session:
+//! ascending device id, one fork per extra shard, identical fold order.
+//! The UVM slice — session-layer residency totals that never were events
+//! — rides in the trace footer and is overlaid the same way the session
+//! overlays its manager totals.
+
+use crate::error::TraceError;
+use crate::reader::TraceReader;
+use crate::writer::Trace;
+use pasta_core::hub::Hub;
+use pasta_core::{EventProcessor, MergedReport, ToolCollection};
+
+/// Parses `trace` and replays it through `tools`.
+///
+/// On success the merged report is byte-identical to what the captured
+/// session's `merged_report()` returned, and `tools` holds the primary
+/// shard's analyzed state (so callers can query individual tools after
+/// replay, exactly as they would after a live run).
+///
+/// # Errors
+///
+/// Any parse failure ([`TraceError::BadMagic`],
+/// [`TraceError::Truncated`], …), or [`TraceError::UnforkableTools`]
+/// when the trace has several shards but some tool cannot fork — in that
+/// case `tools` is left untouched.
+pub fn replay(trace: &Trace, tools: &mut ToolCollection) -> Result<MergedReport, TraceError> {
+    let reader = TraceReader::parse(trace.as_bytes())?;
+    replay_decoded(&reader, tools)
+}
+
+/// Replays an already-parsed trace — the zero-reparse path for driving
+/// one decoded trace through several tool suites (or benchmark
+/// iterations).
+pub fn replay_decoded(
+    reader: &TraceReader,
+    tools: &mut ToolCollection,
+) -> Result<MergedReport, TraceError> {
+    let shards = reader.shards();
+    if shards.is_empty() {
+        // Unreachable via parse() (which rejects zero shards), but a
+        // hand-built reader must not panic below.
+        return Err(TraceError::Corrupt {
+            offset: 0,
+            what: "no shards to replay".into(),
+        });
+    }
+
+    // Fork the extra shards *before* taking the caller's collection, so a
+    // fork refusal leaves `tools` untouched.
+    let mut forks = Vec::new();
+    for _ in 1..shards.len() {
+        forks.push(tools.fork_all().ok_or(TraceError::UnforkableTools)?);
+    }
+
+    let mut procs = Vec::with_capacity(shards.len());
+    let mut primary = EventProcessor::new();
+    primary.tools = std::mem::take(tools);
+    procs.push((shards[0].device, primary));
+    for (fork, shard) in forks.into_iter().zip(&shards[1..]) {
+        let mut p = EventProcessor::new();
+        p.tools = fork;
+        procs.push((shard.device, p));
+    }
+
+    for ((_, processor), shard) in procs.iter_mut().zip(shards) {
+        for event in &shard.events {
+            processor.process(event);
+        }
+    }
+
+    let hub = Hub::sharded(procs).map_err(|what| TraceError::Corrupt { offset: 0, what })?;
+    let mut report = hub.merged_report();
+    report.uvm = reader.uvm().cloned();
+    // Hand the analyzed primary collection back to the caller. The hub
+    // sorts shards ascending — the same order the trace stores them — so
+    // the primary shard is the one the caller's tools went into.
+    *tools = std::mem::take(&mut hub.primary().tools);
+    Ok(report)
+}

@@ -1,0 +1,209 @@
+//! Capture: attach a [`TraceWriter`] to a live session, run workloads,
+//! and take away a [`Trace`].
+//!
+//! One recorder is installed per hub shard, so a `run_parallel` session
+//! writes one stream per device, stitched under a shared header. The
+//! recorder's hot path appends to an in-memory buffer under the shard
+//! lock it already holds — no file descriptor, no syscall, no extra
+//! locking; all I/O happens once, in [`Trace::save`], after capture.
+
+use crate::codec::{encode_uvm, ShardEncoder};
+use crate::error::TraceError;
+use accel_sim::DeviceId;
+use parking_lot::Mutex;
+use pasta_core::processor::EventRecorder;
+use pasta_core::report::UvmReport;
+use pasta_core::{Event, PastaSession};
+use std::fmt;
+use std::fs;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+/// First bytes of every trace file.
+pub const MAGIC: [u8; 8] = *b"PASTATRC";
+/// Trailing end marker — proves the writer finished the file.
+pub(crate) const END_MAGIC: [u8; 8] = *b"PTRCEND\0";
+/// The on-disk format revision this build reads and writes.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// The per-shard [`EventRecorder`] the writer installs: a thin handle to
+/// that shard's encoder. `record` runs under the shard lock, so the inner
+/// mutex is uncontended — it exists only so the writer can keep a second
+/// handle for assembly after detach.
+struct ShardRecorder {
+    enc: Arc<Mutex<ShardEncoder>>,
+}
+
+impl fmt::Debug for ShardRecorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ShardRecorder({} records)", self.enc.lock().records())
+    }
+}
+
+impl EventRecorder for ShardRecorder {
+    fn record(&mut self, event: &Event) {
+        self.enc.lock().encode(event);
+    }
+}
+
+/// Captures a session's normalized event streams into a binary trace.
+///
+/// ```no_run
+/// # use pasta_core::Pasta;
+/// # use pasta_trace::TraceWriter;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut session = Pasta::builder().rtx_3060().build()?;
+/// let writer = TraceWriter::attach(&session);
+/// // ... run workloads ...
+/// let trace = writer.finish(&session);
+/// trace.save("run.pastatrace")?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct TraceWriter {
+    shards: Vec<Arc<Mutex<ShardEncoder>>>,
+}
+
+impl TraceWriter {
+    /// Installs one recorder per device shard of `session`'s hub. Events
+    /// processed from here on — including everything a `run_parallel`
+    /// region routes through per-lane sinks — are serialized as they are
+    /// counted.
+    pub fn attach(session: &PastaSession) -> TraceWriter {
+        let mut shards = Vec::new();
+        session.attach_event_recorders(|device| {
+            let enc = Arc::new(Mutex::new(ShardEncoder::new(device)));
+            shards.push(Arc::clone(&enc));
+            Box::new(ShardRecorder { enc }) as Box<dyn EventRecorder>
+        });
+        TraceWriter { shards }
+    }
+
+    /// Events captured so far, across all shards.
+    pub fn events_captured(&self) -> u64 {
+        self.shards.iter().map(|s| s.lock().records()).sum()
+    }
+
+    /// Stops capture (detaches every recorder), snapshots the session's
+    /// UVM report into the trace footer, and assembles the final bytes.
+    pub fn finish(self, session: &PastaSession) -> Trace {
+        drop(session.detach_event_recorders());
+        let uvm = session.uvm_report();
+        let encoders = self
+            .shards
+            .into_iter()
+            .map(|enc| {
+                Arc::try_unwrap(enc)
+                    .expect("recorders were just detached; no other handle survives")
+                    .into_inner()
+            })
+            .collect();
+        Trace::assemble(encoders, uvm.as_ref())
+    }
+}
+
+/// An assembled binary trace: header, one stream per device shard, UVM
+/// footer, end marker. See the crate docs for the byte layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    bytes: Vec<u8>,
+}
+
+impl Trace {
+    pub(crate) fn assemble(mut encoders: Vec<ShardEncoder>, uvm: Option<&UvmReport>) -> Trace {
+        // Deterministic layout: shards in ascending device order, the same
+        // order the hub merges in.
+        encoders.sort_by_key(|e| e.device);
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&(encoders.len() as u32).to_le_bytes());
+        for enc in encoders {
+            let (device, symbols, records, payload) = enc.into_parts();
+            bytes.extend_from_slice(&device.0.to_le_bytes());
+            crate::wire::put_varint(&mut bytes, symbols.len() as u64);
+            for name in &symbols {
+                crate::wire::put_varint(&mut bytes, name.len() as u64);
+                bytes.extend_from_slice(name.as_bytes());
+            }
+            crate::wire::put_varint(&mut bytes, records);
+            crate::wire::put_varint(&mut bytes, payload.len() as u64);
+            bytes.extend_from_slice(&payload);
+        }
+        match uvm {
+            Some(report) => {
+                bytes.push(1);
+                encode_uvm(&mut bytes, report);
+            }
+            None => bytes.push(0),
+        }
+        bytes.extend_from_slice(&END_MAGIC);
+        Trace { bytes }
+    }
+
+    /// Encodes pre-collected per-shard event streams directly — the
+    /// session-free construction path used by property tests and
+    /// benchmarks. Shard order need not be sorted; the layout is
+    /// normalized to ascending device id.
+    pub fn from_shards<'a, I>(shards: I, uvm: Option<&UvmReport>) -> Trace
+    where
+        I: IntoIterator<Item = (DeviceId, &'a [Event])>,
+    {
+        let encoders = shards
+            .into_iter()
+            .map(|(device, events)| {
+                let mut enc = ShardEncoder::new(device);
+                for event in events {
+                    enc.encode(event);
+                }
+                enc
+            })
+            .collect();
+        Trace::assemble(encoders, uvm)
+    }
+
+    /// Wraps raw bytes (e.g. received over a socket). Validation happens
+    /// at parse time, not here.
+    pub fn from_bytes(bytes: Vec<u8>) -> Trace {
+        Trace { bytes }
+    }
+
+    /// The serialized form.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Consumes the trace into its bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Size on the wire, bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True when the byte buffer is empty (never true for assembled
+    /// traces — the header alone is 16 bytes).
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Writes the trace to a file (buffered, one pass).
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), TraceError> {
+        let mut out = BufWriter::new(fs::File::create(path)?);
+        out.write_all(&self.bytes)?;
+        out.flush()?;
+        Ok(())
+    }
+
+    /// Reads a trace file back. The bytes are not validated until
+    /// [`crate::TraceReader::parse`].
+    pub fn load(path: impl AsRef<Path>) -> Result<Trace, TraceError> {
+        Ok(Trace {
+            bytes: fs::read(path)?,
+        })
+    }
+}

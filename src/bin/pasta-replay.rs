@@ -1,0 +1,192 @@
+//! `pasta-replay` — capture, inspect, and replay binary PASTA traces.
+//!
+//! ```text
+//! pasta-replay capture <out.pastatrace> [--steps N]
+//!     Profile a scaled BERT inference run on the simulated RTX 3060 and
+//!     write its normalized event stream as a binary trace.
+//!
+//! pasta-replay info <trace.pastatrace>
+//!     Print the header, per-shard stream sizes and the UVM footer flag
+//!     without running any analysis.
+//!
+//! pasta-replay run <trace.pastatrace> [--suite standard|census|memory|uvm]
+//!     Replay the trace through a tool suite and print the merged report.
+//!     Analysis happens entirely offline: no simulator, no workload.
+//! ```
+//!
+//! Argument parsing is hand-rolled: the workspace builds offline and the
+//! two-flag surface does not justify a dependency.
+
+use std::process::ExitCode;
+
+use pasta::core::{Pasta, ToolCollection};
+use pasta::dl::models::{ModelZoo, RunKind};
+use pasta::prelude::*;
+use pasta::tools::{LaunchCensusTool, MemoryTimelineTool, TransferTool};
+use pasta::trace::{replay_decoded, Trace, TraceReader, TraceWriter, FORMAT_VERSION};
+
+const USAGE: &str = "usage:
+  pasta-replay capture <out.pastatrace> [--steps N]
+  pasta-replay info <trace.pastatrace>
+  pasta-replay run <trace.pastatrace> [--suite standard|census|memory|uvm]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("capture") => capture(&args[1..]),
+        Some("info") => info(&args[1..]),
+        Some("run") => run(&args[1..]),
+        Some("--help" | "-h" | "help") => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        _ => Err(USAGE.into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("pasta-replay: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Pulls `--flag value` out of `args`, returning the remaining
+/// positionals and the flag's value (if present).
+fn split_flag<'a>(
+    args: &'a [String],
+    flag: &str,
+) -> Result<(Vec<&'a str>, Option<&'a str>), String> {
+    let mut positional = Vec::new();
+    let mut value = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == flag {
+            value = Some(
+                args.get(i + 1)
+                    .ok_or_else(|| format!("{flag} expects a value"))?
+                    .as_str(),
+            );
+            i += 2;
+        } else if let Some(stripped) = args[i].strip_prefix(&format!("{flag}=")) {
+            value = Some(stripped);
+            i += 1;
+        } else if args[i].starts_with("--") {
+            return Err(format!("unknown flag {}", args[i]));
+        } else {
+            positional.push(args[i].as_str());
+            i += 1;
+        }
+    }
+    Ok((positional, value))
+}
+
+fn standard_suite() -> ToolCollection {
+    let mut tools = ToolCollection::new();
+    tools.register(Box::new(KernelFrequencyTool::new()));
+    tools.register(Box::new(BarrierStallTool::new()));
+    tools.register(Box::new(HotnessTool::new(64)));
+    tools.register(Box::new(OpKernelMapTool::new()));
+    tools.register(Box::new(MemoryCharacteristicsTool::new()));
+    tools
+}
+
+fn suite(name: &str) -> Result<ToolCollection, String> {
+    let mut tools = ToolCollection::new();
+    match name {
+        "standard" => return Ok(standard_suite()),
+        "census" => {
+            tools.register(Box::new(LaunchCensusTool::new()));
+            tools.register(Box::new(KernelFrequencyTool::new()));
+        }
+        "memory" => {
+            tools.register(Box::new(MemoryCharacteristicsTool::new()));
+            tools.register(Box::new(MemoryTimelineTool::new()));
+            tools.register(Box::new(TransferTool::new()));
+        }
+        "uvm" => {
+            tools.register(Box::new(UvmPrefetchAdvisor::new()));
+            tools.register(Box::new(MemoryTimelineTool::new()));
+            tools.register(Box::new(MemoryCharacteristicsTool::new()));
+        }
+        other => {
+            return Err(format!(
+                "unknown suite '{other}' (standard|census|memory|uvm)"
+            ))
+        }
+    }
+    Ok(tools)
+}
+
+fn capture(args: &[String]) -> Result<(), String> {
+    let (positional, steps) = split_flag(args, "--steps")?;
+    let [out] = positional[..] else {
+        return Err(USAGE.into());
+    };
+    let steps: usize = steps
+        .map(|s| s.parse().map_err(|_| format!("bad --steps value '{s}'")))
+        .transpose()?
+        .unwrap_or(1);
+
+    let mut session = Pasta::builder()
+        .rtx_3060()
+        .tool(KernelFrequencyTool::new())
+        .tool(BarrierStallTool::new())
+        .tool(HotnessTool::new(64))
+        .tool(OpKernelMapTool::new())
+        .tool(MemoryCharacteristicsTool::new())
+        .build()
+        .map_err(|e| e.to_string())?;
+    let writer = TraceWriter::attach(&session);
+    session
+        .run_model_scaled(ModelZoo::Bert, RunKind::Inference, steps, 8)
+        .map_err(|e| e.to_string())?;
+    let events = writer.events_captured();
+    let trace = writer.finish(&session);
+    trace.save(out).map_err(|e| e.to_string())?;
+    println!(
+        "captured {events} events over {steps} step(s) into {out} ({} bytes, {:.2} bytes/event)",
+        trace.len(),
+        trace.len() as f64 / events as f64
+    );
+    Ok(())
+}
+
+fn load(path: &str) -> Result<(Trace, usize), String> {
+    let trace = Trace::load(path).map_err(|e| format!("{path}: {e}"))?;
+    let len = trace.len();
+    Ok((trace, len))
+}
+
+fn info(args: &[String]) -> Result<(), String> {
+    let [path] = args.iter().map(String::as_str).collect::<Vec<_>>()[..] else {
+        return Err(USAGE.into());
+    };
+    let (trace, len) = load(path)?;
+    let reader = TraceReader::parse(trace.as_bytes()).map_err(|e| format!("{path}: {e}"))?;
+    println!("{path}: pasta trace v{FORMAT_VERSION}, {len} bytes");
+    println!(
+        "  {} shard(s), {} events, {} interned symbols, uvm footer: {}",
+        reader.shards().len(),
+        reader.events_total(),
+        reader.symbols().len(),
+        if reader.uvm().is_some() { "yes" } else { "no" }
+    );
+    for shard in reader.shards() {
+        println!("  {:?}: {} events", shard.device, shard.events.len());
+    }
+    Ok(())
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let (positional, suite_name) = split_flag(args, "--suite")?;
+    let [path] = positional[..] else {
+        return Err(USAGE.into());
+    };
+    let (trace, _) = load(path)?;
+    let reader = TraceReader::parse(trace.as_bytes()).map_err(|e| format!("{path}: {e}"))?;
+    let mut tools = suite(suite_name.unwrap_or("standard"))?;
+    let report = replay_decoded(&reader, &mut tools).map_err(|e| e.to_string())?;
+    println!("{report}");
+    Ok(())
+}

@@ -14,6 +14,7 @@
 //! * [`core`] — the PASTA framework itself: events, handler, processor,
 //!   tool templates, workloads ([`pasta_core`]).
 //! * [`tools`] — the paper's case-study tools ([`pasta_tools`]).
+//! * [`trace`] — binary trace capture + offline replay ([`pasta_trace`]).
 //!
 //! ## Quickstart
 //!
@@ -55,6 +56,7 @@ pub use accel_sim as sim;
 pub use dl_framework as dl;
 pub use pasta_core as core;
 pub use pasta_tools as tools;
+pub use pasta_trace as trace;
 pub use uvm_sim as uvm;
 pub use vendor_amd as amd;
 pub use vendor_nv as nv;
@@ -73,4 +75,5 @@ pub mod prelude {
         MemoryCharacteristicsTool, MemoryTimelineTool, OpKernelMapTool, TransferTool,
         UvmPrefetchAdvisor,
     };
+    pub use crate::trace::{replay, Trace, TraceError, TraceReader, TraceWriter};
 }

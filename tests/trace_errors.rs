@@ -1,0 +1,160 @@
+//! Malformed-trace regression suite (ISSUE 6, satellite 1).
+//!
+//! Readers treat trace bytes as untrusted input: wrong magic, a future
+//! format version, truncation at *any* byte offset, a smashed end
+//! marker, trailing garbage — each yields a typed [`TraceError`], never
+//! a panic. The truncation loop cuts a valid trace at every single byte
+//! offset, which subsumes "several offsets" and pins every mid-record
+//! and mid-header cut at once.
+
+use pasta::core::report::UvmReport;
+use pasta::core::Event;
+use pasta::sim::{DeviceId, Dim3, LaunchId, SimTime};
+use pasta::trace::{Trace, TraceError, TraceReader, FORMAT_VERSION};
+use pasta::uvm::UvmStats;
+
+/// A small but representative trace: two shards, symbols, deltas, a UVM
+/// footer.
+fn valid_trace() -> Trace {
+    let shard0 = vec![
+        Event::KernelLaunchBegin {
+            launch: LaunchId(0),
+            device: DeviceId(0),
+            stream: 1,
+            name: "ampere_sgemm".into(),
+            grid: Dim3::linear(64),
+            block: Dim3::linear(128),
+        },
+        Event::Barrier {
+            launch: LaunchId(0),
+            count: 512,
+            cluster: false,
+        },
+        Event::KernelLaunchEnd {
+            launch: LaunchId(0),
+            device: DeviceId(0),
+            name: "ampere_sgemm".into(),
+            start: SimTime(1_000),
+            end: SimTime(9_000),
+        },
+    ];
+    let shard1 = vec![
+        Event::UvmFault {
+            launch: LaunchId(1),
+            device: DeviceId(1),
+            groups: 3,
+            migrated_bytes: 1 << 20,
+            evicted_bytes: 0,
+            stall_ns: 700,
+            at: SimTime(2_000),
+        },
+        Event::Sync {
+            device: DeviceId(1),
+            at: SimTime(2_500),
+        },
+    ];
+    let uvm = UvmReport {
+        stats: UvmStats {
+            fault_groups: 3,
+            demand_pages_in: 256,
+            fault_stall_ns: 700,
+            ..UvmStats::default()
+        },
+        per_device: vec![(DeviceId(1), UvmStats::default())],
+        peer_bytes: vec![((DeviceId(0), DeviceId(1)), 4096)],
+    };
+    Trace::from_shards(
+        [
+            (DeviceId(0), shard0.as_slice()),
+            (DeviceId(1), shard1.as_slice()),
+        ],
+        Some(&uvm),
+    )
+}
+
+#[test]
+fn the_fixture_itself_parses() {
+    let reader = TraceReader::parse(valid_trace().as_bytes()).expect("valid trace parses");
+    assert_eq!(reader.shards().len(), 2);
+    assert_eq!(reader.events_total(), 5);
+    assert!(reader.uvm().is_some());
+}
+
+#[test]
+fn truncation_at_every_byte_offset_is_a_typed_error_never_a_panic() {
+    let bytes = valid_trace().into_bytes();
+    for cut in 0..bytes.len() {
+        match TraceReader::parse(&bytes[..cut]) {
+            Ok(_) => panic!("truncated at byte {cut}: a strict prefix must never parse"),
+            // Cuts inside the magic are Truncated; anywhere later they are
+            // Truncated or (when a length field now disagrees with the
+            // remaining bytes) Corrupt. Never an Io error, never a panic.
+            Err(TraceError::Truncated { .. } | TraceError::Corrupt { .. }) => {}
+            Err(other) => panic!("truncated at byte {cut}: unexpected error {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn bad_magic_is_reported_with_the_found_bytes() {
+    let mut bytes = valid_trace().into_bytes();
+    bytes[0] = b'X';
+    match TraceReader::parse(&bytes) {
+        Err(TraceError::BadMagic { found }) => assert_eq!(found[0], b'X'),
+        other => panic!("expected BadMagic, got {other:?}"),
+    }
+}
+
+#[test]
+fn future_format_version_is_rejected() {
+    let mut bytes = valid_trace().into_bytes();
+    bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+    match TraceReader::parse(&bytes) {
+        Err(TraceError::UnsupportedVersion { found, supported }) => {
+            assert_eq!(found, 99);
+            assert_eq!(supported, FORMAT_VERSION);
+        }
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+}
+
+#[test]
+fn smashed_end_marker_is_corruption() {
+    let mut bytes = valid_trace().into_bytes();
+    let last = bytes.len() - 1;
+    bytes[last] = 0xff;
+    assert!(matches!(
+        TraceReader::parse(&bytes),
+        Err(TraceError::Corrupt { .. })
+    ));
+}
+
+#[test]
+fn trailing_garbage_is_corruption() {
+    let mut bytes = valid_trace().into_bytes();
+    bytes.push(0);
+    assert!(matches!(
+        TraceReader::parse(&bytes),
+        Err(TraceError::Corrupt { .. })
+    ));
+}
+
+#[test]
+fn empty_input_is_truncated_not_bad_magic() {
+    assert!(matches!(
+        TraceReader::parse(&[]),
+        Err(TraceError::Truncated { .. })
+    ));
+}
+
+#[test]
+fn errors_render_human_readable_messages() {
+    let display = TraceError::UnsupportedVersion {
+        found: 2,
+        supported: 1,
+    }
+    .to_string();
+    assert!(display.contains("version 2"), "{display}");
+    let display = TraceError::Truncated { offset: 42 }.to_string();
+    assert!(display.contains("42"), "{display}");
+}

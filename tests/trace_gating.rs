@@ -1,0 +1,107 @@
+//! Zero-cost gating regression for trace capture (ISSUE 6, satellite 4).
+//!
+//! With no [`TraceWriter`] attached, the event hot path must pay exactly
+//! one `Option` check for tracing: no allocation, no buffering, no
+//! side table. A counting global allocator pins that — the fine-grained
+//! drain over a recorder-free processor performs **zero** heap
+//! allocations, attaching a recorder makes the very same drain allocate,
+//! and detaching restores zero. The throughput side of the same gate is
+//! `BENCH_event_path.json`, which must stay within noise of its baseline.
+//!
+//! Everything lives in one `#[test]` because the allocation counter is
+//! process-global: parallel test threads would attribute each other's
+//! allocations to the wrong phase.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use pasta::core::{Event, EventClass, EventProcessor, EventRecorder};
+use pasta::sim::LaunchId;
+
+struct CountingAlloc {
+    allocs: AtomicU64,
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        self.allocs.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        self.allocs.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc {
+    allocs: AtomicU64::new(0),
+};
+
+fn allocs() -> u64 {
+    GLOBAL.allocs.load(Ordering::Relaxed)
+}
+
+/// A recorder that buffers events the simplest possible way — enough to
+/// prove the gated branch really runs (and allocates) when attached.
+#[derive(Debug)]
+struct VecRecorder(Vec<Event>);
+
+impl EventRecorder for VecRecorder {
+    fn record(&mut self, event: &Event) {
+        self.0.push(event.clone());
+    }
+}
+
+#[test]
+fn untraced_event_path_performs_zero_allocations() {
+    // Pre-build everything the drain will touch; allocations from setup
+    // must not be charged to the hot path.
+    let events: Vec<Event> = (0..256)
+        .map(|i| Event::Barrier {
+            launch: LaunchId(i % 4),
+            count: i,
+            cluster: false,
+        })
+        .collect();
+    let mut processor = EventProcessor::new();
+    assert!(!processor.has_recorder());
+
+    // Phase 1: no recorder attached — the trace gate is one Option check.
+    let before = allocs();
+    processor.process_class_batch(EventClass::DeviceControl, &events);
+    assert_eq!(
+        allocs() - before,
+        0,
+        "the untraced fine-grained drain must not allocate"
+    );
+    assert_eq!(processor.events_processed(), events.len() as u64);
+
+    // Phase 2: recorder attached — the same drain now buffers, which is
+    // observable as allocation. This proves phase 1 exercised a branch
+    // that *would* have cost something, not a dead path.
+    processor.set_recorder(Box::new(VecRecorder(Vec::new())));
+    let before = allocs();
+    processor.process_class_batch(EventClass::DeviceControl, &events);
+    assert!(
+        allocs() - before > 0,
+        "an attached recorder buffers the stream"
+    );
+
+    // Phase 3: detached again — back to zero.
+    let recorder = processor.take_recorder().expect("recorder was attached");
+    drop(recorder);
+    let before = allocs();
+    processor.process_class_batch(EventClass::DeviceControl, &events);
+    assert_eq!(
+        allocs() - before,
+        0,
+        "detaching the recorder restores the allocation-free drain"
+    );
+    assert_eq!(processor.events_processed(), 3 * events.len() as u64);
+}
