@@ -42,6 +42,16 @@ pub enum AccelError {
         /// Length of the faulting range.
         len: u64,
     },
+    /// A device lane's thread panicked and the panic was contained at the
+    /// lane boundary ([`std::panic::catch_unwind`]) instead of unwinding
+    /// through the join. Carries the faulting device and the rendered
+    /// panic payload; surviving lanes keep running.
+    LanePanic {
+        /// Device whose lane panicked.
+        device: DeviceId,
+        /// Rendered panic payload (see [`panic_message`]).
+        payload: String,
+    },
 }
 
 impl fmt::Display for AccelError {
@@ -65,11 +75,29 @@ impl fmt::Display for AccelError {
             AccelError::CopyOutOfBounds { addr, len } => {
                 write!(f, "copy of {len} bytes at {addr:#x} is out of bounds")
             }
+            AccelError::LanePanic { device, payload } => {
+                write!(f, "lane on {device} panicked: {payload}")
+            }
         }
     }
 }
 
 impl Error for AccelError {}
+
+/// Renders a caught panic payload (the `Box<dyn Any + Send>` that
+/// [`std::panic::catch_unwind`] returns) as a message: the `&str` and
+/// `String` payloads `panic!` produces pass through verbatim, anything
+/// else falls back to a placeholder. Shared by every layer that contains
+/// panics (lane drivers, tool dispatch, session salvage).
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic payload of non-string type".to_owned()
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -98,5 +126,27 @@ mod tests {
     fn error_trait_object() {
         let e: Box<dyn Error> = Box::new(AccelError::InvalidAddress(0xdead));
         assert!(e.to_string().contains("0xdead"));
+    }
+
+    #[test]
+    fn lane_panic_displays_device_and_payload() {
+        let e = AccelError::LanePanic {
+            device: DeviceId(1),
+            payload: "index out of bounds".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("gpu1"), "{s}");
+        assert!(s.contains("index out of bounds"), "{s}");
+    }
+
+    #[test]
+    fn panic_message_renders_common_payloads() {
+        let caught =
+            std::panic::catch_unwind(|| panic!("static str payload")).expect_err("panicked");
+        assert_eq!(panic_message(caught.as_ref()), "static str payload");
+        let caught = std::panic::catch_unwind(|| panic!("formatted {}", 42)).expect_err("panicked");
+        assert_eq!(panic_message(caught.as_ref()), "formatted 42");
+        let caught = std::panic::catch_unwind(|| std::panic::panic_any(7u32)).expect_err("panic");
+        assert!(panic_message(caught.as_ref()).contains("non-string"));
     }
 }

@@ -68,7 +68,7 @@ pub use cost::CostModel;
 pub use device::{Device, DeviceSpec};
 pub use dim::Dim3;
 pub use engine::Engine;
-pub use error::AccelError;
+pub use error::{panic_message, AccelError};
 pub use id::{AllocId, DeviceId, LaunchId, StreamId, Vendor};
 pub use instrument::{
     BackendCosts, DeviceTraceSink, OverheadBreakdown, ProfilerHandle, TraceCtx, TraceProfiler,

@@ -39,7 +39,7 @@
 
 use crate::event::{Event, EventClass};
 use crate::processor::EventProcessor;
-use crate::report::{MergedReport, ToolReport};
+use crate::report::{MergedReport, ToolQuarantine, ToolReport};
 use crate::tool::Tool;
 use accel_sim::instrument::{DeviceTraceSink, TraceCtx};
 use accel_sim::{AccessBatch, DeviceId, KernelTraceSummary, LaunchId, MemSpace, ProbeConfig};
@@ -267,7 +267,20 @@ impl Hub {
                 .collect(),
             events_processed: guards.iter().map(|g| g.events_processed()).sum(),
             uvm: None,
+            quarantined: collect_quarantines(guards.iter().map(|g| &**g)),
+            // The hub tracks no lanes; the session layer overlays its
+            // accumulated failures.
+            lane_failures: Vec::new(),
         }
+    }
+
+    /// Quarantine records across every shard, deduplicated by tool name
+    /// (ascending device id, first shard's message wins). Empty on a
+    /// healthy run.
+    pub fn quarantines(&self) -> Vec<ToolQuarantine> {
+        let guards: Vec<MutexGuard<'_, EventProcessor>> =
+            self.shards.iter().map(DeviceShard::lock).collect();
+        collect_quarantines(guards.iter().map(|g| &**g))
     }
 
     /// Runs `f` against the *merged* view of the named tool: every
@@ -311,15 +324,42 @@ impl Hub {
     }
 }
 
+/// Quarantine records across `procs` (pass them in ascending device
+/// order), deduplicated by tool name — the first shard to quarantine a
+/// tool supplies the message.
+fn collect_quarantines<'a>(procs: impl Iterator<Item = &'a EventProcessor>) -> Vec<ToolQuarantine> {
+    let mut out: Vec<ToolQuarantine> = Vec::new();
+    for proc in procs {
+        for q in proc.tools.quarantines() {
+            if !out.iter().any(|e| e.tool == q.tool) {
+                out.push(q.clone());
+            }
+        }
+    }
+    out
+}
+
 /// Folds every shard's instance of tool `i` into a fresh fork, ascending
 /// device id (the callers pass `procs` in shard order, which is device
 /// order) — the sequential unit of work of the session-end merge.
+///
+/// A shard instance quarantined after a panicking callback is excluded
+/// from the fold: its state is memory-safe but potentially inconsistent
+/// (the panic interrupted an update), while the surviving shards' state
+/// is whole.
+// Audited expects: registration lists are uniform across shards by
+// construction (every shard is a `fork_all` of one collection), so these
+// lookups encode structural invariants, not data-dependent conditions.
+#[allow(clippy::expect_used)]
 fn merge_tool_index(procs: &[&EventProcessor], i: usize) -> Box<dyn Tool> {
     let primary = procs[0].tools.tool_at(i).expect("tool index in range");
     let mut merged = primary
         .fork()
         .expect("sharded sessions hold only forkable tools");
     for proc in procs {
+        if proc.tools.is_quarantined(i) {
+            continue;
+        }
         merged.merge(proc.tools.tool_at(i).expect("same registration"));
     }
     merged
@@ -351,7 +391,12 @@ fn merge_all_tools(procs: &[&EventProcessor]) -> Vec<Box<dyn Tool>> {
     });
     merged
         .into_iter()
-        .map(|t| t.expect("every tool merged"))
+        // Audited expect: the chunked loop above fills every slot before
+        // the scope joins — an empty slot is unreachable by construction.
+        .map(|t| {
+            #[allow(clippy::expect_used)]
+            t.expect("every tool merged")
+        })
         .collect()
 }
 

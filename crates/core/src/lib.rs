@@ -1,3 +1,8 @@
+// Fault-containment audit: unwrap/expect on user-reachable paths must be
+// converted to `PastaError` or carry an `#[allow]` with a justification.
+// Test builds are exempt (asserting via unwrap is idiomatic there).
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 //! # pasta-core — the PASTA framework
 //!
 //! PASTA (Program AnalysiS Tool framework for Accelerators) is the paper's
@@ -71,13 +76,13 @@ pub mod workload;
 // place a kernel name enters the pipeline) but is part of PASTA's public
 // vocabulary: every name-carrying `Event` field is a `Symbol`.
 pub use accel_sim::{AnalysisMode, OverheadBreakdown, Symbol, SymbolTable};
-pub use error::PastaError;
+pub use error::{LaneFailure, PastaError, SalvagedRun};
 pub use event::{Event, EventClass};
 pub use knob::{Knob, KnobSet};
 pub use processor::{EventProcessor, EventRecorder};
 pub use profiler::{BackendChoice, Pasta, PastaBuilder, PastaSession, UvmSetup};
 pub use range::RangeFilter;
-pub use report::{MergedReport, SessionReport, ToolReport, UvmReport};
+pub use report::{MergedReport, SessionReport, ToolQuarantine, ToolReport, UvmReport};
 pub use tool::{Interest, Tool, ToolCollection};
 pub use workload::{
     FnWorkload, KernelSweepWorkload, ModelWorkload, Workload, WorkloadCx, WorkloadStats,

@@ -15,18 +15,19 @@
 //! points are thin wrappers that forward a [`crate::ModelWorkload`]
 //! through the same path and produce identical [`SessionReport`]s.
 
-use crate::error::PastaError;
+use crate::error::{LaneFailure, PastaError, SalvagedRun};
 use crate::handler::{attach_nv, attach_roc, attach_session};
 use crate::hub::{new_shared, Hub, HubSink, SharedHub};
 use crate::knob::{KernelAggregate, Knob};
 use crate::processor::EventProcessor;
 use crate::range::RangeFilter;
-use crate::report::{MergedReport, SessionReport, ToolReport, UvmReport};
+use crate::report::{MergedReport, SessionReport, ToolQuarantine, ToolReport, UvmReport};
 use crate::tool::Tool;
 use crate::workload::{ModelWorkload, Workload, WorkloadCx};
 use accel_sim::instrument::ProfilerHandle;
 use accel_sim::{
-    AccelError, AnalysisMode, DeviceId, DeviceRuntime, DeviceSpec, OverheadBreakdown, Vendor,
+    panic_message, AccelError, AnalysisMode, DeviceId, DeviceRuntime, DeviceSpec,
+    OverheadBreakdown, Vendor,
 };
 use dl_framework::alloc::AllocatorConfig;
 use dl_framework::models::{ModelZoo, RunKind};
@@ -34,6 +35,7 @@ use dl_framework::parallel::DeviceLane;
 use dl_framework::pycall::CrossLayerStack;
 use dl_framework::session::Session;
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use uvm_sim::{PrefetchPlan, UvmConfig, UvmManager, UvmStats};
 use vendor_amd::rocprofiler::RocProfilerConfig;
@@ -407,6 +409,7 @@ impl PastaBuilder {
             lane_overhead: OverheadBreakdown::default(),
             lane_records: 0,
             lane_uvm: BTreeMap::new(),
+            lane_failures: Vec::new(),
         })
     }
 }
@@ -476,6 +479,10 @@ pub struct PastaSession {
     /// Per-device UVM statistics contributed by finished parallel lanes
     /// (the unmerged breakdown behind [`UvmReport::per_device`]).
     lane_uvm: BTreeMap<DeviceId, UvmStats>,
+    /// Contained lane/workload panics accumulated by this session's runs
+    /// (overlaid onto [`MergedReport::lane_failures`]; cleared by
+    /// [`PastaSession::reset_analysis`]).
+    lane_failures: Vec<LaneFailure>,
 }
 
 impl std::fmt::Debug for PastaSession {
@@ -518,15 +525,28 @@ impl PastaSession {
     ///
     /// # Errors
     ///
-    /// Propagates workload failures.
+    /// Propagates workload failures. A *panicking* workload is contained
+    /// at the session boundary instead of unwinding through the caller:
+    /// the run fails with [`PastaError::Salvaged`], whose report carries
+    /// everything the tools accumulated up to the panic plus the typed
+    /// [`LaneFailure`] (device `None`: a sequential workload belongs to
+    /// no lane).
     pub fn run(&mut self, workload: &mut dyn Workload) -> Result<SessionReport, PastaError> {
         let overhead_before = self.overhead();
         let records_before = self.records();
         let name = workload.name().to_owned();
         let (result, elapsed, alloc) = self.with_instrumented_session(|session| {
             let t0 = session.runtime().host_time();
-            let result = workload.run(&mut WorkloadCx::new(session));
-            // Drain in-flight device work — also on failure — so
+            let result = match catch_unwind(AssertUnwindSafe(|| {
+                workload.run(&mut WorkloadCx::new(session))
+            })) {
+                Ok(result) => result,
+                Err(payload) => Err(PastaError::Lane(LaneFailure {
+                    device: None,
+                    payload: panic_message(payload.as_ref()),
+                })),
+            };
+            // Drain in-flight device work — also on failure or panic — so
             // profiled_time covers it and it cannot leak into the next
             // run's measurement window; workloads themselves need not
             // synchronize.
@@ -534,7 +554,7 @@ impl PastaSession {
             let t1 = session.runtime().host_time();
             Ok((result, t1 - t0, session.allocator_stats()))
         })?;
-        let stats = result?;
+        let stats = result.map_err(|e| self.salvage(e))?;
         Ok(SessionReport {
             workload: stats.label.unwrap_or(name),
             kernel_launches: stats.kernel_launches,
@@ -603,12 +623,62 @@ impl PastaSession {
     }
 
     /// The full merged report: merged tools, the per-device breakdown,
-    /// the total event count and (when UVM is attached) the merged UVM
-    /// statistics — the session-end merge stage of the sharded hub.
+    /// the total event count, (when UVM is attached) the merged UVM
+    /// statistics, and the session's health overlay — quarantined tools
+    /// and contained lane failures — the session-end merge stage of the
+    /// sharded hub.
     pub fn merged_report(&self) -> MergedReport {
         let mut report = self.hub.merged_report();
         report.uvm = self.uvm_report();
+        report.lane_failures = self.lane_failures.clone();
         report
+    }
+
+    /// Converts a contained panic ([`PastaError::Lane`]) into
+    /// [`PastaError::Salvaged`]: the failure is recorded on the session
+    /// and the error carries the merged report over every surviving
+    /// lane's state at the moment of salvage. Other errors pass through.
+    fn salvage(&mut self, e: PastaError) -> PastaError {
+        match e {
+            PastaError::Lane(failure) => {
+                self.lane_failures.push(failure.clone());
+                PastaError::Salvaged(Box::new(SalvagedRun {
+                    failures: vec![failure],
+                    report: self.merged_report(),
+                }))
+            }
+            other => other,
+        }
+    }
+
+    /// The session's shared event hub. Trace writers bind to it so
+    /// recorders stay detachable through the hub handle even while the
+    /// session is borrowed elsewhere (or already gone).
+    pub fn hub(&self) -> &SharedHub {
+        &self.hub
+    }
+
+    /// Contained lane/workload panics accumulated by this session's runs,
+    /// in detection order (cleared by [`PastaSession::reset_analysis`]).
+    pub fn lane_failures(&self) -> &[LaneFailure] {
+        &self.lane_failures
+    }
+
+    /// Quarantine records across every shard, deduplicated by tool name.
+    /// Empty on a healthy run.
+    pub fn quarantined_tools(&self) -> Vec<ToolQuarantine> {
+        self.hub.quarantines()
+    }
+
+    /// Strict health check: errors with [`PastaError::ToolQuarantined`]
+    /// if any tool was disarmed after a panicking callback — for callers
+    /// that treat a degraded toolset as failure rather than reading the
+    /// quarantine list off the merged report.
+    pub fn check_tool_health(&self) -> Result<(), PastaError> {
+        match self.hub.quarantines().into_iter().next() {
+            Some(q) => Err(PastaError::ToolQuarantined(q)),
+            None => Ok(()),
+        }
     }
 
     /// The UVM slice of [`PastaSession::merged_report`]: the session
@@ -755,6 +825,7 @@ impl PastaSession {
         self.lane_overhead = OverheadBreakdown::default();
         self.lane_records = 0;
         self.lane_uvm.clear();
+        self.lane_failures.clear();
         if let Some(manager) = self.runtime.uvm_manager_mut() {
             manager.reset_stats();
             // Hotness resets with the stats: a pre-reset parallel region
@@ -879,7 +950,17 @@ impl PastaSession {
             })
             .collect::<Result<_, _>>()?;
 
-        let result = f(&mut lanes).map_err(PastaError::from);
+        // The orchestration closure is contained like a lane: a panic
+        // unwinding out of it (or out of an unguarded thread it joined)
+        // becomes a typed failure, and the harvest below still runs so the
+        // surviving lanes' shards and UVM managers merge into the session.
+        let result = match catch_unwind(AssertUnwindSafe(|| f(&mut lanes))) {
+            Ok(result) => result.map_err(PastaError::from),
+            Err(payload) => Err(PastaError::Lane(LaneFailure {
+                device: None,
+                payload: panic_message(payload.as_ref()),
+            })),
+        };
         // Settle lane clocks (also on failure) so nothing stays in flight,
         // then fold lane instrumentation accounting into the session.
         for lane in &mut lanes {
@@ -919,7 +1000,77 @@ impl PastaSession {
             self.lane_overhead.setup_ns += b.setup_ns;
             self.lane_records += handle.records_total();
         }
-        result
+        result.map_err(|e| self.salvage(e))
+    }
+
+    /// Runs `work` once per lane, each lane on its own OS thread with its
+    /// panic contained at the lane boundary — the fault-isolated sibling
+    /// of hand-rolling `std::thread::scope` inside
+    /// [`PastaSession::run_parallel`].
+    ///
+    /// `work` receives the lane's index into `devices` and the lane
+    /// itself. A panicking lane becomes a [`LaneFailure`] attributed to
+    /// its device; the surviving lanes run to completion and their shard
+    /// and UVM state still merges into the session, so the resulting
+    /// [`PastaError::Salvaged`] carries a usable report. When several
+    /// lanes fail, the first panic (ascending device position in
+    /// `devices`) is reported.
+    ///
+    /// # Errors
+    ///
+    /// The same configuration errors as [`PastaSession::run_parallel`];
+    /// [`PastaError::Salvaged`] when a lane panicked; the first lane
+    /// error otherwise.
+    pub fn run_parallel_each(
+        &mut self,
+        devices: &[DeviceId],
+        work: impl Fn(usize, &mut DeviceLane<'_>) -> Result<(), AccelError> + Sync,
+    ) -> Result<(), PastaError> {
+        self.run_parallel(devices, |lanes| {
+            let mut results: Vec<Result<(), AccelError>> = Vec::with_capacity(lanes.len());
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = lanes
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(i, lane)| {
+                        let device = lane.device();
+                        let work = &work;
+                        let handle = scope.spawn(move || {
+                            catch_unwind(AssertUnwindSafe(|| work(i, lane))).unwrap_or_else(
+                                |payload| {
+                                    Err(AccelError::LanePanic {
+                                        device,
+                                        payload: panic_message(payload.as_ref()),
+                                    })
+                                },
+                            )
+                        });
+                        (device, handle)
+                    })
+                    .collect();
+                for (device, handle) in handles {
+                    // The in-thread catch_unwind already contained the
+                    // panic; a panicking join is defensive double cover.
+                    results.push(handle.join().unwrap_or_else(|payload| {
+                        Err(AccelError::LanePanic {
+                            device,
+                            payload: panic_message(payload.as_ref()),
+                        })
+                    }));
+                }
+            });
+            // A contained panic is the root cause — report it ahead of
+            // secondary errors surviving lanes hit because a peer died.
+            for r in &results {
+                if let Err(e @ AccelError::LanePanic { .. }) = r {
+                    return Err(e.clone());
+                }
+            }
+            for r in results {
+                r?;
+            }
+            Ok(())
+        })
     }
 }
 

@@ -1,9 +1,36 @@
 //! Report types returned by tools and sessions.
 
+use crate::error::LaneFailure;
 use accel_sim::{DeviceId, OverheadBreakdown, SimTime};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use uvm_sim::UvmStats;
+
+/// A tool disarmed mid-run after one of its callbacks panicked.
+///
+/// The dispatch boundary catches the panic, clears the tool out of every
+/// dispatch row (the hot path pays nothing for it afterwards) and records
+/// the *first* panic message here; sibling tools and the trace recorder
+/// keep running. [`crate::ToolCollection::reset`] re-arms the tool.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ToolQuarantine {
+    /// Name of the quarantined tool.
+    pub tool: String,
+    /// First panic message the tool produced.
+    pub message: String,
+}
+
+impl fmt::Display for ToolQuarantine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tool `{}` quarantined after a panicking callback: {}",
+            self.tool, self.message
+        )
+    }
+}
+
+impl std::error::Error for ToolQuarantine {}
 
 /// A tool's findings: named metrics plus free-form rendered text.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -82,6 +109,15 @@ pub struct MergedReport {
     /// session layer overlays its manager's totals and the per-lane
     /// breakdown accumulated from parallel regions.
     pub uvm: Option<UvmReport>,
+    /// Tools disarmed mid-run after a panicking callback, deduplicated by
+    /// tool name across shards (ascending device id; the first shard's
+    /// panic message wins). Empty on a healthy run.
+    pub quarantined: Vec<ToolQuarantine>,
+    /// Per-lane health: contained lane/workload panics the session
+    /// salvaged around. The hub fills this empty (it tracks no lanes);
+    /// the session layer overlays its accumulated failures. Empty on a
+    /// healthy run.
+    pub lane_failures: Vec<LaneFailure>,
 }
 
 /// The UVM slice of a [`MergedReport`]: the session manager's totals
@@ -111,6 +147,15 @@ impl fmt::Display for MergedReport {
             self.per_device.len(),
             self.events_processed
         )?;
+        if !self.quarantined.is_empty() || !self.lane_failures.is_empty() {
+            writeln!(f, "== health ==")?;
+            for failure in &self.lane_failures {
+                writeln!(f, "  {failure}")?;
+            }
+            for q in &self.quarantined {
+                writeln!(f, "  {q}")?;
+            }
+        }
         for report in &self.tools {
             write!(f, "{report}")?;
         }
@@ -223,6 +268,8 @@ mod tests {
                 )],
                 peer_bytes: vec![((DeviceId(0), DeviceId(1)), 4096)],
             }),
+            quarantined: Vec::new(),
+            lane_failures: Vec::new(),
         };
         let s = report.to_string();
         assert!(s.contains("== uvm =="), "UVM slice rendered: {s}");
@@ -232,6 +279,28 @@ mod tests {
         // Sessions without UVM print no empty section.
         let without = MergedReport::default().to_string();
         assert!(!without.contains("uvm"));
+    }
+
+    #[test]
+    fn merged_report_display_renders_health_when_degraded() {
+        let report = MergedReport {
+            quarantined: vec![ToolQuarantine {
+                tool: "flaky".into(),
+                message: "boom".into(),
+            }],
+            lane_failures: vec![LaneFailure {
+                device: Some(DeviceId(1)),
+                payload: "lane died".into(),
+            }],
+            ..MergedReport::default()
+        };
+        let s = report.to_string();
+        assert!(s.contains("== health =="), "{s}");
+        assert!(s.contains("`flaky` quarantined"), "{s}");
+        assert!(s.contains("gpu1"), "{s}");
+        // Healthy reports stay byte-identical to the pre-containment
+        // rendering: no empty health section.
+        assert!(!MergedReport::default().to_string().contains("health"));
     }
 
     #[test]

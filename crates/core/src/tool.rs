@@ -6,10 +6,11 @@
 //! [`Interest`]s so the framework instruments no more than necessary.
 
 use crate::event::{Event, EventClass};
-use crate::report::ToolReport;
-use accel_sim::{AccessBatch, KernelTraceSummary, LaunchId, ProbeConfig, Symbol};
+use crate::report::{ToolQuarantine, ToolReport};
+use accel_sim::{panic_message, AccessBatch, KernelTraceSummary, LaunchId, ProbeConfig, Symbol};
 use serde::{Deserialize, Serialize};
 use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Event classes a tool wants delivered.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -215,11 +216,22 @@ pub trait Tool: Send + Sync {
 /// "does anyone care?" in O(1) so the sink can drop uninteresting device
 /// events before they are ever constructed. Interests are therefore
 /// sampled at registration/reset, not per event.
+/// Panic containment: a tool whose callback panics is caught at the
+/// dispatch boundary, removed from every dispatch row (the unquarantined
+/// hot path pays nothing afterwards) and reported as a
+/// [`ToolQuarantine`]; sibling tools and the shard's recorder keep
+/// running. The non-panic dispatch path is unchanged — `catch_unwind` is
+/// free until a panic actually lands, and no allocation happens unless
+/// one does.
 #[derive(Default)]
 pub struct ToolCollection {
     tools: Vec<Box<dyn Tool>>,
     /// `class_tools[class.index()]` = indices of tools wanting that class.
     class_tools: [Vec<usize>; EventClass::ALL.len()],
+    /// Tools disarmed after a panicking callback: registration index plus
+    /// the first panic message. Cleared (re-armed) by
+    /// [`ToolCollection::reset`].
+    quarantined: Vec<(usize, ToolQuarantine)>,
 }
 
 impl std::fmt::Debug for ToolCollection {
@@ -250,15 +262,20 @@ impl ToolCollection {
     }
 
     /// Recomputes the per-class dispatch table from current interests.
+    /// Quarantined tools are left out of every row, so the hot path never
+    /// revisits them.
     fn rebuild_dispatch(&mut self) {
         for class in EventClass::ALL {
             let row = &mut self.class_tools[class.index()];
             row.clear();
+            let quarantined = &self.quarantined;
             row.extend(
                 self.tools
                     .iter()
                     .enumerate()
-                    .filter(|(_, t)| t.interest().wants_class(class))
+                    .filter(|(i, t)| {
+                        quarantined.iter().all(|&(q, _)| q != *i) && t.interest().wants_class(class)
+                    })
                     .map(|(i, _)| i),
             );
         }
@@ -279,43 +296,160 @@ impl ToolCollection {
         self.tools.is_empty()
     }
 
-    /// Union of all tools' interests.
+    /// Union of all *armed* tools' interests — a quarantined tool no
+    /// longer contributes, so instrumentation it alone requested can be
+    /// withdrawn at the next probe reconfiguration.
     pub fn interest(&self) -> Interest {
         self.tools
             .iter()
-            .fold(Interest::default(), |acc, t| acc.union(t.interest()))
+            .enumerate()
+            .filter(|(i, _)| !self.is_quarantined(*i))
+            .fold(Interest::default(), |acc, (_, t)| acc.union(t.interest()))
     }
 
     /// Delivers an event to every tool whose interest covers its class,
     /// via the precomputed dispatch table (uninterested tools are never
     /// touched).
+    ///
+    /// A panicking callback quarantines its tool (see the type docs);
+    /// siblings later in the row still receive this event.
     pub fn dispatch(&mut self, event: &Event) {
+        // One unwind guard covers the whole row (not one per tool — the
+        // guard cost is per catch_unwind, and this is the hot path);
+        // `cursor` names the tool that was live when a panic unwound, so
+        // the cold path can attribute it and resume with the tools after
+        // it — siblings never miss an event. Nothing here allocates.
+        let cursor = std::cell::Cell::new(0);
         let row = &self.class_tools[event.class().index()];
-        for &i in row {
-            self.tools[i].on_event(event);
+        let tools = &mut self.tools;
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            for (k, &i) in row.iter().enumerate() {
+                cursor.set(k);
+                tools[i].on_event(event);
+            }
+        }));
+        if let Err(payload) = result {
+            self.dispatch_unwound(event, cursor.get(), payload);
         }
+    }
+
+    /// Continuation of [`ToolCollection::dispatch`] after a callback
+    /// panicked at row position `k`: quarantines the panicker, finishes
+    /// the row (per-tool guards — cheap here, this runs at most once per
+    /// quarantined tool per run), and rebuilds the dispatch table.
+    #[cold]
+    #[inline(never)]
+    fn dispatch_unwound(
+        &mut self,
+        event: &Event,
+        k: usize,
+        payload: Box<dyn std::any::Any + Send>,
+    ) {
+        let row = &self.class_tools[event.class().index()];
+        let mut panicked = vec![(row[k], panic_message(payload.as_ref()))];
+        for &i in &row[k + 1..] {
+            let tool = &mut self.tools[i];
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| tool.on_event(event))) {
+                panicked.push((i, panic_message(payload.as_ref())));
+            }
+        }
+        self.quarantine_panicked(panicked);
     }
 
     /// Delivers a slice of same-class events, resolving the dispatch row
     /// once for the whole slice instead of per event — the drain half of
     /// the sink's per-class spill buffers. Events stay in slice (emission)
     /// order for every receiving tool.
+    ///
+    /// A tool that panics mid-batch is skipped for the remainder of the
+    /// batch and quarantined afterwards; siblings see every event.
     pub fn dispatch_class_batch(&mut self, class: EventClass, events: &[Event]) {
         let row = &self.class_tools[class.index()];
         if row.is_empty() {
             return;
         }
-        for event in events {
-            debug_assert_eq!(event.class(), class);
-            for &i in row {
-                self.tools[i].on_event(event);
+        // Tool-major order: each tool still sees the batch in stream
+        // order — the only order a tool can observe, since tools never
+        // see each other — and the unwind guard costs one landing pad
+        // per tool per batch instead of one per event. A panicking tool
+        // forfeits the rest of its batch; it is quarantined anyway.
+        let mut panicked: Vec<(usize, String)> = Vec::new();
+        for &i in row {
+            let tool = &mut self.tools[i];
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| {
+                for event in events {
+                    debug_assert_eq!(event.class(), class);
+                    tool.on_event(event);
+                }
+            })) {
+                panicked.push((i, panic_message(payload.as_ref())));
             }
+        }
+        if !panicked.is_empty() {
+            self.quarantine_panicked(panicked);
         }
     }
 
-    /// Reports from every tool, in registration order.
+    /// Disarms each listed tool and records its first panic message. The
+    /// dispatch table is rebuilt once, so subsequent events pay nothing
+    /// for the quarantined tools.
+    fn quarantine_panicked(&mut self, panicked: Vec<(usize, String)>) {
+        for (i, message) in panicked {
+            self.quarantine(i, message);
+        }
+        self.rebuild_dispatch();
+    }
+
+    /// Records tool `i` as quarantined (first panic message wins). Does
+    /// not rebuild the dispatch table — callers batch that.
+    fn quarantine(&mut self, i: usize, message: String) {
+        if self.quarantined.iter().any(|&(q, _)| q == i) {
+            return;
+        }
+        let tool = self.tools[i].name().to_owned();
+        self.quarantined.push((i, ToolQuarantine { tool, message }));
+    }
+
+    /// True when the tool at registration index `i` is quarantined.
+    pub fn is_quarantined(&self, i: usize) -> bool {
+        self.quarantined.iter().any(|&(q, _)| q == i)
+    }
+
+    /// The quarantine record for the tool at registration index `i`, if
+    /// it is quarantined.
+    pub fn quarantine_of(&self, i: usize) -> Option<&ToolQuarantine> {
+        self.quarantined
+            .iter()
+            .find(|&&(q, _)| q == i)
+            .map(|(_, q)| q)
+    }
+
+    /// All quarantine records, in detection order.
+    pub fn quarantines(&self) -> impl Iterator<Item = &ToolQuarantine> {
+        self.quarantined.iter().map(|(_, q)| q)
+    }
+
+    /// Reports from every tool, in registration order. A quarantined tool
+    /// — or one whose `report()` itself panics — contributes a stub
+    /// report naming the failure instead of poisoning the whole
+    /// collection.
     pub fn reports(&self) -> Vec<ToolReport> {
-        self.tools.iter().map(|t| t.report()).collect()
+        self.tools
+            .iter()
+            .enumerate()
+            .map(
+                |(i, t)| match catch_unwind(AssertUnwindSafe(|| t.report())) {
+                    Ok(report) => report,
+                    Err(payload) => {
+                        let why = self
+                            .quarantine_of(i)
+                            .map(|q| q.message.clone())
+                            .unwrap_or_else(|| panic_message(payload.as_ref()));
+                        ToolReport::new(t.name()).body(format!("<report unavailable: {why}>"))
+                    }
+                },
+            )
+            .collect()
     }
 
     /// The tool at registration index `i`.
@@ -338,9 +472,20 @@ impl ToolCollection {
 
     /// Resets every tool and rebuilds the dispatch table (the one point,
     /// besides registration, where changed interests are picked up).
+    ///
+    /// Quarantined tools are re-armed: a clean `reset()` clears their
+    /// quarantine record. A tool whose `reset()` itself panics goes (or
+    /// stays) quarantined instead of unwinding into the session.
     pub fn reset(&mut self) {
-        for t in &mut self.tools {
-            t.reset();
+        let mut failed: Vec<(usize, String)> = Vec::new();
+        for (i, t) in self.tools.iter_mut().enumerate() {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| t.reset())) {
+                failed.push((i, panic_message(payload.as_ref())));
+            }
+        }
+        self.quarantined.clear();
+        for (i, message) in failed {
+            self.quarantine(i, message);
         }
         self.rebuild_dispatch();
     }
@@ -650,6 +795,150 @@ mod tests {
         assert!(shared_only.wants_class(EventClass::DeviceAccess));
         assert!(shared_only.wants_class(EventClass::DeviceControl));
         assert!(!shared_only.wants_class(EventClass::HostApi));
+    }
+
+    /// Panics on the `n`th delivered event (0-based); counts deliveries.
+    struct PanicOnNth {
+        n: u64,
+        seen: u64,
+    }
+    impl Tool for PanicOnNth {
+        fn name(&self) -> &str {
+            "panic-on-nth"
+        }
+        fn on_event(&mut self, _event: &Event) {
+            if self.seen == self.n {
+                panic!("fault-injection: tool blew up");
+            }
+            self.seen += 1;
+        }
+        fn reset(&mut self) {
+            self.seen = 0;
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn panicking_tool_is_quarantined_and_siblings_keep_running() {
+        let mut c = ToolCollection::new();
+        c.register(Box::<LaunchCounter>::default());
+        c.register(Box::new(PanicOnNth { n: 1, seen: 0 }));
+        c.dispatch(&launch_end()); // both fine
+        c.dispatch(&launch_end()); // panic-on-nth panics here
+        assert!(c.is_quarantined(1));
+        assert!(!c.is_quarantined(0));
+        let q = c.quarantine_of(1).expect("quarantine recorded");
+        assert_eq!(q.tool, "panic-on-nth");
+        assert!(q.message.contains("fault-injection"), "{}", q.message);
+        // Further events reach the survivor and skip the quarantined tool
+        // entirely (it is out of every dispatch row).
+        c.dispatch(&launch_end());
+        let n = c
+            .with_tool_mut("launch-counter", |t: &mut LaunchCounter| t.launches)
+            .unwrap();
+        assert_eq!(n, 3, "sibling saw every event");
+        let seen = c
+            .with_tool_mut("panic-on-nth", |t: &mut PanicOnNth| t.seen)
+            .unwrap();
+        assert_eq!(seen, 1, "quarantined tool received nothing further");
+        // Reports still come back for every tool, in order.
+        let reports = c.reports();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].get("launches"), Some(3.0));
+    }
+
+    #[test]
+    fn batch_dispatch_skips_panicked_tool_for_rest_of_batch() {
+        let mut c = ToolCollection::new();
+        c.register(Box::new(PanicOnNth { n: 0, seen: 0 }));
+        c.register(Box::<LaunchCounter>::default());
+        let events = vec![launch_end(), launch_end(), launch_end()];
+        c.dispatch_class_batch(EventClass::Kernel, &events);
+        assert!(c.is_quarantined(0));
+        let n = c
+            .with_tool_mut("launch-counter", |t: &mut LaunchCounter| t.launches)
+            .unwrap();
+        assert_eq!(n, 3, "sibling after the panicker saw the whole batch");
+    }
+
+    #[test]
+    fn quarantined_tool_stops_contributing_interest() {
+        struct HungryPanicker;
+        impl Tool for HungryPanicker {
+            fn name(&self) -> &str {
+                "hungry-panicker"
+            }
+            fn interest(&self) -> Interest {
+                Interest::all()
+            }
+            fn on_event(&mut self, _event: &Event) {
+                panic!("fault-injection");
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut c = ToolCollection::new();
+        c.register(Box::new(HungryPanicker));
+        assert!(c.interest().global_accesses);
+        c.dispatch(&launch_end());
+        assert!(c.is_quarantined(0));
+        assert_eq!(
+            c.interest(),
+            Interest::default(),
+            "quarantined tool's interest withdrawn"
+        );
+        assert!(!c.wants_class(EventClass::Kernel), "out of every row");
+    }
+
+    #[test]
+    fn reset_rearms_quarantined_tools() {
+        let mut c = ToolCollection::new();
+        c.register(Box::new(PanicOnNth { n: 0, seen: 0 }));
+        c.dispatch(&launch_end());
+        assert!(c.is_quarantined(0));
+        assert_eq!(c.quarantines().count(), 1);
+        c.reset();
+        assert!(!c.is_quarantined(0), "clean reset re-arms the tool");
+        assert!(c.wants_class(EventClass::Kernel), "back in the table");
+    }
+
+    #[test]
+    fn panicking_report_yields_stub_instead_of_unwinding() {
+        struct BadReport;
+        impl Tool for BadReport {
+            fn name(&self) -> &str {
+                "bad-report"
+            }
+            fn report(&self) -> ToolReport {
+                panic!("fault-injection: report exploded");
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut c = ToolCollection::new();
+        c.register(Box::new(BadReport));
+        let reports = c.reports();
+        assert_eq!(reports.len(), 1);
+        assert!(
+            reports[0].text.contains("report unavailable"),
+            "{}",
+            reports[0].text
+        );
+        c.reset(); // BadReport's default reset is fine — nothing quarantined
+        assert!(!c.is_quarantined(0));
     }
 
     #[test]

@@ -29,8 +29,9 @@ use crate::models::transformer::{custom_lm, LmDims};
 use crate::models::{ModelKind, ModelSpec, Workload};
 use crate::ops::{self, Act};
 use crate::session::Session;
-use accel_sim::{AccelError, AccessSpec, DeviceId, Dim3, KernelBody, KernelDesc};
+use accel_sim::{panic_message, AccelError, AccessSpec, DeviceId, Dim3, KernelBody, KernelDesc};
 use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 
 /// One lane of a multi-device parallel run: a framework session pinned to
@@ -163,10 +164,28 @@ enum LaneSchedule {
     Sequential,
 }
 
+/// Contains a panic at the lane boundary: `f`'s panic becomes a typed
+/// [`AccelError::LanePanic`] attributed to `device` instead of unwinding
+/// into the join. The non-panic path costs nothing (`catch_unwind` is
+/// zero-overhead until a panic actually lands).
+fn catch_lane<T>(
+    device: DeviceId,
+    f: impl FnOnce() -> Result<T, AccelError>,
+) -> Result<T, AccelError> {
+    catch_unwind(AssertUnwindSafe(f)).unwrap_or_else(|payload| {
+        Err(AccelError::LanePanic {
+            device,
+            payload: panic_message(payload.as_ref()),
+        })
+    })
+}
+
 /// Runs every lane's closure — on its own OS thread (scoped, so lanes
 /// borrow freely) or lane-at-a-time, per `schedule` — and collects the
 /// per-lane results in lane order. The first failing lane (by lane
-/// order, deterministically) wins error propagation.
+/// order, deterministically) wins error propagation. A panicking lane
+/// surfaces as [`AccelError::LanePanic`] for its device; the other lanes
+/// run to completion either way.
 fn drive_lanes<F>(
     lanes: &mut [DeviceLane<'_>],
     schedule: LaneSchedule,
@@ -179,7 +198,10 @@ where
         return lanes
             .iter_mut()
             .enumerate()
-            .map(|(i, lane)| work(i, lane))
+            .map(|(i, lane)| {
+                let device = lane.device();
+                catch_lane(device, || work(i, lane))
+            })
             .collect();
     }
     let work = &work;
@@ -187,11 +209,27 @@ where
         let handles: Vec<_> = lanes
             .iter_mut()
             .enumerate()
-            .map(|(i, lane)| scope.spawn(move || work(i, lane)))
+            .map(|(i, lane)| {
+                let device = lane.device();
+                (
+                    device,
+                    scope.spawn(move || catch_lane(device, || work(i, lane))),
+                )
+            })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("lane thread panicked"))
+            .map(|(device, h)| {
+                // The panic was already caught inside the thread; a join
+                // error here means the unwind escaped `catch_unwind`
+                // (e.g. a foreign exception) — still contain it.
+                h.join().unwrap_or_else(|payload| {
+                    Err(AccelError::LanePanic {
+                        device,
+                        payload: panic_message(payload.as_ref()),
+                    })
+                })
+            })
             .collect()
     });
     results.into_iter().collect()
@@ -420,6 +458,10 @@ fn pipeline_stage0(
     };
 
     // ---- Forward ---------------------------------------------------------
+    // Audited expects (here and through the backward pass): each stage
+    // struct is built a few lines up with exactly the fields its stage
+    // owns populated — stage 0 carries wte/wpe, stage 1 carries
+    // ln_f/head. No caller input reaches these Options.
     s.pass_boundary(Pass::Forward);
     let idx = s.alloc_tensor(&[batch, dims.seq], DType::I64)?;
     let wte0 = stage.wte.as_ref().expect("stage0 wte").tensor.clone();
@@ -557,15 +599,38 @@ pub fn train_iter_pipeline_parallel(
     let [lane0, lane1, ..] = lanes else {
         unreachable!("length checked above");
     };
+    let (d0, d1) = (lane0.device(), lane1.device());
     let (r0, r1) = std::thread::scope(|scope| {
-        let h0 = scope.spawn(move || pipeline_stage0(lane0, batch, fwd_tx, bwd_rx));
-        let h1 = scope.spawn(move || pipeline_stage1(lane1, batch, fwd_rx, bwd_tx));
-        (
-            h0.join().expect("stage0 thread panicked"),
-            h1.join().expect("stage1 thread panicked"),
-        )
+        let h0 =
+            scope.spawn(move || catch_lane(d0, || pipeline_stage0(lane0, batch, fwd_tx, bwd_rx)));
+        let h1 =
+            scope.spawn(move || catch_lane(d1, || pipeline_stage1(lane1, batch, fwd_rx, bwd_tx)));
+        let join = |device, h: std::thread::ScopedJoinHandle<'_, Result<LaneStats, AccelError>>| {
+            h.join().unwrap_or_else(|payload| {
+                Err(AccelError::LanePanic {
+                    device,
+                    payload: panic_message(payload.as_ref()),
+                })
+            })
+        };
+        (join(d0, h0), join(d1, h1))
     });
-    Ok(report(Parallelism::Pipeline, vec![r0?, r1?]))
+    match (r0, r1) {
+        (Ok(s0), Ok(s1)) => Ok(report(Parallelism::Pipeline, vec![s0, s1])),
+        (r0, r1) => {
+            // A stage panic is the root cause: the surviving peer fails
+            // secondarily with "pipeline peer vanished" when the panicked
+            // stage drops its handoff channel — report the panic first.
+            for r in [&r0, &r1] {
+                if let Err(e @ AccelError::LanePanic { .. }) = r {
+                    return Err(e.clone());
+                }
+            }
+            r0?;
+            r1?;
+            unreachable!("at least one stage failed in this branch");
+        }
+    }
 }
 
 /// Dispatches one training iteration under `strategy`.

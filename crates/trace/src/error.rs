@@ -94,3 +94,13 @@ impl From<std::io::Error> for TraceError {
         TraceError::Io(e)
     }
 }
+
+/// Bridges trace failures into the session-level taxonomy, so `?` works
+/// in code that mixes session and trace calls. The variant carries the
+/// rendered message (the orphan rule puts this impl here, and pasta-core
+/// cannot name `TraceError` — the dependency points the other way).
+impl From<TraceError> for pasta_core::PastaError {
+    fn from(e: TraceError) -> Self {
+        pasta_core::PastaError::Trace(e.to_string())
+    }
+}

@@ -11,6 +11,7 @@ use crate::codec::{encode_uvm, ShardEncoder};
 use crate::error::TraceError;
 use accel_sim::DeviceId;
 use parking_lot::Mutex;
+use pasta_core::hub::SharedHub;
 use pasta_core::processor::EventRecorder;
 use pasta_core::report::UvmReport;
 use pasta_core::{Event, PastaSession};
@@ -49,6 +50,17 @@ impl EventRecorder for ShardRecorder {
 
 /// Captures a session's normalized event streams into a binary trace.
 ///
+/// Capture is crash-consistent: a writer that never reaches
+/// [`TraceWriter::finish`] — an early return, a `?`, a contained panic —
+/// detaches its recorders when dropped, so the session keeps running
+/// without a dangling recorder, and [`TraceWriter::abort`] turns
+/// everything captured up to that point into a fully parseable trace
+/// (header, streams, end marker — only the UVM footer is absent).
+///
+/// One writer per session at a time: attaching a second writer replaces
+/// the first's recorders, so drop (or finish) the first before attaching
+/// another.
+///
 /// ```no_run
 /// # use pasta_core::Pasta;
 /// # use pasta_trace::TraceWriter;
@@ -64,6 +76,9 @@ impl EventRecorder for ShardRecorder {
 #[derive(Debug)]
 pub struct TraceWriter {
     shards: Vec<Arc<Mutex<ShardEncoder>>>,
+    /// The hub the recorders are attached to — kept so detach works from
+    /// `abort` and `Drop` without borrowing the session again.
+    hub: SharedHub,
 }
 
 impl TraceWriter {
@@ -78,7 +93,10 @@ impl TraceWriter {
             shards.push(Arc::clone(&enc));
             Box::new(ShardRecorder { enc }) as Box<dyn EventRecorder>
         });
-        TraceWriter { shards }
+        TraceWriter {
+            shards,
+            hub: Arc::clone(session.hub()),
+        }
     }
 
     /// Events captured so far, across all shards.
@@ -86,21 +104,52 @@ impl TraceWriter {
         self.shards.iter().map(|s| s.lock().records()).sum()
     }
 
+    /// Takes ownership of every shard encoder, leaving the writer empty
+    /// (its `Drop` then has nothing to detach).
+    fn take_encoders(&mut self) -> Vec<ShardEncoder> {
+        std::mem::take(&mut self.shards)
+            .into_iter()
+            .map(|enc| match Arc::try_unwrap(enc) {
+                Ok(m) => m.into_inner(),
+                // A recorder handle still holds the encoder — detach did
+                // not return it (e.g. a later writer replaced ours). Swap
+                // the captured state out under the lock instead.
+                Err(shared) => {
+                    let mut guard = shared.lock();
+                    let device = guard.device;
+                    std::mem::replace(&mut *guard, ShardEncoder::new(device))
+                }
+            })
+            .collect()
+    }
+
     /// Stops capture (detaches every recorder), snapshots the session's
     /// UVM report into the trace footer, and assembles the final bytes.
-    pub fn finish(self, session: &PastaSession) -> Trace {
+    pub fn finish(mut self, session: &PastaSession) -> Trace {
         drop(session.detach_event_recorders());
         let uvm = session.uvm_report();
-        let encoders = self
-            .shards
-            .into_iter()
-            .map(|enc| {
-                Arc::try_unwrap(enc)
-                    .expect("recorders were just detached; no other handle survives")
-                    .into_inner()
-            })
-            .collect();
-        Trace::assemble(encoders, uvm.as_ref())
+        Trace::assemble(self.take_encoders(), uvm.as_ref())
+    }
+
+    /// Abort-finalization: stops capture through the hub handle alone and
+    /// assembles everything recorded so far into a complete, parseable
+    /// trace (no UVM footer — the session is not consulted). Use this on
+    /// failure paths where the session is poisoned, mid-salvage, or
+    /// simply out of reach.
+    pub fn abort(mut self) -> Trace {
+        drop(self.hub.detach_recorders());
+        Trace::assemble(self.take_encoders(), None)
+    }
+}
+
+/// A writer dropped without [`TraceWriter::finish`]/[`TraceWriter::abort`]
+/// detaches its recorders so the session does not keep encoding into (and
+/// allocating for) a trace nobody can ever collect.
+impl Drop for TraceWriter {
+    fn drop(&mut self) {
+        if !self.shards.is_empty() {
+            drop(self.hub.detach_recorders());
+        }
     }
 }
 

@@ -141,6 +141,9 @@ impl BlockHotness {
         let bins = self.counts.keys().map(|&(_, t)| t + 1).max().unwrap_or(0);
         let mut grid = vec![vec![0u64; bins as usize]; blocks.len()];
         for (&(b, t), &c) in &self.counts {
+            // Audited expect: `blocks` is the sorted dedup of exactly
+            // these keys' block components (built above), so every lookup
+            // hits by construction — no input can make it miss.
             let bi = blocks.binary_search(&b).expect("block present");
             grid[bi][t as usize] += c;
         }

@@ -156,6 +156,9 @@ impl DeviceState {
             let Some(page) = victim else {
                 break; // everything left is pinned
             };
+            // Audited expect: the victim came out of `self.lru`, whose
+            // entries are inserted/removed in lockstep with `resident` —
+            // no workload input can desynchronize them.
             let info = self.resident.remove(&page).expect("victim resident");
             self.lru.remove(&info.seq);
             result.pages += 1;
