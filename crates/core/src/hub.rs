@@ -31,15 +31,25 @@
 //!    emission order; across classes a flush drains accesses before
 //!    control events — no tool observes a barrier "before" the accesses
 //!    of its own flush window.
-//! 4. **Batched flushes** — a full buffer (or kernel end) drains into the
-//!    launch's shard under a single lock per flush instead of
-//!    lock-per-event.
+//! 4. **Batched flushes** — a full buffer (or kernel end) spills the
+//!    whole window at once instead of handing off event-by-event.
+//! 5. **The lock-free spine** ([`crate::spine`]) — in the default
+//!    [`SpineMode::Ring`], a spill *pushes* the batch onto a bounded SPSC
+//!    ring instead of running tool dispatch under the shard mutex; the
+//!    shard side (a background [`crate::spine::SpineDrainer`], a
+//!    backpressured producer, or the next harvest) drains it off the
+//!    emission critical path. [`SpineMode::Inline`] keeps the historical
+//!    drain-under-lock behaviour as the differential reference. Every
+//!    acquisition through [`DeviceShard::lock`] drains pending rings
+//!    first, so reports, recorders and resets observe every pushed event
+//!    exactly once — [`Hub::quiesce`] is the explicit entry point.
 //!
 //! [`Symbol`]: accel_sim::Symbol
 
 use crate::event::{Event, EventClass};
 use crate::processor::EventProcessor;
 use crate::report::{MergedReport, ToolQuarantine, ToolReport};
+use crate::spine::{EventRing, ShardSpine, SpineConfig, SpineMode, SpineMsg};
 use crate::tool::Tool;
 use accel_sim::instrument::{DeviceTraceSink, TraceCtx};
 use accel_sim::{AccessBatch, DeviceId, KernelTraceSummary, LaunchId, MemSpace, ProbeConfig};
@@ -47,22 +57,61 @@ use dl_framework::pycall::CrossLayerStack;
 use parking_lot::{Mutex, MutexGuard};
 use std::sync::Arc;
 
-/// One device's slice of the hub: its event processor behind its own lock.
+/// One device's slice of the hub: its event processor behind its own
+/// lock, plus the spine registry of SPSC rings feeding it.
 #[derive(Debug)]
 pub struct DeviceShard {
     device: DeviceId,
     processor: Mutex<EventProcessor>,
+    spine: ShardSpine,
 }
 
 impl DeviceShard {
+    fn new(device: DeviceId, processor: EventProcessor) -> DeviceShard {
+        DeviceShard {
+            device,
+            processor: Mutex::new(processor),
+            spine: ShardSpine::default(),
+        }
+    }
+
     /// The device this shard serves.
     pub fn device(&self) -> DeviceId {
         self.device
     }
 
-    /// Locks this shard's processor.
+    /// Locks this shard's processor, draining any spine messages queued
+    /// by ring-mode sinks first — the guard therefore always observes a
+    /// state that includes every event pushed before the acquisition
+    /// (the exactly-once contract for reports and recorders).
     pub fn lock(&self) -> MutexGuard<'_, EventProcessor> {
+        let mut guard = self.processor.lock();
+        self.spine.drain(&mut guard);
+        guard
+    }
+
+    /// Locks without draining — for reads that depend only on state the
+    /// spine cannot carry (probe configs: region events arrive on the
+    /// host path, which drains synchronously). Keeps per-launch gate
+    /// reads off the drain path.
+    pub(crate) fn lock_raw(&self) -> MutexGuard<'_, EventProcessor> {
         self.processor.lock()
+    }
+
+    /// Opportunistically drains this shard's rings: a no-op (returning 0)
+    /// when someone else holds the processor lock — they will drain.
+    /// Returns the number of events drained. The [`crate::spine::SpineDrainer`]
+    /// heartbeat.
+    pub fn try_drain(&self) -> u64 {
+        match self.processor.try_lock() {
+            Some(mut guard) => self.spine.drain(&mut guard),
+            None => 0,
+        }
+    }
+
+    /// Registers a sink's ring as feeding this shard.
+    pub(crate) fn register_ring(&self, ring: Arc<EventRing>) {
+        self.spine.register(ring);
     }
 }
 
@@ -92,10 +141,7 @@ impl Hub {
     /// A single-shard hub serving every device.
     pub fn single(processor: EventProcessor) -> Hub {
         Hub {
-            shards: vec![DeviceShard {
-                device: DeviceId(0),
-                processor: Mutex::new(processor),
-            }],
+            shards: vec![DeviceShard::new(DeviceId(0), processor)],
         }
     }
 
@@ -120,10 +166,7 @@ impl Hub {
         }
         let mut shards: Vec<DeviceShard> = shards
             .into_iter()
-            .map(|(device, processor)| DeviceShard {
-                device,
-                processor: Mutex::new(processor),
-            })
+            .map(|(device, processor)| DeviceShard::new(device, processor))
             .collect();
         shards.sort_by_key(|s| s.device);
         Ok(Hub { shards })
@@ -156,13 +199,15 @@ impl Hub {
             .unwrap_or(&self.shards[0])
     }
 
-    /// Locks the shard serving `device`.
+    /// Locks the shard serving `device`, draining its pending spine
+    /// messages first (see [`DeviceShard::lock`]).
     pub fn lock_device(&self, device: DeviceId) -> MutexGuard<'_, EventProcessor> {
         self.shard_for(device).lock()
     }
 
     /// Locks the primary (lowest-device) shard — where deviceless state
-    /// like builder-registered tool instances lives.
+    /// like builder-registered tool instances lives. Drain-first like
+    /// every shard lock, so the guard's view is quiescent.
     pub fn primary(&self) -> MutexGuard<'_, EventProcessor> {
         self.shards[0].lock()
     }
@@ -190,6 +235,30 @@ impl Hub {
                 }
             }
         }
+    }
+
+    /// Drains every shard's pending spine messages into its processor —
+    /// the documented quiescent-drain entry point for harvesting and
+    /// reset paths. Returns the number of events drained.
+    ///
+    /// Callers rarely need this explicitly: every shard-lock acquisition
+    /// through [`DeviceShard::lock`] (and therefore every report, knob,
+    /// stack, recorder and reset path on the hub) drains first, so those
+    /// views are quiescent by construction. Call `quiesce` directly when
+    /// pending ring-mode events must become visible *without* taking any
+    /// further action — e.g. before comparing `events_processed` across
+    /// hubs, or after a parallel region whose drainers were stopped.
+    ///
+    /// Events pushed before this call are processed when it returns;
+    /// producers still running may of course push more afterwards.
+    pub fn quiesce(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| {
+                let mut guard = s.processor.lock();
+                s.spine.drain(&mut guard)
+            })
+            .sum()
     }
 
     /// Attaches one trace recorder per shard: `make` is called once per
@@ -400,11 +469,6 @@ fn merge_all_tools(procs: &[&EventProcessor]) -> Vec<Box<dyn Tool>> {
         .collect()
 }
 
-/// Buffered events per flush: one shard lock amortizes over this many
-/// fine-grained events (the sink-local analogue of the device trace
-/// buffer in the simulated profiler).
-const FLUSH_EVENTS: usize = 256;
-
 /// Drains the sink's per-class spill buffers into a processor whose lock
 /// the caller already holds: access events first, control events second,
 /// each class through one dispatch-row lookup.
@@ -470,11 +534,25 @@ impl LaunchGate {
 /// The device-trace sink that feeds fine-grained events into the hub.
 ///
 /// A sink binds to its launch's device shard at kernel begin; everything
-/// it buffers drains into that shard. Per-device profilers (one per
-/// parallel lane) therefore emit into disjoint shards and never contend.
+/// it buffers reaches that shard. Per-device profilers (one per parallel
+/// lane) therefore emit into disjoint shards and never contend.
+///
+/// In the default [`SpineMode::Ring`] the sink owns one SPSC
+/// [`EventRing`] per device it has visited: spills *push* onto the
+/// bound device's ring and return, leaving tool dispatch to the shard
+/// side. A full ring (or an empty buffer pool) triggers the lossless
+/// backpressure path — the sink takes the shard lock, which drains every
+/// pending ring (its own older messages first), and processes the
+/// overflow inline. [`SpineMode::Inline`] reproduces the pre-spine
+/// behaviour: spills drain under the shard lock on the emission path.
+/// Both modes cut batches at identical stream offsets and deliver the
+/// identical event sequence to the shard's processor, which is what the
+/// ring-vs-inline byte-identity suites pin.
 #[derive(Debug)]
 pub struct HubSink {
     hub: SharedHub,
+    mode: SpineMode,
+    config: SpineConfig,
     /// [`EventClass::DeviceAccess`] spill buffer (emission order).
     access_buf: Vec<Event>,
     /// [`EventClass::DeviceControl`] spill buffer (emission order).
@@ -482,17 +560,38 @@ pub struct HubSink {
     gate: Option<LaunchGate>,
     /// Device whose shard the buffered events belong to.
     bound: DeviceId,
+    /// Ring per visited device (ring mode; lazily created and registered
+    /// with the device's shard). Sinks visit at most a handful of
+    /// devices, so a linear scan beats a map here.
+    rings: Vec<(DeviceId, Arc<EventRing>)>,
 }
 
 impl HubSink {
-    /// Creates a sink feeding `hub`.
+    /// Creates a sink feeding `hub` over the default ring spine.
     pub fn new(hub: SharedHub) -> Self {
+        Self::with_spine(hub, SpineMode::Ring, SpineConfig::default())
+    }
+
+    /// Creates a sink that drains under the shard lock on the emission
+    /// path — the pre-spine reference used by differential tests and the
+    /// bench decompositions.
+    pub fn inline_spine(hub: SharedHub) -> Self {
+        Self::with_spine(hub, SpineMode::Inline, SpineConfig::default())
+    }
+
+    /// Creates a sink with an explicit spine mode and ring geometry
+    /// (tests shrink the geometry to force wraparound and backpressure).
+    pub fn with_spine(hub: SharedHub, mode: SpineMode, config: SpineConfig) -> Self {
+        let batch = config.batch_events.max(1);
         HubSink {
             hub,
-            access_buf: Vec::with_capacity(FLUSH_EVENTS),
-            control_buf: Vec::with_capacity(FLUSH_EVENTS),
+            mode,
+            config,
+            access_buf: Vec::with_capacity(batch),
+            control_buf: Vec::with_capacity(batch),
             gate: None,
             bound: DeviceId(0),
+            rings: Vec::new(),
         }
     }
 
@@ -501,40 +600,123 @@ impl HubSink {
         self.access_buf.len() + self.control_buf.len()
     }
 
-    /// Drains the spill buffers into the bound shard under one lock:
-    /// access events first, control events second, each class through one
-    /// dispatch-row lookup.
+    /// Hands the spill buffers to the bound shard: access events first,
+    /// control events second, each class through one dispatch-row
+    /// lookup. Ring mode pushes the buffers onto the spine (visible at
+    /// the shard's next drain); inline mode processes them under the
+    /// shard lock before returning.
     pub fn flush(&mut self) {
         if self.access_buf.is_empty() && self.control_buf.is_empty() {
             return;
         }
-        let mut processor = self.hub.lock_device(self.bound);
-        drain_buffers(&mut self.access_buf, &mut self.control_buf, &mut processor);
+        match self.mode {
+            SpineMode::Ring => {
+                self.spill_class(EventClass::DeviceAccess);
+                self.spill_class(EventClass::DeviceControl);
+            }
+            SpineMode::Inline => {
+                let mut processor = self.hub.lock_device(self.bound);
+                drain_buffers(&mut self.access_buf, &mut self.control_buf, &mut processor);
+            }
+        }
+    }
+
+    /// The ring feeding `device`'s shard, created and registered on
+    /// first use.
+    fn ensure_ring(&mut self, device: DeviceId) -> Arc<EventRing> {
+        if let Some((_, ring)) = self.rings.iter().find(|(d, _)| *d == device) {
+            return Arc::clone(ring);
+        }
+        let ring = Arc::new(EventRing::with_config(&self.config));
+        self.hub.shard_for(device).register_ring(Arc::clone(&ring));
+        self.rings.push((device, Arc::clone(&ring)));
+        ring
+    }
+
+    /// Pushes `msg` onto `ring`, applying lossless backpressure on a full
+    /// ring: take the shard lock (the drain-first acquisition empties
+    /// every pending ring — this sink's older messages first, so per-ring
+    /// FIFO holds) and process the overflow inline as the consumer.
+    fn ring_send(&self, ring: &EventRing, msg: SpineMsg) {
+        if let Err(msg) = ring.push(msg) {
+            let mut processor = self.hub.shard_for(self.bound).lock();
+            match msg {
+                SpineMsg::One(event) => processor.process(&event),
+                SpineMsg::Batch(class, events) => {
+                    processor.process_class_batch(class, &events);
+                    // Still holding the shard lock: recycling is a
+                    // consumer-role operation on the free ring.
+                    ring.recycle(events);
+                }
+            }
+        }
+    }
+
+    /// A replacement spill buffer: recycled from the free ring when the
+    /// consumer returned one; otherwise the pool is dry (the shard has
+    /// not drained yet), so self-drain — the lossless backpressure path
+    /// recycles every in-flight buffer — and retry. Allocation is the
+    /// cold last resort (e.g. shrunken test geometries).
+    fn take_or_reclaim_buffer(&self, ring: &EventRing) -> Vec<Event> {
+        if let Some(buf) = ring.take_buffer() {
+            return buf;
+        }
+        drop(self.hub.shard_for(self.bound).lock());
+        ring.take_buffer()
+            .unwrap_or_else(|| Vec::with_capacity(self.config.batch_events.max(1)))
+    }
+
+    /// Ring mode: moves one class's spill buffer onto the bound ring,
+    /// installing a recycled buffer in its place.
+    fn spill_class(&mut self, class: EventClass) {
+        let is_empty = match class {
+            EventClass::DeviceAccess => self.access_buf.is_empty(),
+            _ => self.control_buf.is_empty(),
+        };
+        if is_empty {
+            return;
+        }
+        let ring = self.ensure_ring(self.bound);
+        let replacement = self.take_or_reclaim_buffer(&ring);
+        let full = match class {
+            EventClass::DeviceAccess => std::mem::replace(&mut self.access_buf, replacement),
+            _ => std::mem::replace(&mut self.control_buf, replacement),
+        };
+        self.ring_send(&ring, SpineMsg::Batch(class, full));
+    }
+
+    /// Ring mode: sends a single out-of-band event (launch markers) on
+    /// the bound ring.
+    fn send_one(&mut self, event: Event) {
+        let ring = self.ensure_ring(self.bound);
+        self.ring_send(&ring, SpineMsg::One(event));
     }
 
     fn push_access(&mut self, event: Event) {
         self.access_buf.push(event);
-        if self.access_buf.len() >= FLUSH_EVENTS {
+        if self.access_buf.len() >= self.config.batch_events.max(1) {
             self.flush();
         }
     }
 
     fn push_control(&mut self, event: Event) {
         self.control_buf.push(event);
-        if self.control_buf.len() >= FLUSH_EVENTS {
+        if self.control_buf.len() >= self.config.batch_events.max(1) {
             self.flush();
         }
     }
 
     /// The gate for `ctx`'s launch, recomputed under the shard lock only
     /// when a callback arrives out of band (no preceding
-    /// `on_kernel_begin`).
+    /// `on_kernel_begin`). The raw (non-draining) lock suffices: probe
+    /// configs depend only on tool interests and region state, and
+    /// region events arrive on the host path, which drains synchronously.
     fn gate_for(&mut self, ctx: &TraceCtx) -> LaunchGate {
         match self.gate {
             Some(gate) if gate.launch == ctx.launch && gate.device == ctx.device => gate,
             _ => {
                 self.rebind(ctx.device);
-                let processor = self.hub.lock_device(ctx.device);
+                let processor = self.hub.shard_for(ctx.device).lock_raw();
                 let config = processor.probe_config_for(ctx.launch);
                 let gate = LaunchGate::for_launch(ctx, config, &processor);
                 drop(processor);
@@ -544,9 +726,11 @@ impl HubSink {
         }
     }
 
-    /// Points the sink at `device`'s shard, draining anything buffered
-    /// for the previously bound shard first so cross-launch ordering is
-    /// preserved per shard.
+    /// Points the sink at `device`'s shard, handing anything buffered to
+    /// the previously bound shard first. Events of a launch whose kernel
+    /// end never arrived therefore stay attributed to the *old* device's
+    /// shard — the device they were emitted on — never silently re-routed
+    /// to the new one (pinned by the leftover-drain regression tests).
     fn rebind(&mut self, device: DeviceId) {
         if self.bound != device {
             self.flush();
@@ -555,9 +739,66 @@ impl HubSink {
     }
 }
 
+impl Drop for HubSink {
+    /// Lossless teardown: partial spill buffers are handed to the spine
+    /// (ring mode) or drained (inline mode) so harvest-time drains still
+    /// observe them — the salvaged-report path for sinks dropped by a
+    /// panicked lane. During a panic unwind only the lock-free pushes
+    /// run: taking the shard lock could execute tool code mid-unwind.
+    fn drop(&mut self) {
+        match self.mode {
+            SpineMode::Ring => {
+                if std::thread::panicking() {
+                    if let Some((_, ring)) = self.rings.iter().find(|(d, _)| *d == self.bound) {
+                        let access = std::mem::take(&mut self.access_buf);
+                        if !access.is_empty() {
+                            let _ = ring.push(SpineMsg::Batch(EventClass::DeviceAccess, access));
+                        }
+                        let control = std::mem::take(&mut self.control_buf);
+                        if !control.is_empty() {
+                            let _ = ring.push(SpineMsg::Batch(EventClass::DeviceControl, control));
+                        }
+                    }
+                } else {
+                    self.flush();
+                }
+                for (_, ring) in &self.rings {
+                    ring.close();
+                }
+            }
+            SpineMode::Inline => {
+                if !std::thread::panicking() {
+                    self.flush();
+                }
+            }
+        }
+    }
+}
+
 impl DeviceTraceSink for HubSink {
     fn on_kernel_begin(&mut self, ctx: &TraceCtx) -> ProbeConfig {
         self.rebind(ctx.device);
+        if self.mode == SpineMode::Ring {
+            // Leftovers from a launch whose end never reached us precede
+            // this launch's begin on the ring, preserving cross-launch
+            // order; the gate then reads through the raw lock (probe
+            // configs never depend on spine-carried state).
+            self.flush();
+            self.send_one(Event::KernelLaunchBegin {
+                launch: ctx.launch,
+                device: ctx.device,
+                stream: ctx.stream,
+                name: ctx.name.clone(),
+                grid: ctx.grid,
+                block: ctx.block,
+            });
+            let processor = self.hub.shard_for(ctx.device).lock_raw();
+            let config = processor.probe_config_for(ctx.launch);
+            let gate = LaunchGate::for_launch(ctx, config, &processor);
+            drop(processor);
+            self.gate = Some(gate);
+            return config;
+        }
         let mut processor = self.hub.lock_device(ctx.device);
         // Leftovers from a launch whose end never reached us drain first so
         // cross-launch ordering is preserved.
@@ -628,18 +869,24 @@ impl DeviceTraceSink for HubSink {
     }
 
     fn on_kernel_end(&mut self, ctx: &TraceCtx, summary: &KernelTraceSummary) {
-        // One lock drains the launch's buffered events and delivers the
-        // trace summary, which always flows (the knob aggregates feed on
-        // it even when no tool subscribed).
+        // The launch's buffered events precede its trace summary, which
+        // always flows (the knob aggregates feed on it even when no tool
+        // subscribed). Ring mode takes no lock here at all in the common
+        // case: spill + push and the emitter is done with the launch.
         self.rebind(ctx.device);
-        let mut processor = self.hub.lock_device(ctx.device);
-        drain_buffers(&mut self.access_buf, &mut self.control_buf, &mut processor);
-        processor.process(&Event::KernelTrace {
+        let trace = Event::KernelTrace {
             launch: ctx.launch,
             kernel: ctx.name.clone(),
             summary: summary.clone(),
-        });
-        drop(processor);
+        };
+        if self.mode == SpineMode::Ring {
+            self.flush();
+            self.send_one(trace);
+        } else {
+            let mut processor = self.hub.lock_device(ctx.device);
+            drain_buffers(&mut self.access_buf, &mut self.control_buf, &mut processor);
+            processor.process(&trace);
+        }
         self.gate = None;
     }
 }
@@ -842,14 +1089,23 @@ mod tests {
 
     #[test]
     fn full_buffer_flushes_mid_launch() {
-        let hub = new_shared(space_counter_processor());
-        let mut sink = HubSink::new(Arc::clone(&hub));
-        sink.on_kernel_begin(&ctx());
-        for _ in 0..(FLUSH_EVENTS + 10) {
-            sink.on_batch(&ctx(), &batch(MemSpace::Global));
+        // Both spine modes spill at the same stream offset; the buffered
+        // tail is invisible to the processor until the next flush point.
+        let flush_events = SpineConfig::default().batch_events;
+        for mode in [SpineMode::Ring, SpineMode::Inline] {
+            let hub = new_shared(space_counter_processor());
+            let mut sink = HubSink::with_spine(Arc::clone(&hub), mode, SpineConfig::default());
+            sink.on_kernel_begin(&ctx());
+            for _ in 0..(flush_events + 10) {
+                sink.on_batch(&ctx(), &batch(MemSpace::Global));
+            }
+            assert_eq!(sink.buffered(), 10, "one full buffer spilled mid-launch");
+            assert_eq!(
+                hub.events_processed() as usize,
+                1 + flush_events,
+                "{mode:?}"
+            );
         }
-        assert_eq!(sink.buffered(), 10, "one full buffer drained mid-launch");
-        assert_eq!(hub.events_processed() as usize, 1 + FLUSH_EVENTS);
     }
 
     #[test]
@@ -989,6 +1245,45 @@ mod tests {
                 .calls,
             0
         );
+    }
+
+    #[test]
+    fn rebind_leftovers_attribute_to_old_shard() {
+        // Regression (ISSUE 8 satellite): when a launch's kernel-end never
+        // arrives (lost trace, crashed lane) and the sink rebinds to a new
+        // device, the events still buffered for the orphaned launch must
+        // flush to the *old* device's shard — they were observed there.
+        // Silently re-routing them to the new shard would corrupt both
+        // devices' per-shard state. Pinned for both spine modes.
+        for mode in [SpineMode::Ring, SpineMode::Inline] {
+            let hub = sharded_hub(2);
+            let mut sink = HubSink::with_spine(Arc::clone(&hub), mode, SpineConfig::default());
+            let orphan = ctx_on(0);
+            sink.on_kernel_begin(&orphan);
+            sink.on_batch(&orphan, &batch(MemSpace::Global));
+            sink.on_batch(&orphan, &batch(MemSpace::Shared));
+            assert!(sink.buffered() > 0, "leftovers pending at rebind time");
+            // No on_kernel_end for the orphan: the next launch (device 1)
+            // triggers the rebind path's leftover flush.
+            let next = ctx_on(1);
+            sink.on_kernel_begin(&next);
+            sink.on_kernel_end(&next, &KernelTraceSummary::default());
+            let per_shard: Vec<(u64, u64)> = hub
+                .shards()
+                .iter()
+                .map(|s| {
+                    s.lock()
+                        .tools
+                        .with_tool_mut("spaces", |t: &mut SpaceCounter| (t.global, t.shared))
+                        .unwrap()
+                })
+                .collect();
+            assert_eq!(
+                per_shard,
+                vec![(1, 1), (0, 0)],
+                "{mode:?}: orphaned launch's events belong to gpu0's shard"
+            );
+        }
     }
 
     #[test]

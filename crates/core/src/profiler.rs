@@ -22,6 +22,7 @@ use crate::knob::{KernelAggregate, Knob};
 use crate::processor::EventProcessor;
 use crate::range::RangeFilter;
 use crate::report::{MergedReport, SessionReport, ToolQuarantine, ToolReport, UvmReport};
+use crate::spine::{SpineConfig, SpineDrainer, SpineMode};
 use crate::tool::Tool;
 use crate::workload::{ModelWorkload, Workload, WorkloadCx};
 use accel_sim::instrument::ProfilerHandle;
@@ -163,6 +164,7 @@ pub struct PastaBuilder {
     range: RangeFilter,
     capture_knob: Option<Knob>,
     uvm: Option<UvmSetup>,
+    spine_mode: SpineMode,
 }
 
 impl Default for PastaBuilder {
@@ -176,6 +178,7 @@ impl Default for PastaBuilder {
             range: RangeFilter::all(),
             capture_knob: Some(Knob::MaxMemReferencedKernel),
             uvm: None,
+            spine_mode: SpineMode::Ring,
         }
     }
 }
@@ -269,6 +272,15 @@ impl PastaBuilder {
     /// Attaches UVM with the given setup.
     pub fn uvm(mut self, setup: UvmSetup) -> Self {
         self.uvm = Some(setup);
+        self
+    }
+
+    /// How sinks hand fine-grained events to their shard:
+    /// [`SpineMode::Ring`] (the default lock-free SPSC spine) or
+    /// [`SpineMode::Inline`] (the mutex-spine reference — kept for
+    /// differential byte-identity tests and bench decompositions).
+    pub fn spine_mode(mut self, mode: SpineMode) -> Self {
+        self.spine_mode = mode;
         self
     }
 
@@ -394,7 +406,11 @@ impl PastaBuilder {
         };
 
         if let Some(handle) = &profiler {
-            handle.set_sink(Box::new(HubSink::new(Arc::clone(&hub))));
+            handle.set_sink(Box::new(HubSink::with_spine(
+                Arc::clone(&hub),
+                self.spine_mode,
+                SpineConfig::default(),
+            )));
         }
 
         Ok(PastaSession {
@@ -406,6 +422,7 @@ impl PastaBuilder {
             backend,
             sampling_rate: self.sampling_rate,
             wants_device,
+            spine_mode: self.spine_mode,
             lane_overhead: OverheadBreakdown::default(),
             lane_records: 0,
             lane_uvm: BTreeMap::new(),
@@ -472,6 +489,9 @@ pub struct PastaSession {
     backend: BackendChoice,
     sampling_rate: u32,
     wants_device: bool,
+    /// How this session's sinks hand events to their shards (parallel
+    /// lanes inherit it).
+    spine_mode: SpineMode,
     /// Overhead accumulated by finished parallel-lane profilers.
     lane_overhead: OverheadBreakdown,
     /// Records observed by finished parallel-lane profilers.
@@ -915,7 +935,11 @@ impl PastaSession {
                 }
             };
             if let Some(handle) = &handle {
-                handle.set_sink(Box::new(HubSink::new(Arc::clone(&self.hub))));
+                handle.set_sink(Box::new(HubSink::with_spine(
+                    Arc::clone(&self.hub),
+                    self.spine_mode,
+                    SpineConfig::default(),
+                )));
             }
             // A UVM session replicates into its lanes: each lane carries a
             // manager forked from the session's (same config, budgets and
@@ -950,6 +974,14 @@ impl PastaSession {
             })
             .collect::<Result<_, _>>()?;
 
+        // Lane drain scheduling: with the ring spine, one background
+        // drainer per lane device keeps that shard's rings drained while
+        // the emitters run, so tool dispatch leaves the emission critical
+        // path. Inline-spine (or host-only) sessions skip the threads —
+        // there is nothing to drain off-path.
+        let drainer = (self.wants_device && self.spine_mode == SpineMode::Ring)
+            .then(|| SpineDrainer::start(Arc::clone(&self.hub), devices));
+
         // The orchestration closure is contained like a lane: a panic
         // unwinding out of it (or out of an unguarded thread it joined)
         // becomes a typed failure, and the harvest below still runs so the
@@ -967,6 +999,16 @@ impl PastaSession {
             lane.session.synchronize();
         }
         drop(lanes);
+        // Stop the drainers, then make every pushed event visible before
+        // the harvest below — lane sinks were dropped with the contexts
+        // further down, but their rings stay registered until drained
+        // empty, so a panicked lane's events still reach the salvaged
+        // report. (Contexts drop after the quiesce-on-lock harvest paths
+        // run; the explicit quiesce here covers everything pushed so far.)
+        if let Some(drainer) = drainer {
+            drainer.stop();
+        }
+        self.hub.quiesce();
         // Harvest the lane UVM managers and fold them into the session
         // manager in ascending device id — the same deterministic order
         // as the session-end tool merge, regardless of the order the
@@ -1000,6 +1042,12 @@ impl PastaSession {
             self.lane_overhead.setup_ns += b.setup_ns;
             self.lane_records += handle.records_total();
         }
+        // Lane sinks die with their contexts; a ring-mode sink's Drop
+        // spills partial spill buffers onto its rings (even for a lane
+        // that panicked mid-launch). Quiesce afterwards so that tail is
+        // visible to the salvaged report `salvage` may build below.
+        drop(contexts);
+        self.hub.quiesce();
         result.map_err(|e| self.salvage(e))
     }
 

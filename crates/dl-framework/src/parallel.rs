@@ -6,7 +6,13 @@
 //! [`DeviceLane`] (a framework [`Session`] pinned to one device), so
 //! tensor traffic, operator brackets and fine-grained device events from
 //! different GPUs really do race into the profiling layer — which the
-//! per-device hub shards absorb without a shared lock. Pipeline
+//! per-device hub shards absorb without a shared lock. Since the
+//! lock-free spine rework the lane threads do not even take their own
+//! shard's lock on the hot path: sinks push batched spills onto SPSC
+//! rings and `run_parallel` schedules one background drainer per lane
+//! device to consume them off the emission critical path (with the
+//! producer-side backpressure fallback keeping the path lossless when a
+//! drainer falls behind — see `pasta_core::spine`). Pipeline
 //! parallelism sequences its cross-stage activation handoffs with
 //! channels, exactly where a real run would block on send/recv.
 //!

@@ -15,8 +15,15 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use pasta::core::hub::{Hub, HubSink};
+use pasta::core::spine::{SpineConfig, SpineMode};
+use pasta::core::tool::{Interest, Tool};
 use pasta::core::{Event, EventClass, EventProcessor, EventRecorder};
-use pasta::sim::LaunchId;
+use pasta::sim::instrument::{DeviceTraceSink, TraceCtx};
+use pasta::sim::{
+    AccessBatch, AccessKind, AccessPattern, DeviceId, Dim3, KernelTraceSummary, LaunchId, MemSpace,
+};
+use std::sync::Arc;
 
 struct CountingAlloc {
     allocs: AtomicU64,
@@ -104,4 +111,95 @@ fn untraced_event_path_performs_zero_allocations() {
         "detaching the recorder restores the allocation-free drain"
     );
     assert_eq!(processor.events_processed(), 3 * events.len() as u64);
+
+    // Phase 4 (ISSUE 8): the ring spine in steady state. After warmup —
+    // ring registered, batch-buffer pool primed, kernel name interned —
+    // whole launches through the SPSC path (emit, spill, push, the
+    // producer-side backpressure drain, buffer recycle) must not allocate
+    // either: every buffer the cycle touches is preallocated and comes
+    // back through the free ring.
+    let mut p = EventProcessor::new();
+    p.tools.register(Box::<FlatCounter>::default());
+    let hub = Arc::new(Hub::sharded(vec![(DeviceId(0), p)]).unwrap());
+    let mut sink = HubSink::with_spine(
+        Arc::clone(&hub),
+        SpineMode::Ring,
+        SpineConfig {
+            ring_slots: 4,
+            pool_buffers: 2,
+            batch_events: 64,
+        },
+    );
+    let ctx = TraceCtx {
+        launch: LaunchId(1),
+        device: DeviceId(0),
+        stream: 0,
+        name: "ring_kernel".into(),
+        grid: Dim3::linear(8),
+        block: Dim3::linear(64),
+    };
+    let access = AccessBatch {
+        launch: LaunchId(1),
+        spec_index: 0,
+        base: 0x1000,
+        len: 4096,
+        records: 16,
+        bytes: 4096,
+        elem_size: 4,
+        kind: AccessKind::Load,
+        space: MemSpace::Global,
+        pattern: AccessPattern::Sequential,
+    };
+    let launch = |sink: &mut HubSink| {
+        sink.on_kernel_begin(&ctx);
+        for _ in 0..32 {
+            sink.on_batch(&ctx, &access);
+            sink.on_barriers(&ctx, 2);
+        }
+        sink.on_kernel_end(&ctx, &KernelTraceSummary::default());
+    };
+    for _ in 0..3 {
+        launch(&mut sink); // warmup: allocate the ring, pool, symbol
+    }
+    let before = allocs();
+    for _ in 0..4 {
+        launch(&mut sink);
+    }
+    assert_eq!(
+        allocs() - before,
+        0,
+        "the untraced ring-spine steady state must not allocate"
+    );
+    hub.quiesce();
+    let n = hub
+        .primary()
+        .tools
+        .with_tool_mut("flat-counter", |t: &mut FlatCounter| t.seen)
+        .unwrap();
+    assert_eq!(n, 7 * (1 + 64 + 1), "every warmup+measured event arrived");
+}
+
+/// Counts events without touching the heap — safe inside the measured
+/// allocation window.
+#[derive(Debug, Default)]
+struct FlatCounter {
+    seen: u64,
+}
+
+impl Tool for FlatCounter {
+    fn name(&self) -> &str {
+        "flat-counter"
+    }
+    fn interest(&self) -> Interest {
+        Interest::all()
+    }
+    fn on_event(&mut self, _event: &Event) {
+        self.seen += 1;
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
 }
