@@ -126,6 +126,9 @@ impl DeviceShard {
 #[derive(Debug)]
 pub struct Hub {
     shards: Vec<DeviceShard>,
+    /// Worker budget for the session-end merge plan (`0` = available
+    /// parallelism); see [`Hub::set_merge_threads`].
+    merge_threads: std::sync::atomic::AtomicUsize,
 }
 
 /// Shared handle to the hub.
@@ -142,6 +145,7 @@ impl Hub {
     pub fn single(processor: EventProcessor) -> Hub {
         Hub {
             shards: vec![DeviceShard::new(DeviceId(0), processor)],
+            merge_threads: std::sync::atomic::AtomicUsize::new(0),
         }
     }
 
@@ -169,7 +173,27 @@ impl Hub {
             .map(|(device, processor)| DeviceShard::new(device, processor))
             .collect();
         shards.sort_by_key(|s| s.device);
-        Ok(Hub { shards })
+        Ok(Hub {
+            shards,
+            merge_threads: std::sync::atomic::AtomicUsize::new(0),
+        })
+    }
+
+    /// Caps the worker threads the session-end merge plan
+    /// ([`crate::merge`]) may use for this hub's folds (`0` = available
+    /// parallelism). Thread count never changes merged bytes — the tree
+    /// shape is a function of shard count alone — so this is purely a
+    /// resource knob; `PastaBuilder` stamps it from
+    /// `ParallelConfig::max_merge_threads`.
+    pub fn set_merge_threads(&self, max_threads: usize) {
+        self.merge_threads
+            .store(max_threads, std::sync::atomic::Ordering::Release);
+    }
+
+    /// The merge plan's worker budget (`0` = available parallelism).
+    pub fn merge_threads(&self) -> usize {
+        self.merge_threads
+            .load(std::sync::atomic::Ordering::Acquire)
     }
 
     /// True when the hub routes devices to distinct shards.
@@ -310,7 +334,10 @@ impl Hub {
         let guards: Vec<MutexGuard<'_, EventProcessor>> =
             self.shards.iter().map(DeviceShard::lock).collect();
         let procs: Vec<&EventProcessor> = guards.iter().map(|g| &**g).collect();
-        merge_all_tools(&procs).iter().map(|t| t.report()).collect()
+        merge_all_tools(&procs, self.merge_threads())
+            .iter()
+            .map(|t| t.report())
+            .collect()
     }
 
     /// The full merged report: merged tools, the per-shard breakdown, and
@@ -324,7 +351,10 @@ impl Hub {
             guards[0].tools.reports()
         } else {
             let procs: Vec<&EventProcessor> = guards.iter().map(|g| &**g).collect();
-            merge_all_tools(&procs).iter().map(|t| t.report()).collect()
+            merge_all_tools(&procs, self.merge_threads())
+                .iter()
+                .map(|t| t.report())
+                .collect()
         };
         MergedReport {
             tools,
@@ -369,7 +399,7 @@ impl Hub {
         let procs: Vec<&EventProcessor> = guards.iter().map(|g| &**g).collect();
         let i = (0..procs[0].tools.len())
             .find(|&i| procs[0].tools.tool_at(i).is_some_and(|t| t.name() == name))?;
-        let merged = merge_tool_index(&procs, i);
+        let merged = merge_tool_index(&procs, i, self.merge_threads());
         merged.as_any().downcast_ref::<T>().map(f)
     }
 
@@ -408,9 +438,18 @@ fn collect_quarantines<'a>(procs: impl Iterator<Item = &'a EventProcessor>) -> V
     out
 }
 
-/// Folds every shard's instance of tool `i` into a fresh fork, ascending
-/// device id (the callers pass `procs` in shard order, which is device
-/// order) — the sequential unit of work of the session-end merge.
+/// Folds every shard's instance of tool `i` into a fresh fork via the
+/// shared merge plan ([`crate::merge::tree_reduce`]), ascending device id
+/// (the callers pass `procs` in shard order, which is device order).
+///
+/// Each non-quarantined shard contributes one leaf — a fresh fork of the
+/// primary instance with that shard's state merged in — and the leaves
+/// tree-reduce pairwise in device order on up to `max_threads` workers.
+/// A fork is an identity element for [`Tool::merge`] (empty accumulated
+/// state), so the tree's result is byte-identical to the linear
+/// `fork ∘ s₀ ∘ s₁ ∘ …` fold this replaces; the tree shape depends only
+/// on the shard count, so thread count never changes the bytes (the
+/// `tests/concurrency.rs` and `tests/scale_out.rs` suites pin this).
 ///
 /// A shard instance quarantined after a panicking callback is excluded
 /// from the fold: its state is memory-safe but potentially inconsistent
@@ -420,53 +459,44 @@ fn collect_quarantines<'a>(procs: impl Iterator<Item = &'a EventProcessor>) -> V
 // construction (every shard is a `fork_all` of one collection), so these
 // lookups encode structural invariants, not data-dependent conditions.
 #[allow(clippy::expect_used)]
-fn merge_tool_index(procs: &[&EventProcessor], i: usize) -> Box<dyn Tool> {
+fn merge_tool_index(procs: &[&EventProcessor], i: usize, max_threads: usize) -> Box<dyn Tool> {
     let primary = procs[0].tools.tool_at(i).expect("tool index in range");
-    let mut merged = primary
-        .fork()
-        .expect("sharded sessions hold only forkable tools");
-    for proc in procs {
-        if proc.tools.is_quarantined(i) {
-            continue;
-        }
-        merged.merge(proc.tools.tool_at(i).expect("same registration"));
-    }
-    merged
+    let leaves: Vec<Box<dyn Tool>> = procs
+        .iter()
+        .filter(|proc| !proc.tools.is_quarantined(i))
+        .map(|proc| {
+            let mut leaf = primary
+                .fork()
+                .expect("sharded sessions hold only forkable tools");
+            leaf.merge(proc.tools.tool_at(i).expect("same registration"));
+            leaf
+        })
+        .collect();
+    crate::merge::tree_reduce(leaves, max_threads, |a, b| a.merge(&*b)).unwrap_or_else(|| {
+        // Every shard quarantined this tool: report the empty fork.
+        primary
+            .fork()
+            .expect("sharded sessions hold only forkable tools")
+    })
 }
 
 /// Merged boxes of every registered tool across `procs` (registration
-/// order). Sessions with more than two shards run the independent
-/// per-tool folds on a small scoped thread pool; each tool still folds
-/// its shards *sequentially* in ascending device id on one thread, so
-/// the output is byte-identical to the fully sequential merge — the pool
-/// only overlaps folds of different tools, never reorders a fold.
-fn merge_all_tools(procs: &[&EventProcessor]) -> Vec<Box<dyn Tool>> {
+/// order), scheduled by the shared merge plan. Hubs with more than two
+/// shards spend `max_threads` workers (`0` = available parallelism):
+/// across tools when there are several ([`crate::merge::reduce_indexed`],
+/// each tool's shard tree running whole on one worker), or *within* the
+/// shard tree when a single tool spans many shards — the 256-shard,
+/// one-tool teardown the scale-out workload produces. Two-shard hubs
+/// merge sequentially, exactly as before the pool existed. Either way
+/// the bytes match the fully sequential merge — the plan only changes
+/// which thread executes a pair, never the pairing order.
+fn merge_all_tools(procs: &[&EventProcessor], max_threads: usize) -> Vec<Box<dyn Tool>> {
     let n = procs[0].tools.len();
-    let workers = if procs.len() > 2 { n.min(4) } else { 1 };
-    if workers <= 1 {
-        return (0..n).map(|i| merge_tool_index(procs, i)).collect();
+    let workers = if procs.len() > 2 { max_threads } else { 1 };
+    if n == 1 {
+        return vec![merge_tool_index(procs, 0, workers)];
     }
-    let mut merged: Vec<Option<Box<dyn Tool>>> = (0..n).map(|_| None).collect();
-    let chunk = n.div_ceil(workers);
-    std::thread::scope(|scope| {
-        for (w, slots) in merged.chunks_mut(chunk).enumerate() {
-            let base = w * chunk;
-            scope.spawn(move || {
-                for (j, slot) in slots.iter_mut().enumerate() {
-                    *slot = Some(merge_tool_index(procs, base + j));
-                }
-            });
-        }
-    });
-    merged
-        .into_iter()
-        // Audited expect: the chunked loop above fills every slot before
-        // the scope joins — an empty slot is unreachable by construction.
-        .map(|t| {
-            #[allow(clippy::expect_used)]
-            t.expect("every tool merged")
-        })
-        .collect()
+    crate::merge::reduce_indexed(n, workers, |i| merge_tool_index(procs, i, 1))
 }
 
 /// Drains the sink's per-class spill buffers into a processor whose lock
@@ -1368,10 +1398,10 @@ mod tests {
 
     #[test]
     fn pooled_merge_is_byte_identical_to_sequential() {
-        // Satellite (ISSUE 4): sessions with >2 shards fold tools on a
-        // small thread pool. The pool distributes *tools*, never splits a
-        // tool's ascending-device fold, so the merged report must be
-        // byte-identical to the fully sequential merge.
+        // Sessions with >2 shards run the shared merge plan (tree
+        // reduction scheduled across workers). The plan never reorders a
+        // fold's device order, so the merged report must be byte-identical
+        // to the fully sequential merge.
         let mut shards: Vec<(DeviceId, EventProcessor)> = Vec::new();
         for d in 0..4u32 {
             let mut p = EventProcessor::new();
@@ -1401,7 +1431,7 @@ mod tests {
         let guards: Vec<_> = hub.shards().iter().map(DeviceShard::lock).collect();
         let procs: Vec<&EventProcessor> = guards.iter().map(|g| &**g).collect();
         let sequential: Vec<crate::report::ToolReport> = (0..procs[0].tools.len())
-            .map(|i| merge_tool_index(&procs, i).report())
+            .map(|i| merge_tool_index(&procs, i, 1).report())
             .collect();
         drop(guards);
 

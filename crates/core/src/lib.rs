@@ -64,6 +64,7 @@ pub mod event;
 pub mod handler;
 pub mod hub;
 pub mod knob;
+pub mod merge;
 pub mod normalize;
 pub mod processor;
 pub mod profiler;
@@ -81,7 +82,7 @@ pub use error::{LaneFailure, PastaError, SalvagedRun};
 pub use event::{Event, EventClass};
 pub use knob::{Knob, KnobSet};
 pub use processor::{EventProcessor, EventRecorder};
-pub use profiler::{BackendChoice, Pasta, PastaBuilder, PastaSession, UvmSetup};
+pub use profiler::{BackendChoice, ParallelConfig, Pasta, PastaBuilder, PastaSession, UvmSetup};
 pub use range::RangeFilter;
 pub use report::{MergedReport, SessionReport, ToolQuarantine, ToolReport, UvmReport};
 pub use spine::{EventRing, SpineConfig, SpineDrainer, SpineMode, SpineMsg};

@@ -1,0 +1,197 @@
+//! The session-end merge plan: deterministic pairwise tree reduction.
+//!
+//! Every harvest path in the session folds per-device state — tool forks
+//! across hub shards, forked [`UvmManager`]s from parallel lanes — into
+//! one value. Until the scale-out rework each of those folds was a
+//! *linear* chain in ascending device id: `acc ∘ s0 ∘ s1 ∘ … ∘ sN-1`,
+//! an O(N) critical path that dominates session teardown at 64+ shards.
+//!
+//! This module is the one merge plan all of them share now:
+//!
+//! * [`tree_reduce`] — pairwise binary tree reduction over a list whose
+//!   order the caller fixed (ascending device id everywhere in this
+//!   codebase). Round *r* merges adjacent pairs `(0,1), (2,3), …` of the
+//!   previous round's survivors, left absorbing right, so for an
+//!   associative, order-respecting merge the result is byte-identical to
+//!   the linear fold — which is exactly the property the byte-identity
+//!   suites (`tests/concurrency.rs`, `tests/uvm_parallelism.rs`,
+//!   `tests/spine.rs`, `tests/scale_out.rs`) pin. The tree's *shape* is a
+//!   function of the input length alone, never of thread count: worker
+//!   counts only change which thread executes a pair, so any
+//!   `max_threads` produces the same bytes.
+//! * [`linear_reduce`] — the sequential left fold, kept as the reference
+//!   the tests and the `scale_out` bench compare against.
+//! * [`reduce_indexed`] — the plan's scheduling half for *independent*
+//!   reductions (one per registered tool): runs `f(0..n)` on up to
+//!   `max_threads` scoped workers, chunked contiguously so results stay
+//!   in index order.
+//!
+//! All worker threads the plan spawns are named `merge-{k}` so panic
+//! payloads and debugger output attribute to the merge stage.
+//!
+//! Critical-path arithmetic (the `BENCH_scale_out.json` model): a linear
+//! fold of N shards is `(N-1)·M` for per-merge cost M. The tree performs
+//! the same `N-1` merges but round *r* runs its `N/2^r` pairs
+//! concurrently, so with W workers the critical path is
+//! `Σ_r ceil(pairs_r / W) · M` — `≈ (N/W + log₂N)·M`, an
+//! `(N-1) / (N/W + log₂N)` speedup (4.5x at N=64, W=8).
+//!
+//! [`UvmManager`]: uvm_sim::UvmManager
+
+/// Sequential left fold in input order: `items[0] ∘ items[1] ∘ …` —
+/// the linear-chain reference [`tree_reduce`] is measured against.
+/// Returns `None` for an empty input.
+pub fn linear_reduce<T>(items: Vec<T>, merge: impl Fn(&mut T, T)) -> Option<T> {
+    let mut it = items.into_iter();
+    let mut acc = it.next()?;
+    for item in it {
+        merge(&mut acc, item);
+    }
+    Some(acc)
+}
+
+/// Pairwise binary tree reduction in input order, executed on up to
+/// `max_threads` scoped worker threads per round (`0` = available
+/// parallelism; workers are named `merge-{k}`).
+///
+/// Each round merges adjacent pairs of the previous round's survivors —
+/// `merge(&mut left, right)` — and an odd tail element survives to the
+/// next round unmerged, so element order is preserved all the way up.
+/// For an associative `merge` the result equals [`linear_reduce`] of the
+/// same list; the tree shape depends only on `items.len()`, so thread
+/// count never changes the bytes. Returns `None` for an empty input.
+///
+/// A panicking `merge` propagates out of the scope join, exactly like
+/// the pre-existing scoped fold it replaces.
+pub fn tree_reduce<T: Send>(
+    mut items: Vec<T>,
+    max_threads: usize,
+    merge: impl Fn(&mut T, T) + Sync,
+) -> Option<T> {
+    let merge = &merge;
+    while items.len() > 1 {
+        let mut pairs: Vec<(T, Option<T>)> = Vec::with_capacity(items.len().div_ceil(2));
+        let mut it = items.into_iter();
+        while let Some(left) = it.next() {
+            pairs.push((left, it.next()));
+        }
+        let workers = resolve_threads(max_threads).min(pairs.len());
+        if workers <= 1 {
+            for (left, right) in &mut pairs {
+                if let Some(right) = right.take() {
+                    merge(left, right);
+                }
+            }
+        } else {
+            let chunk = pairs.len().div_ceil(workers);
+            std::thread::scope(|scope| {
+                for (k, slice) in pairs.chunks_mut(chunk).enumerate() {
+                    // Audited expect: thread spawning fails only on
+                    // resource exhaustion, where the unnamed
+                    // `Scope::spawn` this replaces would panic too.
+                    #[allow(clippy::expect_used)]
+                    std::thread::Builder::new()
+                        .name(format!("merge-{k}"))
+                        .spawn_scoped(scope, move || {
+                            for (left, right) in slice {
+                                if let Some(right) = right.take() {
+                                    merge(left, right);
+                                }
+                            }
+                        })
+                        .expect("spawn merge worker");
+                }
+            });
+        }
+        items = pairs.into_iter().map(|(left, _)| left).collect();
+    }
+    items.pop()
+}
+
+/// Runs the independent reductions `f(0), …, f(n-1)` on up to
+/// `max_threads` scoped workers (`0` = available parallelism, workers
+/// named `merge-{k}`), returning results in index order. Indices are
+/// chunked contiguously, so each reduction runs whole on one thread —
+/// the scheduler behind the per-tool shard folds, where tools are
+/// independent of each other but each tool's fold must stay ordered.
+pub fn reduce_indexed<T: Send>(
+    n: usize,
+    max_threads: usize,
+    f: impl Fn(usize) -> T + Sync,
+) -> Vec<T> {
+    let workers = resolve_threads(max_threads).min(n);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let f = &f;
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let chunk = n.div_ceil(workers);
+    std::thread::scope(|scope| {
+        for (k, slots) in out.chunks_mut(chunk).enumerate() {
+            let base = k * chunk;
+            // Audited expect: see `tree_reduce` — same failure mode as
+            // the unnamed `Scope::spawn` this replaces.
+            #[allow(clippy::expect_used)]
+            std::thread::Builder::new()
+                .name(format!("merge-{k}"))
+                .spawn_scoped(scope, move || {
+                    for (j, slot) in slots.iter_mut().enumerate() {
+                        *slot = Some(f(base + j));
+                    }
+                })
+                .expect("spawn merge worker");
+        }
+    });
+    out.into_iter()
+        .map(|slot| {
+            // Audited expect: the chunked loop fills every slot before
+            // the scope joins — an empty slot is unreachable.
+            #[allow(clippy::expect_used)]
+            slot.expect("every index reduced")
+        })
+        .collect()
+}
+
+/// `0` means "ask the OS": available parallelism, 1 if unknown.
+fn resolve_threads(max_threads: usize) -> usize {
+    if max_threads > 0 {
+        max_threads
+    } else {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(tree_reduce(Vec::<u64>::new(), 4, |a, b| *a += b), None);
+        assert_eq!(tree_reduce(vec![7u64], 4, |a, b| *a += b), Some(7));
+        assert_eq!(linear_reduce(Vec::<u64>::new(), |a, b| *a += b), None);
+    }
+
+    #[test]
+    fn tree_matches_linear_for_ordered_concat() {
+        // String concat is associative but NOT commutative — exactly the
+        // shape of the device-ordered merges — so this catches any
+        // pairing that reorders elements.
+        for n in 1..=33 {
+            let items: Vec<String> = (0..n).map(|i| format!("[{i}]")).collect();
+            let linear = linear_reduce(items.clone(), |a, b| a.push_str(&b));
+            for threads in [1, 2, 3, 8] {
+                let tree = tree_reduce(items.clone(), threads, |a, b| a.push_str(&b));
+                assert_eq!(tree, linear, "n={n} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_indexed_preserves_index_order() {
+        for threads in [1, 2, 5] {
+            let out = reduce_indexed(11, threads, |i| i * i);
+            assert_eq!(out, (0..11).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+}

@@ -31,6 +31,7 @@ use accel_sim::{
     OverheadBreakdown, Vendor,
 };
 use dl_framework::alloc::AllocatorConfig;
+use dl_framework::lane_exec;
 use dl_framework::models::{ModelZoo, RunKind};
 use dl_framework::parallel::DeviceLane;
 use dl_framework::pycall::CrossLayerStack;
@@ -154,6 +155,42 @@ impl Pasta {
     }
 }
 
+/// Thread budgets for the scale-out executor: how many OS threads a
+/// parallel region and its teardown may spend, independent of how many
+/// device lanes it drives. Every budget is a cap, not a count — a region
+/// never spawns more workers than it has work — and `0` means "available
+/// parallelism" (what the OS reports).
+///
+/// Threads are a *resource* knob only: per-lane event streams, merged
+/// reports and UVM statistics are byte-identical at every setting (the
+/// tree merge's shape depends on shard count alone, and lanes never share
+/// state), so `ParallelConfig` can be tuned freely without invalidating
+/// profiles.
+///
+/// ```
+/// use pasta_core::{Pasta, ParallelConfig};
+/// let builder = Pasta::builder().parallel(ParallelConfig {
+///     max_lane_threads: 4,
+///     ..ParallelConfig::default()
+/// });
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ParallelConfig {
+    /// Lane worker threads for `run_parallel`/`run_parallel_each`: lanes
+    /// are multiplexed onto at most this many pooled workers (named
+    /// `lane-dev{N}` after their first lane) instead of one thread per
+    /// device. Idle workers absorb spine-drain duty.
+    pub max_lane_threads: usize,
+    /// Worker threads for the session-end merge plan (tool folds across
+    /// shards, forked UVM managers) — the tree reduction in
+    /// [`crate::merge`], workers named `merge-{k}`.
+    pub max_merge_threads: usize,
+    /// Background spine-drainer threads for `run_parallel` (named
+    /// `drain-dev{N}`); each services an interleaved slice of the lane
+    /// devices instead of one thread per device.
+    pub max_drain_threads: usize,
+}
+
 /// Builder for [`PastaSession`].
 pub struct PastaBuilder {
     specs: Option<Vec<DeviceSpec>>,
@@ -165,6 +202,8 @@ pub struct PastaBuilder {
     capture_knob: Option<Knob>,
     uvm: Option<UvmSetup>,
     spine_mode: SpineMode,
+    spine_config: SpineConfig,
+    parallel: ParallelConfig,
 }
 
 impl Default for PastaBuilder {
@@ -179,6 +218,8 @@ impl Default for PastaBuilder {
             capture_knob: Some(Knob::MaxMemReferencedKernel),
             uvm: None,
             spine_mode: SpineMode::Ring,
+            spine_config: SpineConfig::default(),
+            parallel: ParallelConfig::default(),
         }
     }
 }
@@ -284,14 +325,43 @@ impl PastaBuilder {
         self
     }
 
+    /// Ring geometry for the event spine (slots per ring, preallocated
+    /// batch buffers, events per batch). Applies to the session's own
+    /// sink and to every per-lane sink `run_parallel` creates. Validated
+    /// at [`PastaBuilder::build`]: rings need at least 2 slots.
+    pub fn spine_config(mut self, config: SpineConfig) -> Self {
+        self.spine_config = config;
+        self
+    }
+
+    /// Thread budgets for parallel regions and the session-end merge —
+    /// see [`ParallelConfig`].
+    pub fn parallel(mut self, config: ParallelConfig) -> Self {
+        self.parallel = config;
+        self
+    }
+
     /// Builds the session.
     ///
     /// # Errors
     ///
     /// [`PastaError::Config`] on an explicitly empty device list, mixed
-    /// vendors, duplicate tool names, or a backend/vendor mismatch.
+    /// vendors, duplicate tool names, a backend/vendor mismatch, or an
+    /// invalid spine geometry (rings need ≥ 2 slots).
     /// (No device selection at all defaults to one A100.)
     pub fn build(self) -> Result<PastaSession, PastaError> {
+        if self.spine_config.ring_slots < 2 {
+            return Err(PastaError::Config(format!(
+                "spine ring_slots must be at least 2 (got {}): a 1-slot ring \
+                 cannot distinguish full from empty",
+                self.spine_config.ring_slots
+            )));
+        }
+        if self.spine_config.batch_events == 0 {
+            return Err(PastaError::Config(
+                "spine batch_events must be at least 1".into(),
+            ));
+        }
         let specs = match self.specs {
             None => vec![DeviceSpec::a100_80gb()],
             Some(specs) if specs.is_empty() => {
@@ -340,6 +410,7 @@ impl PastaBuilder {
             }
             _ => new_shared(processor),
         };
+        hub.set_merge_threads(self.parallel.max_merge_threads);
 
         let backend = self.backend.unwrap_or(match vendor {
             Vendor::Amd => BackendChoice::RocProfiler(
@@ -409,7 +480,7 @@ impl PastaBuilder {
             handle.set_sink(Box::new(HubSink::with_spine(
                 Arc::clone(&hub),
                 self.spine_mode,
-                SpineConfig::default(),
+                self.spine_config,
             )));
         }
 
@@ -423,6 +494,8 @@ impl PastaBuilder {
             sampling_rate: self.sampling_rate,
             wants_device,
             spine_mode: self.spine_mode,
+            spine_config: self.spine_config,
+            parallel: self.parallel,
             lane_overhead: OverheadBreakdown::default(),
             lane_records: 0,
             lane_uvm: BTreeMap::new(),
@@ -492,6 +565,11 @@ pub struct PastaSession {
     /// How this session's sinks hand events to their shards (parallel
     /// lanes inherit it).
     spine_mode: SpineMode,
+    /// Ring geometry for every sink this session creates (parallel lanes
+    /// inherit it).
+    spine_config: SpineConfig,
+    /// Thread budgets for parallel regions and the session-end merge.
+    parallel: ParallelConfig,
     /// Overhead accumulated by finished parallel-lane profilers.
     lane_overhead: OverheadBreakdown,
     /// Records observed by finished parallel-lane profilers.
@@ -887,6 +965,15 @@ impl PastaSession {
         devices: &[DeviceId],
         f: impl FnOnce(&mut [DeviceLane<'_>]) -> Result<R, AccelError>,
     ) -> Result<R, PastaError> {
+        self.run_parallel_impl(devices, DrainPolicy::Background, f)
+    }
+
+    fn run_parallel_impl<R>(
+        &mut self,
+        devices: &[DeviceId],
+        drain_policy: DrainPolicy,
+        f: impl FnOnce(&mut [DeviceLane<'_>]) -> Result<R, AccelError>,
+    ) -> Result<R, PastaError> {
         if devices.is_empty() {
             return Err(PastaError::Config(
                 "parallel device list is empty: pass at least one DeviceId".into(),
@@ -938,7 +1025,7 @@ impl PastaSession {
                 handle.set_sink(Box::new(HubSink::with_spine(
                     Arc::clone(&self.hub),
                     self.spine_mode,
-                    SpineConfig::default(),
+                    self.spine_config,
                 )));
             }
             // A UVM session replicates into its lanes: each lane carries a
@@ -970,17 +1057,37 @@ impl PastaSession {
                 let backend = dl_framework::backend::BackendProfile::for_vendor(rt.vendor());
                 let mut session = Session::with_config(rt, backend, alloc_config.clone());
                 attach_session(&mut session, Arc::clone(&self.hub));
-                DeviceLane::pin(device, session).map_err(PastaError::from)
+                DeviceLane::pin(device, session)
+                    .map(|mut lane| {
+                        // Stamp the session's lane budget so pooled lane
+                        // schedules (dl-framework's `drive_lanes`) inherit
+                        // it without a config parameter of their own.
+                        lane.set_pool_limit(self.parallel.max_lane_threads);
+                        lane
+                    })
+                    .map_err(PastaError::from)
             })
             .collect::<Result<_, _>>()?;
 
-        // Lane drain scheduling: with the ring spine, one background
-        // drainer per lane device keeps that shard's rings drained while
-        // the emitters run, so tool dispatch leaves the emission critical
-        // path. Inline-spine (or host-only) sessions skip the threads —
-        // there is nothing to drain off-path.
-        let drainer = (self.wants_device && self.spine_mode == SpineMode::Ring)
-            .then(|| SpineDrainer::start(Arc::clone(&self.hub), devices));
+        // Lane drain scheduling: with the ring spine, a bounded set of
+        // background drainers (at most `max_drain_threads`, `0` = the
+        // machine's parallelism — never more than one per device) keeps
+        // the lane shards' rings drained while the emitters run, so tool
+        // dispatch leaves the emission critical path. Pool-idle regions
+        // ([`PastaSession::run_parallel_each`]) skip the threads entirely
+        // — their idle lane workers sweep the shards instead. Inline-spine
+        // (or host-only) sessions also skip them: there is nothing to
+        // drain off-path. Either way the spine's producer-side
+        // backpressure keeps the path lossless without any drainer.
+        let drain_width = if self.parallel.max_drain_threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.parallel.max_drain_threads
+        };
+        let drainer = (self.wants_device
+            && self.spine_mode == SpineMode::Ring
+            && drain_policy == DrainPolicy::Background)
+            .then(|| SpineDrainer::start_bounded(Arc::clone(&self.hub), devices, drain_width));
 
         // The orchestration closure is contained like a lane: a panic
         // unwinding out of it (or out of an unguarded thread it joined)
@@ -1012,7 +1119,15 @@ impl PastaSession {
         // Harvest the lane UVM managers and fold them into the session
         // manager in ascending device id — the same deterministic order
         // as the session-end tool merge, regardless of the order the
-        // caller listed the devices in.
+        // caller listed the devices in. The fold runs through the shared
+        // merge plan: lane managers tree-reduce pairwise in device order
+        // (`UvmManager::merge` is associative — stats sum, hotness lanes
+        // replay their recording logs in device order, shared-range
+        // import is order-independent), then the single combined manager
+        // merges into the session's, byte-identical to the linear chain
+        // this replaces but with an O(N/W + log N) critical path at 64+
+        // lanes. Per-device stats are captured *before* the reduction —
+        // the tree consumes the lane managers.
         let mut lane_managers: Vec<(DeviceId, UvmManager)> = Vec::new();
         for (ctx, &device) in contexts.iter_mut().zip(devices) {
             let Some(model) = ctx.engine_mut().take_residency() else {
@@ -1026,11 +1141,18 @@ impl PastaSession {
         if !lane_managers.is_empty() {
             if let Some(session_manager) = self.runtime.uvm_manager_mut() {
                 for (device, lane_manager) in &lane_managers {
-                    session_manager.merge(lane_manager);
                     self.lane_uvm
                         .entry(*device)
                         .or_default()
                         .merge_from(&lane_manager.stats());
+                }
+                let managers: Vec<UvmManager> = lane_managers.into_iter().map(|(_, m)| m).collect();
+                if let Some(combined) =
+                    crate::merge::tree_reduce(managers, self.parallel.max_merge_threads, |a, b| {
+                        a.merge(&b)
+                    })
+                {
+                    session_manager.merge(&combined);
                 }
             }
         }
@@ -1051,10 +1173,19 @@ impl PastaSession {
         result.map_err(|e| self.salvage(e))
     }
 
-    /// Runs `work` once per lane, each lane on its own OS thread with its
+    /// Runs `work` once per lane on the bounded lane pool, each lane's
     /// panic contained at the lane boundary — the fault-isolated sibling
-    /// of hand-rolling `std::thread::scope` inside
+    /// of hand-rolling thread orchestration inside
     /// [`PastaSession::run_parallel`].
+    ///
+    /// Lanes are multiplexed onto at most
+    /// [`ParallelConfig::max_lane_threads`] pooled workers (named
+    /// `lane-dev{N}` after the first lane each runs), so a 256-device
+    /// region costs a handful of OS threads, not 256. No background
+    /// drainer threads are spawned either: a pool worker that runs out of
+    /// lanes sweeps the lane shards' spine rings until the stragglers
+    /// finish, and the spine's producer-side backpressure covers the rest
+    /// — losslessly, so thread budgets never change the merged bytes.
     ///
     /// `work` receives the lane's index into `devices` and the lane
     /// itself. A panicking lane becomes a [`LaneFailure`] attributed to
@@ -1074,39 +1205,34 @@ impl PastaSession {
         devices: &[DeviceId],
         work: impl Fn(usize, &mut DeviceLane<'_>) -> Result<(), AccelError> + Sync,
     ) -> Result<(), PastaError> {
-        self.run_parallel(devices, |lanes| {
-            let mut results: Vec<Result<(), AccelError>> = Vec::with_capacity(lanes.len());
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = lanes
-                    .iter_mut()
-                    .enumerate()
-                    .map(|(i, lane)| {
-                        let device = lane.device();
-                        let work = &work;
-                        let handle = scope.spawn(move || {
-                            catch_unwind(AssertUnwindSafe(|| work(i, lane))).unwrap_or_else(
-                                |payload| {
-                                    Err(AccelError::LanePanic {
-                                        device,
-                                        payload: panic_message(payload.as_ref()),
-                                    })
-                                },
-                            )
-                        });
-                        (device, handle)
-                    })
-                    .collect();
-                for (device, handle) in handles {
-                    // The in-thread catch_unwind already contained the
-                    // panic; a panicking join is defensive double cover.
-                    results.push(handle.join().unwrap_or_else(|payload| {
-                        Err(AccelError::LanePanic {
-                            device,
-                            payload: panic_message(payload.as_ref()),
-                        })
-                    }));
+        let hub = Arc::clone(&self.hub);
+        let drain_devices: Option<Vec<DeviceId>> =
+            (self.wants_device && self.spine_mode == SpineMode::Ring).then(|| devices.to_vec());
+        let pool_limit = self.parallel.max_lane_threads;
+        self.run_parallel_impl(devices, DrainPolicy::PoolIdle, |lanes| {
+            let idle = drain_devices.as_ref().map(|ds| {
+                let hub = &hub;
+                move || -> bool {
+                    ds.iter()
+                        .map(|&d| hub.shard_for(d).try_drain())
+                        .sum::<u64>()
+                        > 0
                 }
             });
+            let work = &work;
+            let tasks: Vec<lane_exec::PoolTask<'_, ()>> = lanes
+                .iter_mut()
+                .enumerate()
+                .map(|(i, lane)| lane_exec::PoolTask {
+                    device: lane.device(),
+                    run: Box::new(move || work(i, lane)),
+                })
+                .collect();
+            let results = lane_exec::run_pool(
+                pool_limit,
+                tasks,
+                idle.as_ref().map(|h| h as &(dyn Fn() -> bool + Sync)),
+            );
             // A contained panic is the root cause — report it ahead of
             // secondary errors surviving lanes hit because a peer died.
             for r in &results {
@@ -1120,6 +1246,18 @@ impl PastaSession {
             Ok(())
         })
     }
+}
+
+/// Who keeps the spine rings drained while a parallel region's lanes run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DrainPolicy {
+    /// A bounded set of dedicated drainer threads
+    /// ([`SpineDrainer::start_bounded`]) — for [`PastaSession::run_parallel`],
+    /// whose orchestration closure is opaque to the session.
+    Background,
+    /// No drainer threads: the caller's lane pool sweeps the shards from
+    /// idle workers ([`PastaSession::run_parallel_each`]).
+    PoolIdle,
 }
 
 #[cfg(test)]

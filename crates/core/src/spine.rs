@@ -359,12 +359,14 @@ impl ShardSpine {
     }
 }
 
-/// Background shard drainers for parallel regions: one thread per lane
-/// device keeps that shard's rings drained while emitters run, so tool
-/// dispatch (80–94% of an instrumented launch) leaves the emission
-/// critical path. Emitters that outrun a drainer fall back to the
-/// lossless backpressure path; a stopped (or never-started) drainer
-/// costs correctness nothing — the next harvest drains.
+/// Background shard drainers for parallel regions: a bounded set of
+/// threads (at most one per lane device, fewer under
+/// [`SpineDrainer::start_bounded`]) keeps the lane shards' rings drained
+/// while emitters run, so tool dispatch (80–94% of an instrumented
+/// launch) leaves the emission critical path. Emitters that outrun a
+/// drainer fall back to the lossless backpressure path; a stopped (or
+/// never-started) drainer costs correctness nothing — the next harvest
+/// drains.
 ///
 /// `stop` is cooperative: the drainer finishes its sweep, and
 /// [`SpineDrainer::stop`] (also run on drop) joins the threads. The
@@ -380,15 +382,37 @@ impl SpineDrainer {
     /// shards. Spawn failures are tolerated silently: the spine is
     /// correct without drainers, just slower under contention.
     pub fn start(hub: SharedHub, devices: &[DeviceId]) -> SpineDrainer {
+        Self::start_bounded(hub, devices, devices.len())
+    }
+
+    /// Spawns at most `max_threads` drainer threads (`0` = one per
+    /// device), each servicing an interleaved slice of `devices`: thread
+    /// `j` sweeps `devices[j], devices[j + W], …`, so at 256 lanes the
+    /// drain side costs `max_drain_threads` OS threads instead of 256.
+    /// Threads are named `drain-dev{N}` after the first device they
+    /// service. Spawn failures are tolerated silently — the spine is
+    /// correct without drainers, just slower under contention.
+    pub fn start_bounded(hub: SharedHub, devices: &[DeviceId], max_threads: usize) -> SpineDrainer {
         let stop = Arc::new(AtomicBool::new(false));
-        let threads = devices
-            .iter()
-            .filter_map(|&device| {
+        let width = if max_threads == 0 {
+            devices.len()
+        } else {
+            max_threads.min(devices.len())
+        };
+        let threads = (0..width)
+            .filter_map(|j| {
+                let slice: Vec<DeviceId> = devices
+                    .iter()
+                    .copied()
+                    .skip(j)
+                    .step_by(width.max(1))
+                    .collect();
+                let first = *slice.first()?;
                 let hub: Arc<Hub> = Arc::clone(&hub);
                 let stop = Arc::clone(&stop);
                 std::thread::Builder::new()
-                    .name(format!("pasta-spine-{device}"))
-                    .spawn(move || drain_loop(&hub, device, &stop))
+                    .name(format!("drain-dev{}", first.index()))
+                    .spawn(move || drain_loop(&hub, &slice, &stop))
                     .ok()
             })
             .collect();
@@ -416,13 +440,17 @@ impl Drop for SpineDrainer {
     }
 }
 
-/// One drainer thread's loop: opportunistically drain the shard (skipping
-/// beats where an emitter or harvest holds the lock), backing off from a
-/// spin to short sleeps when the shard runs dry.
-fn drain_loop(hub: &Hub, device: DeviceId, stop: &AtomicBool) {
+/// One drainer thread's loop: opportunistically sweep every assigned
+/// shard (skipping beats where an emitter or harvest holds a lock),
+/// backing off from a spin to short sleeps when the whole slice runs dry.
+fn drain_loop(hub: &Hub, devices: &[DeviceId], stop: &AtomicBool) {
     let mut idle_beats = 0u32;
     while !stop.load(Ordering::Acquire) {
-        if hub.shard_for(device).try_drain() > 0 {
+        let drained: u64 = devices
+            .iter()
+            .map(|&device| hub.shard_for(device).try_drain())
+            .sum();
+        if drained > 0 {
             idle_beats = 0;
         } else {
             idle_beats = idle_beats.saturating_add(1);

@@ -1,0 +1,287 @@
+//! Bounded lane executor: multiplexes per-device lane tasks onto a
+//! fixed-size worker pool.
+//!
+//! Before the scale-out rework every parallel surface spawned one OS
+//! thread per device lane — fine for the paper's 2-GPU experiments,
+//! hopeless at 256 simulated devices (2N threads once the per-device
+//! spine drainers are counted). [`run_pool`] replaces thread-per-lane
+//! everywhere lanes are *independent*: at most `max_threads` worker
+//! threads are live at once, each seeded with one lane and then claiming
+//! further lanes from a shared queue in lane order.
+//!
+//! **Fault containment is preserved per lane, not per thread**: every
+//! task runs under its own `catch_unwind`, so a panicking lane becomes a
+//! typed [`AccelError::LanePanic`] attributed to *its* device and the
+//! worker thread survives to run the remaining lanes.
+//!
+//! **Thread naming**: worker threads are named `lane-dev{N}` after the
+//! device of the first lane they run (thread names are fixed at spawn;
+//! a worker that later multiplexes onto other lanes keeps its name, but
+//! the `LanePanic` it reports always carries the correct device). With
+//! `max_threads >= lanes` every lane runs on a thread bearing its own
+//! device number — the configuration the fault-containment name test
+//! pins.
+//!
+//! **Idle duty**: a worker that finds the queue empty while siblings are
+//! still running calls the caller's `idle` hook in a backoff loop — this
+//! is how `run_parallel_each` folds spine-drainer duty into the pool
+//! instead of spawning one drainer thread per device (see
+//! `pasta_core::spine`). Emitters that outrun the idle drainers fall
+//! back to the spine's lossless producer-side drain, so a pool with no
+//! idle capacity costs correctness nothing.
+//!
+//! **Scheduling caveat**: lanes on a bounded pool must not block on each
+//! other — with fewer workers than lanes, a lane waiting for a lane that
+//! has not been scheduled yet deadlocks. Cross-lane protocols (the
+//! pipeline-parallel activation handoff) keep their dedicated
+//! thread-per-lane scope for exactly this reason.
+
+use accel_sim::{panic_message, AccelError, DeviceId};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One lane's unit of work: the device it drives (for panic attribution
+/// and worker naming) and the closure that drives it.
+pub struct PoolTask<'a, T> {
+    /// Device the task's lane is pinned to.
+    pub device: DeviceId,
+    /// The lane's work; runs exactly once, contained by `catch_unwind`.
+    pub run: Box<dyn FnOnce() -> Result<T, AccelError> + Send + 'a>,
+}
+
+impl<T> std::fmt::Debug for PoolTask<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolTask")
+            .field("device", &self.device)
+            .finish()
+    }
+}
+
+/// High-water mark of concurrently *running* pool tasks since the last
+/// [`reset_pool_high_water`] — process-global diagnostics for the tests
+/// that pin "at most `max_lane_threads` lane workers live at once".
+static POOL_HIGH_WATER: AtomicUsize = AtomicUsize::new(0);
+
+/// The peak number of lane tasks that ran concurrently since the last
+/// reset, across every pool in the process.
+pub fn pool_high_water() -> usize {
+    POOL_HIGH_WATER.load(Ordering::Acquire)
+}
+
+/// Resets [`pool_high_water`] to zero.
+pub fn reset_pool_high_water() {
+    POOL_HIGH_WATER.store(0, Ordering::Release);
+}
+
+/// Resolves a thread budget: `0` means "available parallelism" (1 if the
+/// OS will not say).
+pub fn resolve_threads(max_threads: usize) -> usize {
+    if max_threads > 0 {
+        max_threads
+    } else {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    }
+}
+
+/// Runs every task on a bounded worker pool and returns the per-task
+/// results **in task order** (which is lane order everywhere this is
+/// used — error precedence stays deterministic regardless of which
+/// worker ran what).
+///
+/// At most `resolve_threads(max_threads).min(tasks.len())` worker
+/// threads exist at any moment. Worker `w` is seeded with task `w` and
+/// named `lane-dev{N}` after that task's device; exhausted workers claim
+/// remaining tasks in index order, then run `idle` (if any) until every
+/// task has finished — `idle` returns whether it found work, driving a
+/// yield-then-sleep backoff.
+///
+/// A panicking task is contained at the task boundary and surfaces as
+/// [`AccelError::LanePanic`] for its device; remaining tasks still run.
+pub fn run_pool<'a, T: Send>(
+    max_threads: usize,
+    tasks: Vec<PoolTask<'a, T>>,
+    idle: Option<&(dyn Fn() -> bool + Sync)>,
+) -> Vec<Result<T, AccelError>> {
+    let n = tasks.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = resolve_threads(max_threads).min(n);
+    let devices: Vec<DeviceId> = tasks.iter().map(|t| t.device).collect();
+    let slots: Vec<Mutex<Option<PoolTask<'a, T>>>> =
+        tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<Result<T, AccelError>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(workers);
+    let done = AtomicUsize::new(0);
+    let live = AtomicUsize::new(0);
+
+    let run_task = |i: usize| {
+        // A poisoned slot mutex is unreachable: the take happens before
+        // any user code runs, so no panic can unwind through the lock.
+        let Ok(Some(task)) = slots[i].lock().map(|mut s| s.take()) else {
+            return;
+        };
+        let device = task.device;
+        let concurrent = live.fetch_add(1, Ordering::SeqCst) + 1;
+        POOL_HIGH_WATER.fetch_max(concurrent, Ordering::SeqCst);
+        let run = task.run;
+        let result = catch_unwind(AssertUnwindSafe(run)).unwrap_or_else(|payload| {
+            Err(AccelError::LanePanic {
+                device,
+                payload: panic_message(payload.as_ref()),
+            })
+        });
+        live.fetch_sub(1, Ordering::SeqCst);
+        if let Ok(mut slot) = results[i].lock() {
+            *slot = Some(result);
+        }
+        done.fetch_add(1, Ordering::Release);
+    };
+
+    std::thread::scope(|scope| {
+        for (w, seed_device) in devices.iter().enumerate().take(workers) {
+            let run_task = &run_task;
+            let (next, done) = (&next, &done);
+            // Thread spawning fails only on resource exhaustion, where
+            // the unnamed `Scope::spawn` this replaces would panic too.
+            std::thread::Builder::new()
+                .name(format!("lane-dev{}", seed_device.index()))
+                .spawn_scoped(scope, move || {
+                    run_task(w);
+                    loop {
+                        let claim = next.fetch_add(1, Ordering::SeqCst);
+                        if claim < n {
+                            run_task(claim);
+                            continue;
+                        }
+                        // Queue exhausted: fold idle duty (spine
+                        // draining) into this worker until the last
+                        // sibling finishes its lane.
+                        let Some(idle) = idle else { break };
+                        let mut idle_beats = 0u32;
+                        while done.load(Ordering::Acquire) < n {
+                            if idle() {
+                                idle_beats = 0;
+                            } else {
+                                idle_beats = idle_beats.saturating_add(1);
+                                if idle_beats < 16 {
+                                    std::thread::yield_now();
+                                } else {
+                                    std::thread::sleep(std::time::Duration::from_micros(50));
+                                }
+                            }
+                        }
+                        break;
+                    }
+                })
+                .expect("spawn lane worker");
+        }
+    });
+
+    results
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            // Every index in 0..n is claimed exactly once (seeds cover
+            // 0..workers, the counter covers the rest) and panics are
+            // contained, so an unfilled slot is defensive cover only.
+            slot.into_inner().ok().flatten().unwrap_or_else(|| {
+                Err(AccelError::LanePanic {
+                    device: devices[i],
+                    payload: "lane task never ran (worker lost)".into(),
+                })
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task<'a>(
+        device: u32,
+        run: impl FnOnce() -> Result<u32, AccelError> + Send + 'a,
+    ) -> PoolTask<'a, u32> {
+        PoolTask {
+            device: DeviceId(device),
+            run: Box::new(run),
+        }
+    }
+
+    #[test]
+    fn results_stay_in_task_order_at_every_pool_size() {
+        for threads in [1, 2, 3, 16] {
+            let tasks: Vec<PoolTask<'_, u32>> =
+                (0..7).map(|i| task(i, move || Ok(i * 10))).collect();
+            let out = run_pool(threads, tasks, None);
+            let values: Vec<u32> = out.into_iter().map(|r| r.unwrap()).collect();
+            assert_eq!(values, vec![0, 10, 20, 30, 40, 50, 60], "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn panic_is_contained_and_attributed_and_siblings_run() {
+        let tasks = vec![
+            task(0, || Ok(1)),
+            task(1, || panic!("fault-injection: pooled lane dies")),
+            task(2, || Ok(3)),
+        ];
+        let out = run_pool(1, tasks, None);
+        assert_eq!(*out[0].as_ref().unwrap(), 1);
+        match &out[1] {
+            Err(AccelError::LanePanic { device, payload }) => {
+                assert_eq!(*device, DeviceId(1));
+                assert!(payload.contains("pooled lane dies"));
+            }
+            other => panic!("expected LanePanic, got {other:?}"),
+        }
+        assert_eq!(*out[2].as_ref().unwrap(), 3);
+    }
+
+    #[test]
+    fn concurrency_never_exceeds_the_budget() {
+        use std::sync::atomic::AtomicUsize;
+        let cur = AtomicUsize::new(0);
+        let max = AtomicUsize::new(0);
+        let tasks: Vec<PoolTask<'_, u32>> = (0..12)
+            .map(|i| {
+                let (cur, max) = (&cur, &max);
+                task(i, move || {
+                    let c = cur.fetch_add(1, Ordering::SeqCst) + 1;
+                    max.fetch_max(c, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    cur.fetch_sub(1, Ordering::SeqCst);
+                    Ok(i)
+                })
+            })
+            .collect();
+        let out = run_pool(3, tasks, None);
+        assert!(out.iter().all(Result::is_ok));
+        assert!(max.load(Ordering::SeqCst) <= 3, "budget exceeded");
+    }
+
+    #[test]
+    fn idle_hook_runs_while_stragglers_finish() {
+        let idle_calls = AtomicUsize::new(0);
+        let tasks = vec![
+            task(0, || {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                Ok(0)
+            }),
+            task(1, || Ok(1)),
+        ];
+        let hook = || {
+            idle_calls.fetch_add(1, Ordering::SeqCst);
+            false
+        };
+        let out = run_pool(2, tasks, Some(&hook));
+        assert!(out.iter().all(Result::is_ok));
+        assert!(
+            idle_calls.load(Ordering::SeqCst) > 0,
+            "idle worker never drained"
+        );
+    }
+}

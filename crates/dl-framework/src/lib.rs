@@ -36,6 +36,7 @@ pub mod alloc;
 pub mod backend;
 pub mod callbacks;
 pub mod dtype;
+pub mod lane_exec;
 pub mod layers;
 pub mod models;
 pub mod ops;

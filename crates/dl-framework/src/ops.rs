@@ -922,6 +922,42 @@ pub fn allreduce(s: &mut Session<'_>, t: &Tensor) -> Result<(), AccelError> {
     })
 }
 
+/// All-to-all token exchange (MoE expert routing): `t`'s payload is
+/// partitioned uniformly across `world` ranks, and every non-local
+/// slice crosses the peer fabric as a `DeviceToDevice` copy — which the
+/// engine prices over the peer matrix (`DeviceSpec::p2p_bandwidth_gbps`)
+/// — followed by one AllToAll collective kernel touching the full
+/// buffer (the pack/unpack traffic). Deterministic per lane: the slice
+/// sizes depend only on `t` and `world`, never on peer timing, so the
+/// sequential reference reproduces the exact stream.
+pub fn all_to_all(s: &mut Session<'_>, t: &Tensor, world: usize) -> Result<(), AccelError> {
+    let world = world.max(1);
+    let name = s.backend().collective_kernel("AllToAll");
+    s.with_op("c10d::all_to_all_single", |s| {
+        let per_rank = t.bytes / world as u64;
+        if per_rank > 0 {
+            for _ in 0..world - 1 {
+                s.runtime_mut().memcpy(
+                    t.ptr,
+                    t.ptr,
+                    per_rank,
+                    accel_sim::CopyDirection::DeviceToDevice,
+                )?;
+            }
+        }
+        let (g, blk) = launch_cfg(t.numel() / 8);
+        let desc = KernelDesc::new(name.clone(), g, blk)
+            .arg(t.ptr, t.bytes)
+            .body(
+                KernelBody::default()
+                    .access(AccessSpec::load(0, t.bytes))
+                    .access(AccessSpec::store(0, t.bytes)),
+            );
+        s.launch(desc)?;
+        Ok(())
+    })
+}
+
 /// Point-to-point activation send/recv (pipeline parallelism).
 pub fn send_recv(s: &mut Session<'_>, t: &Tensor) -> Result<(), AccelError> {
     let name = s.backend().collective_kernel("SendRecv");

@@ -1,22 +1,28 @@
-//! Multi-GPU parallelism: Megatron GPT-2 345M under data, tensor and
-//! pipeline parallelism on two devices (paper §V-D2, Fig. 15).
+//! Multi-GPU parallelism: Megatron GPT-2 345M under data, tensor,
+//! pipeline (two devices, paper §V-D2, Fig. 15) and expert parallelism
+//! (the 64–256-device scale-out workload).
 //!
 //! Since the sharded-hub rework these are *genuinely concurrent* emission
-//! scenarios: every device is driven by its own OS thread over its own
-//! [`DeviceLane`] (a framework [`Session`] pinned to one device), so
-//! tensor traffic, operator brackets and fine-grained device events from
-//! different GPUs really do race into the profiling layer — which the
-//! per-device hub shards absorb without a shared lock. Since the
-//! lock-free spine rework the lane threads do not even take their own
-//! shard's lock on the hot path: sinks push batched spills onto SPSC
-//! rings and `run_parallel` schedules one background drainer per lane
-//! device to consume them off the emission critical path (with the
+//! scenarios: every device is driven over its own [`DeviceLane`] (a
+//! framework [`Session`] pinned to one device), so tensor traffic,
+//! operator brackets and fine-grained device events from different GPUs
+//! really do race into the profiling layer — which the per-device hub
+//! shards absorb without a shared lock. Since the lock-free spine rework
+//! the lane threads do not even take their own shard's lock on the hot
+//! path: sinks push batched spills onto SPSC rings that background
+//! drainers consume off the emission critical path (with the
 //! producer-side backpressure fallback keeping the path lossless when a
-//! drainer falls behind — see `pasta_core::spine`). Pipeline
-//! parallelism sequences its cross-stage activation handoffs with
-//! channels, exactly where a real run would block on send/recv.
+//! drainer falls behind — see `pasta_core::spine`). Since the scale-out
+//! rework lanes no longer get one OS thread each: independent lanes are
+//! multiplexed onto the bounded worker pool in [`lane_exec`] (budget =
+//! each lane's [`DeviceLane::set_pool_limit`], stamped by
+//! `PastaSession::run_parallel` from its `ParallelConfig`), which is what
+//! makes 256-lane runs tractable. Pipeline parallelism sequences its
+//! cross-stage activation handoffs with channels, exactly where a real
+//! run would block on send/recv — and for that reason keeps dedicated
+//! stage threads rather than the pool.
 //!
-//! The three strategies shard differently and therefore leave different
+//! The strategies shard differently and therefore leave different
 //! per-GPU memory signatures:
 //!
 //! * **Data parallelism** — full replicas on both GPUs, gradients
@@ -27,9 +33,15 @@
 //! * **Pipeline parallelism** — the block stack split at the midpoint;
 //!   GPU 1 additionally runs the final layer norm, the (large) logits
 //!   projection and the loss, producing the asymmetric tail of Fig. 15c.
+//! * **Expert parallelism** — a replicated dense trunk with each lane
+//!   hosting its own expert group; per-layer all-to-all token
+//!   dispatch/combine priced over the peer matrix. Lanes stay fully
+//!   independent (uniform routing), which is what lets EP scale to 256
+//!   lanes on the bounded pool.
 
 use crate::callbacks::Pass;
 use crate::dtype::DType;
+use crate::lane_exec;
 use crate::layers::{Layer, LayerNorm, Param, Sequential, TransformerBlock};
 use crate::models::transformer::{custom_lm, LmDims};
 use crate::models::{ModelKind, ModelSpec, Workload};
@@ -48,6 +60,8 @@ pub struct DeviceLane<'rt> {
     device: DeviceId,
     /// The lane's framework session (current device = [`DeviceLane::device`]).
     pub session: Session<'rt>,
+    /// Worker budget for pooled schedules (`0` = available parallelism).
+    pool_limit: usize,
 }
 
 impl std::fmt::Debug for DeviceLane<'_> {
@@ -67,12 +81,30 @@ impl<'rt> DeviceLane<'rt> {
     /// have.
     pub fn pin(device: DeviceId, mut session: Session<'rt>) -> Result<Self, AccelError> {
         session.runtime_mut().set_device(device)?;
-        Ok(DeviceLane { device, session })
+        Ok(DeviceLane {
+            device,
+            session,
+            pool_limit: 0,
+        })
     }
 
     /// The device this lane drives.
     pub fn device(&self) -> DeviceId {
         self.device
+    }
+
+    /// Caps the worker pool the threaded lane schedules may use when this
+    /// lane is driven together with others (`0` = available parallelism).
+    /// `PastaSession::run_parallel` stamps every lane with the session's
+    /// `ParallelConfig::max_lane_threads`, so `train_iter`-style drivers
+    /// inherit the session's scale-out budget without a config parameter.
+    pub fn set_pool_limit(&mut self, max_threads: usize) {
+        self.pool_limit = max_threads;
+    }
+
+    /// The pooled-schedule worker budget (`0` = available parallelism).
+    pub fn pool_limit(&self) -> usize {
+        self.pool_limit
     }
 }
 
@@ -85,6 +117,9 @@ pub enum Parallelism {
     Tensor,
     /// Pipeline (inter-layer) parallelism (PP).
     Pipeline,
+    /// Mixture-of-experts expert parallelism (EP): experts sharded one
+    /// group per lane, tokens routed with all-to-all exchanges.
+    Expert,
 }
 
 impl Parallelism {
@@ -94,6 +129,7 @@ impl Parallelism {
             Parallelism::Data => "data-parallel",
             Parallelism::Tensor => "tensor-parallel",
             Parallelism::Pipeline => "pipeline-parallel",
+            Parallelism::Expert => "expert-parallel",
         }
     }
 }
@@ -186,12 +222,18 @@ fn catch_lane<T>(
     })
 }
 
-/// Runs every lane's closure — on its own OS thread (scoped, so lanes
-/// borrow freely) or lane-at-a-time, per `schedule` — and collects the
-/// per-lane results in lane order. The first failing lane (by lane
-/// order, deterministically) wins error propagation. A panicking lane
-/// surfaces as [`AccelError::LanePanic`] for its device; the other lanes
-/// run to completion either way.
+/// Runs every lane's closure — on the bounded lane pool
+/// ([`lane_exec::run_pool`], at most the lanes' pool limit worker
+/// threads live at once) or lane-at-a-time, per `schedule` — and
+/// collects the per-lane results in lane order. The first failing lane
+/// (by lane order, deterministically) wins error propagation. A
+/// panicking lane surfaces as [`AccelError::LanePanic`] for its device;
+/// the other lanes run to completion either way.
+///
+/// Lanes driven here are independent (no cross-lane blocking), which is
+/// what makes the bounded pool deadlock-free at any worker count; the
+/// pipeline driver, whose stages *do* block on each other, keeps its
+/// dedicated two-thread scope instead.
 fn drive_lanes<F>(
     lanes: &mut [DeviceLane<'_>],
     schedule: LaneSchedule,
@@ -210,35 +252,23 @@ where
             })
             .collect();
     }
+    let limit = lanes
+        .iter()
+        .map(DeviceLane::pool_limit)
+        .find(|&n| n > 0)
+        .unwrap_or(0);
     let work = &work;
-    let results: Vec<Result<LaneStats, AccelError>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = lanes
-            .iter_mut()
-            .enumerate()
-            .map(|(i, lane)| {
-                let device = lane.device();
-                (
-                    device,
-                    scope.spawn(move || catch_lane(device, || work(i, lane))),
-                )
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|(device, h)| {
-                // The panic was already caught inside the thread; a join
-                // error here means the unwind escaped `catch_unwind`
-                // (e.g. a foreign exception) — still contain it.
-                h.join().unwrap_or_else(|payload| {
-                    Err(AccelError::LanePanic {
-                        device,
-                        payload: panic_message(payload.as_ref()),
-                    })
-                })
-            })
-            .collect()
-    });
-    results.into_iter().collect()
+    let tasks: Vec<lane_exec::PoolTask<'_, LaneStats>> = lanes
+        .iter_mut()
+        .enumerate()
+        .map(|(i, lane)| lane_exec::PoolTask {
+            device: lane.device(),
+            run: Box::new(move || work(i, lane)),
+        })
+        .collect();
+    lane_exec::run_pool(limit, tasks, None)
+        .into_iter()
+        .collect()
 }
 
 fn require_lanes(lanes: &[DeviceLane<'_>], n: usize, strategy: &str) -> Result<(), AccelError> {
@@ -386,6 +416,174 @@ fn tensor_parallel(
         Ok(stats)
     })?;
     Ok(report(Parallelism::Tensor, stats))
+}
+
+/// Expert-parallel (MoE) workload configuration: the dense trunk's
+/// dimensions plus how many experts each lane hosts. The expert count is
+/// `lanes × experts_per_lane` — scale-out comes from adding lanes, which
+/// is what drives the executor at 64–256 devices.
+#[derive(Debug, Clone)]
+pub struct MoeConfig {
+    /// Dense trunk dimensions (embeddings, attention, per-expert FFN
+    /// width); `dims.layers` MoE layers, each with one all-to-all
+    /// dispatch/combine round trip per pass.
+    pub dims: LmDims,
+    /// Experts hosted per lane (≥ 1).
+    pub experts_per_lane: usize,
+}
+
+impl MoeConfig {
+    /// The Megatron GPT-2 345M trunk with two experts per lane — the
+    /// full-size variant of the paper-scale experiments.
+    pub fn megatron_345m() -> MoeConfig {
+        MoeConfig {
+            dims: megatron_345m_dims(),
+            experts_per_lane: 2,
+        }
+    }
+
+    /// A deliberately tiny trunk for many-lane (64–256 device) tests and
+    /// benches, where per-lane compute should not drown the scheduling
+    /// and routing behavior under measurement.
+    pub fn tiny() -> MoeConfig {
+        MoeConfig {
+            dims: LmDims {
+                d: 64,
+                heads: 2,
+                ffn: 128,
+                vocab: 512,
+                seq: 32,
+                layers: 2,
+            },
+            experts_per_lane: 1,
+        }
+    }
+}
+
+fn moe_spec(layers: usize, batch: usize) -> ModelSpec {
+    ModelSpec {
+        name: "Megatron MoE GPT-2",
+        abbr: "GPT2-MoE",
+        kind: ModelKind::Transformer,
+        layers,
+        batch,
+    }
+}
+
+/// Runs one expert-parallel (MoE) training iteration at full Megatron
+/// 345M scale ([`MoeConfig::megatron_345m`]), lanes multiplexed onto the
+/// bounded pool.
+///
+/// # Errors
+///
+/// Propagates allocation/launch failures; requires ≥ 2 lanes.
+pub fn train_iter_expert_parallel(
+    lanes: &mut [DeviceLane<'_>],
+    batch: usize,
+) -> Result<ParallelReport, AccelError> {
+    expert_parallel(
+        lanes,
+        batch,
+        &MoeConfig::megatron_345m(),
+        LaneSchedule::Threaded,
+    )
+}
+
+/// [`train_iter_expert_parallel`] with an explicit [`MoeConfig`] — the
+/// entry the 64–256-lane scale tests and the `scale_out` bench drive.
+///
+/// # Errors
+///
+/// Propagates allocation/launch failures; requires ≥ 2 lanes and ≥ 1
+/// expert per lane.
+pub fn train_iter_expert_parallel_with(
+    lanes: &mut [DeviceLane<'_>],
+    batch: usize,
+    cfg: &MoeConfig,
+) -> Result<ParallelReport, AccelError> {
+    expert_parallel(lanes, batch, cfg, LaneSchedule::Threaded)
+}
+
+/// The lane-at-a-time sequential reference for
+/// [`train_iter_expert_parallel_with`]: identical per-lane streams on the
+/// calling thread — the byte-identity oracle for pooled MoE runs.
+///
+/// # Errors
+///
+/// Propagates allocation/launch failures; requires ≥ 2 lanes and ≥ 1
+/// expert per lane.
+pub fn train_iter_expert_sequential_reference_with(
+    lanes: &mut [DeviceLane<'_>],
+    batch: usize,
+    cfg: &MoeConfig,
+) -> Result<ParallelReport, AccelError> {
+    expert_parallel(lanes, batch, cfg, LaneSchedule::Sequential)
+}
+
+/// The expert-parallel iteration: a replicated dense trunk (embeddings,
+/// attention, norms — data-parallel over the batch) whose per-block FFN
+/// stands for the lane's local expert group, plus the MoE routing
+/// traffic: per layer, a router gate over the activations and an
+/// all-to-all dispatch/combine pair, mirrored again for the backward
+/// pass, with the token slices priced over the peer matrix
+/// ([`ops::all_to_all`]). Routing is uniform (`tokens / world` per
+/// peer), so every lane's stream depends only on its own inputs — lanes
+/// never block on each other (pool-safe at any worker count) and the
+/// sequential schedule reproduces the exact per-device streams.
+fn expert_parallel(
+    lanes: &mut [DeviceLane<'_>],
+    batch: usize,
+    cfg: &MoeConfig,
+    schedule: LaneSchedule,
+) -> Result<ParallelReport, AccelError> {
+    require_lanes(lanes, 2, "expert parallelism")?;
+    if cfg.experts_per_lane == 0 {
+        return Err(AccelError::Config(
+            "expert parallelism needs at least one expert per lane".into(),
+        ));
+    }
+    let world = lanes.len();
+    let dims = cfg.dims;
+    let experts_total = world * cfg.experts_per_lane;
+    let stats = drive_lanes(lanes, schedule, |_i, lane| {
+        let s = &mut lane.session;
+        let mut replica = custom_lm(
+            s,
+            moe_spec(dims.layers, batch),
+            dims,
+            batch,
+            "megatron/pretrain_moe_gpt2.py",
+        )?;
+        // One replicated [experts_total, d] router gate.
+        let router_w = s.alloc_tensor(&[experts_total, dims.d], DType::F32)?;
+        replica.training_iter(s)?;
+        let act = s.alloc_tensor(&[batch, dims.seq, dims.d], DType::F32)?;
+        // Forward: route, dispatch tokens to their experts, combine the
+        // expert outputs — once per MoE layer.
+        for _ in 0..dims.layers {
+            let logits = ops::linear(s, &act, &router_w, None, Act::None)?;
+            s.free_tensor(&logits);
+            ops::all_to_all(s, &act, world)?;
+            ops::all_to_all(s, &act, world)?;
+        }
+        // Backward retraces the exchanges in reverse (gradient combine,
+        // then gradient dispatch) — same volume over the same links.
+        for _ in 0..dims.layers {
+            ops::all_to_all(s, &act, world)?;
+            ops::all_to_all(s, &act, world)?;
+        }
+        // Replicated (non-expert) gradients all-reduce like DP; expert
+        // gradients stay local to their owning lane.
+        ops::allreduce(s, &act)?;
+        ops::allreduce(s, &router_w)?;
+        let stats = lane_stats(lane);
+        let s = &mut lane.session;
+        replica.destroy(s);
+        s.free_tensor(&act);
+        s.free_tensor(&router_w);
+        Ok(stats)
+    })?;
+    Ok(report(Parallelism::Expert, stats))
 }
 
 /// One pipeline stage: either the front (embeddings + first half of the
@@ -607,10 +805,26 @@ pub fn train_iter_pipeline_parallel(
     };
     let (d0, d1) = (lane0.device(), lane1.device());
     let (r0, r1) = std::thread::scope(|scope| {
-        let h0 =
-            scope.spawn(move || catch_lane(d0, || pipeline_stage0(lane0, batch, fwd_tx, bwd_rx)));
-        let h1 =
-            scope.spawn(move || catch_lane(d1, || pipeline_stage1(lane1, batch, fwd_rx, bwd_tx)));
+        // The stages block on each other's handoffs, so each keeps a
+        // dedicated thread (a bounded pool could strand a stage behind
+        // its unscheduled peer); named like pool workers so panics and
+        // debugger output attribute to the lane. Audited expects: thread
+        // spawning fails only on resource exhaustion, where the unnamed
+        // `Scope::spawn` this replaces would panic too.
+        #[allow(clippy::expect_used)]
+        let h0 = std::thread::Builder::new()
+            .name(format!("lane-dev{}", d0.index()))
+            .spawn_scoped(scope, move || {
+                catch_lane(d0, || pipeline_stage0(lane0, batch, fwd_tx, bwd_rx))
+            })
+            .expect("spawn pipeline stage");
+        #[allow(clippy::expect_used)]
+        let h1 = std::thread::Builder::new()
+            .name(format!("lane-dev{}", d1.index()))
+            .spawn_scoped(scope, move || {
+                catch_lane(d1, || pipeline_stage1(lane1, batch, fwd_rx, bwd_tx))
+            })
+            .expect("spawn pipeline stage");
         let join = |device, h: std::thread::ScopedJoinHandle<'_, Result<LaneStats, AccelError>>| {
             h.join().unwrap_or_else(|payload| {
                 Err(AccelError::LanePanic {
@@ -653,6 +867,7 @@ pub fn train_iter(
         Parallelism::Data => train_iter_data_parallel(lanes, batch),
         Parallelism::Tensor => train_iter_tensor_parallel(lanes, batch),
         Parallelism::Pipeline => train_iter_pipeline_parallel(lanes, batch),
+        Parallelism::Expert => train_iter_expert_parallel(lanes, batch),
     }
 }
 
@@ -692,6 +907,12 @@ pub fn train_iter_sequential_reference(
         Parallelism::Data => data_parallel(lanes, batch, LaneSchedule::Sequential),
         Parallelism::Tensor => tensor_parallel(lanes, batch, LaneSchedule::Sequential),
         Parallelism::Pipeline => train_iter_pipeline_parallel(lanes, batch),
+        Parallelism::Expert => expert_parallel(
+            lanes,
+            batch,
+            &MoeConfig::megatron_345m(),
+            LaneSchedule::Sequential,
+        ),
     }
 }
 
@@ -761,6 +982,7 @@ mod tests {
                 Parallelism::Data,
                 Parallelism::Tensor,
                 Parallelism::Pipeline,
+                Parallelism::Expert,
             ] {
                 train_iter(lanes, strategy, 1).unwrap();
                 for lane in lanes.iter_mut() {
@@ -788,7 +1010,7 @@ mod tests {
 
     #[test]
     fn sequential_reference_matches_threaded_runs() {
-        for strategy in [Parallelism::Data, Parallelism::Tensor] {
+        for strategy in [Parallelism::Data, Parallelism::Tensor, Parallelism::Expert] {
             let threaded = two_lanes(|lanes| train_iter(lanes, strategy, 1).unwrap());
             let sequential =
                 two_lanes(|lanes| train_iter_sequential_reference(lanes, strategy, 1).unwrap());
@@ -821,5 +1043,27 @@ mod tests {
         assert_eq!(Parallelism::Data.label(), "data-parallel");
         assert_eq!(Parallelism::Tensor.label(), "tensor-parallel");
         assert_eq!(Parallelism::Pipeline.label(), "pipeline-parallel");
+        assert_eq!(Parallelism::Expert.label(), "expert-parallel");
+    }
+
+    #[test]
+    fn moe_routes_device_to_device_traffic() {
+        // The all-to-all exchanges must show up as explicit copies priced
+        // over the peer links — the signature that distinguishes EP from
+        // plain DP, whose collectives are pure kernel launches.
+        two_lanes(|lanes| {
+            let r = train_iter_expert_parallel_with(lanes, 1, &MoeConfig::tiny()).unwrap();
+            assert_eq!(r.strategy, Parallelism::Expert);
+            assert_eq!(r.launches.len(), 2);
+            assert!(r.launches.iter().all(|&l| l > 0));
+            for lane in lanes.iter() {
+                let stats = lane.session.runtime().stats(lane.device());
+                assert!(
+                    stats.copies > 0,
+                    "all-to-all routed no copies on {}",
+                    lane.device()
+                );
+            }
+        });
     }
 }

@@ -21,7 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .a100_x2()
             .tool(MemoryTimelineTool::new())
             .build()?;
-        // One OS thread per GPU: the sharded hub absorbs the concurrent
+        // One pooled lane per GPU: the sharded hub absorbs the concurrent
         // emission, and the merged view below folds both shards together.
         session.run_parallel(&[DeviceId(0), DeviceId(1)], |lanes| {
             parallel::train_iter(lanes, strategy, 1).map(|_| ())

@@ -65,8 +65,9 @@ pub use vendor_nv as nv;
 pub mod prelude {
     pub use crate::core::{
         AnalysisMode, BackendChoice, FnWorkload, Interest, KernelSweepWorkload, Knob,
-        ModelWorkload, Pasta, PastaBuilder, PastaError, PastaSession, RangeFilter, SessionReport,
-        Tool, ToolReport, UvmSetup, Workload, WorkloadCx, WorkloadStats,
+        ModelWorkload, ParallelConfig, Pasta, PastaBuilder, PastaError, PastaSession, RangeFilter,
+        SessionReport, SpineConfig, Tool, ToolReport, UvmSetup, Workload, WorkloadCx,
+        WorkloadStats,
     };
     pub use crate::dl::models::{ModelZoo, RunKind};
     pub use crate::sim::{DeviceId, DeviceSpec, Dim3, KernelBody, KernelDesc};
