@@ -61,6 +61,7 @@ pub mod probe;
 pub mod residency;
 pub mod runtime;
 pub mod symbol;
+pub mod threads;
 pub mod trace;
 
 pub use clock::SimTime;
@@ -79,4 +80,5 @@ pub use probe::{AnalysisMode, DeviceProbe, InstrCoverage, ProbeConfig, ProbeCost
 pub use residency::{AccessOutcome, PeerTransfer, ResidencyAdvice, ResidencyModel};
 pub use runtime::{CopyDirection, DeviceRuntime, LaunchRecord, RuntimeStats};
 pub use symbol::{Symbol, SymbolTable};
+pub use threads::resolve_threads;
 pub use trace::{AccessBatch, KernelTraceSummary};

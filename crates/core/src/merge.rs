@@ -38,6 +38,8 @@
 //!
 //! [`UvmManager`]: uvm_sim::UvmManager
 
+use accel_sim::resolve_threads;
+
 /// Sequential left fold in input order: `items[0] ∘ items[1] ∘ …` —
 /// the linear-chain reference [`tree_reduce`] is measured against.
 /// Returns `None` for an empty input.
@@ -150,15 +152,6 @@ pub fn reduce_indexed<T: Send>(
             slot.expect("every index reduced")
         })
         .collect()
-}
-
-/// `0` means "ask the OS": available parallelism, 1 if unknown.
-fn resolve_threads(max_threads: usize) -> usize {
-    if max_threads > 0 {
-        max_threads
-    } else {
-        std::thread::available_parallelism().map_or(1, |n| n.get())
-    }
 }
 
 #[cfg(test)]

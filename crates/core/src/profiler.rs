@@ -38,6 +38,7 @@ use dl_framework::pycall::CrossLayerStack;
 use dl_framework::session::Session;
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use uvm_sim::{PrefetchPlan, UvmConfig, UvmManager, UvmStats};
 use vendor_amd::rocprofiler::RocProfilerConfig;
@@ -500,6 +501,7 @@ impl PastaBuilder {
             lane_records: 0,
             lane_uvm: BTreeMap::new(),
             lane_failures: Vec::new(),
+            pool_watermark: Arc::new(AtomicUsize::new(0)),
         })
     }
 }
@@ -581,6 +583,12 @@ pub struct PastaSession {
     /// (overlaid onto [`MergedReport::lane_failures`]; cleared by
     /// [`PastaSession::reset_analysis`]).
     lane_failures: Vec<LaneFailure>,
+    /// Peak pooled lane concurrency across this session's parallel
+    /// regions ([`PastaSession::pool_high_water`]): every lane pool this
+    /// session runs `fetch_max`es its per-pool high water here, so the
+    /// reading is per-session — immune to other sessions' pools, unlike
+    /// the process-global `lane_exec::pool_high_water`.
+    pool_watermark: Arc<AtomicUsize>,
 }
 
 impl std::fmt::Debug for PastaSession {
@@ -934,6 +942,24 @@ impl PastaSession {
         }
     }
 
+    /// Peak number of *this session's* pooled lane tasks that ran
+    /// concurrently since the session was built (or the last
+    /// [`PastaSession::reset_pool_high_water`]): every lane pool a
+    /// parallel region of this session runs — `run_parallel_each`'s own
+    /// pool and any `drive_lanes` pool the stamped lanes ride inside
+    /// [`PastaSession::run_parallel`] — folds its per-pool high water in
+    /// with a `fetch_max`. Unlike the process-global
+    /// `lane_exec::pool_high_water`, concurrent sessions (or parallel
+    /// tests) cannot contaminate this reading.
+    pub fn pool_high_water(&self) -> usize {
+        self.pool_watermark.load(Ordering::Acquire)
+    }
+
+    /// Resets [`PastaSession::pool_high_water`] to zero.
+    pub fn reset_pool_high_water(&mut self) {
+        self.pool_watermark.store(0, Ordering::Release);
+    }
+
     /// Creates one instrumented per-device framework session ("lane") per
     /// entry of `devices` and hands them to `f` — the substrate of the
     /// genuinely concurrent multi-device workloads: each lane owns its
@@ -1061,8 +1087,11 @@ impl PastaSession {
                     .map(|mut lane| {
                         // Stamp the session's lane budget so pooled lane
                         // schedules (dl-framework's `drive_lanes`) inherit
-                        // it without a config parameter of their own.
+                        // it without a config parameter of their own, and
+                        // the session's watermark so every pool the lanes
+                        // ride reports its per-pool high water back here.
                         lane.set_pool_limit(self.parallel.max_lane_threads);
+                        lane.set_pool_watermark(Arc::clone(&self.pool_watermark));
                         lane
                     })
                     .map_err(PastaError::from)
@@ -1209,6 +1238,7 @@ impl PastaSession {
         let drain_devices: Option<Vec<DeviceId>> =
             (self.wants_device && self.spine_mode == SpineMode::Ring).then(|| devices.to_vec());
         let pool_limit = self.parallel.max_lane_threads;
+        let watermark = Arc::clone(&self.pool_watermark);
         self.run_parallel_impl(devices, DrainPolicy::PoolIdle, |lanes| {
             let idle = drain_devices.as_ref().map(|ds| {
                 let hub = &hub;
@@ -1228,11 +1258,17 @@ impl PastaSession {
                     run: Box::new(move || work(i, lane)),
                 })
                 .collect();
-            let results = lane_exec::run_pool(
+            let run = lane_exec::run_pool(
                 pool_limit,
                 tasks,
                 idle.as_ref().map(|h| h as &(dyn Fn() -> bool + Sync)),
             );
+            watermark.fetch_max(run.high_water, Ordering::AcqRel);
+            // An idle-hook panic (`run.idle_panic`) is contained inside
+            // the pool and the hook disarmed; correctness needs nothing
+            // more — producer-side backpressure plus the session's final
+            // quiesce drain every ring the disarmed sweeper abandoned.
+            let results = run.results;
             // A contained panic is the root cause — report it ahead of
             // secondary errors surviving lanes hit because a peer died.
             for r in &results {

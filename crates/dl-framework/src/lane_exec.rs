@@ -28,7 +28,12 @@
 //! instead of spawning one drainer thread per device (see
 //! `pasta_core::spine`). Emitters that outrun the idle drainers fall
 //! back to the spine's lossless producer-side drain, so a pool with no
-//! idle capacity costs correctness nothing.
+//! idle capacity costs correctness nothing. The hook is contained like a
+//! lane: a panicking `idle` (e.g. a spine `try_drain` tripping a
+//! poisoned lock during lane salvage) is caught, the hook is disarmed
+//! for the remainder of that pool, and the first payload is reported in
+//! [`PoolRun::idle_panic`] — it never unwinds the scoped worker, so it
+//! cannot abort sibling lanes.
 //!
 //! **Scheduling caveat**: lanes on a bounded pool must not block on each
 //! other — with fewer workers than lanes, a lane waiting for a lane that
@@ -36,9 +41,10 @@
 //! pipeline-parallel activation handoff) keep their dedicated
 //! thread-per-lane scope for exactly this reason.
 
+pub use accel_sim::resolve_threads;
 use accel_sim::{panic_message, AccelError, DeviceId};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// One lane's unit of work: the device it drives (for panic attribution
@@ -59,12 +65,17 @@ impl<T> std::fmt::Debug for PoolTask<'_, T> {
 }
 
 /// High-water mark of concurrently *running* pool tasks since the last
-/// [`reset_pool_high_water`] — process-global diagnostics for the tests
-/// that pin "at most `max_lane_threads` lane workers live at once".
+/// [`reset_pool_high_water`], **across every pool in the process** — a
+/// cross-pool diagnostic only. Two pools running at once (concurrent
+/// sessions, parallel tests) both feed it, so a reading can exceed any
+/// single pool's budget; anything that pins "at most `max_lane_threads`
+/// workers" must use the per-pool [`PoolRun::high_water`] instead.
 static POOL_HIGH_WATER: AtomicUsize = AtomicUsize::new(0);
 
 /// The peak number of lane tasks that ran concurrently since the last
-/// reset, across every pool in the process.
+/// reset, across every pool in the process. Cross-pool diagnostic: with
+/// two pools live at once this exceeds either pool's own budget — use
+/// [`PoolRun::high_water`] for per-pool assertions.
 pub fn pool_high_water() -> usize {
     POOL_HIGH_WATER.load(Ordering::Acquire)
 }
@@ -74,20 +85,28 @@ pub fn reset_pool_high_water() {
     POOL_HIGH_WATER.store(0, Ordering::Release);
 }
 
-/// Resolves a thread budget: `0` means "available parallelism" (1 if the
-/// OS will not say).
-pub fn resolve_threads(max_threads: usize) -> usize {
-    if max_threads > 0 {
-        max_threads
-    } else {
-        std::thread::available_parallelism().map_or(1, |n| n.get())
-    }
+/// What one [`run_pool`] call produced: the per-task results plus the
+/// pool's own concurrency and fault diagnostics.
+#[derive(Debug)]
+pub struct PoolRun<T> {
+    /// Per-task results, **in task order** (lane order everywhere this
+    /// is used), regardless of which worker ran what.
+    pub results: Vec<Result<T, AccelError>>,
+    /// Peak number of *this pool's* tasks that ran concurrently — the
+    /// per-pool counterpart of the process-global [`pool_high_water`],
+    /// immune to contamination from other pools running in parallel.
+    pub high_water: usize,
+    /// Payload of the first `idle`-hook panic, if any. The panic was
+    /// contained and the hook disarmed for the remainder of the pool
+    /// (idle workers fell back to plain backoff); lane results are
+    /// unaffected.
+    pub idle_panic: Option<String>,
 }
 
 /// Runs every task on a bounded worker pool and returns the per-task
 /// results **in task order** (which is lane order everywhere this is
 /// used — error precedence stays deterministic regardless of which
-/// worker ran what).
+/// worker ran what), together with the pool's own high-water mark.
 ///
 /// At most `resolve_threads(max_threads).min(tasks.len())` worker
 /// threads exist at any moment. Worker `w` is seeded with task `w` and
@@ -98,14 +117,21 @@ pub fn resolve_threads(max_threads: usize) -> usize {
 ///
 /// A panicking task is contained at the task boundary and surfaces as
 /// [`AccelError::LanePanic`] for its device; remaining tasks still run.
+/// A panicking `idle` hook is likewise contained: the hook is disarmed
+/// for the rest of this pool and the first payload is reported in
+/// [`PoolRun::idle_panic`] instead of unwinding the pool scope.
 pub fn run_pool<'a, T: Send>(
     max_threads: usize,
     tasks: Vec<PoolTask<'a, T>>,
     idle: Option<&(dyn Fn() -> bool + Sync)>,
-) -> Vec<Result<T, AccelError>> {
+) -> PoolRun<T> {
     let n = tasks.len();
     if n == 0 {
-        return Vec::new();
+        return PoolRun {
+            results: Vec::new(),
+            high_water: 0,
+            idle_panic: None,
+        };
     }
     let workers = resolve_threads(max_threads).min(n);
     let devices: Vec<DeviceId> = tasks.iter().map(|t| t.device).collect();
@@ -116,6 +142,9 @@ pub fn run_pool<'a, T: Send>(
     let next = AtomicUsize::new(workers);
     let done = AtomicUsize::new(0);
     let live = AtomicUsize::new(0);
+    let pool_high = AtomicUsize::new(0);
+    let idle_armed = AtomicBool::new(true);
+    let idle_panic: Mutex<Option<String>> = Mutex::new(None);
 
     let run_task = |i: usize| {
         // A poisoned slot mutex is unreachable: the take happens before
@@ -125,6 +154,7 @@ pub fn run_pool<'a, T: Send>(
         };
         let device = task.device;
         let concurrent = live.fetch_add(1, Ordering::SeqCst) + 1;
+        pool_high.fetch_max(concurrent, Ordering::SeqCst);
         POOL_HIGH_WATER.fetch_max(concurrent, Ordering::SeqCst);
         let run = task.run;
         let result = catch_unwind(AssertUnwindSafe(run)).unwrap_or_else(|payload| {
@@ -144,6 +174,7 @@ pub fn run_pool<'a, T: Send>(
         for (w, seed_device) in devices.iter().enumerate().take(workers) {
             let run_task = &run_task;
             let (next, done) = (&next, &done);
+            let (idle_armed, idle_panic) = (&idle_armed, &idle_panic);
             // Thread spawning fails only on resource exhaustion, where
             // the unnamed `Scope::spawn` this replaces would panic too.
             std::thread::Builder::new()
@@ -158,11 +189,30 @@ pub fn run_pool<'a, T: Send>(
                         }
                         // Queue exhausted: fold idle duty (spine
                         // draining) into this worker until the last
-                        // sibling finishes its lane.
+                        // sibling finishes its lane. The hook runs under
+                        // its own catch_unwind — a panic here would
+                        // otherwise unwind the scoped worker and abort
+                        // the whole pool scope, taking sibling lanes
+                        // down with it. First panic disarms the hook for
+                        // this pool; the spine's producer-side drain
+                        // keeps the path lossless without it.
                         let Some(idle) = idle else { break };
                         let mut idle_beats = 0u32;
                         while done.load(Ordering::Acquire) < n {
-                            if idle() {
+                            let found = idle_armed.load(Ordering::Acquire)
+                                && match catch_unwind(AssertUnwindSafe(idle)) {
+                                    Ok(found) => found,
+                                    Err(payload) => {
+                                        idle_armed.store(false, Ordering::Release);
+                                        if let Ok(mut slot) = idle_panic.lock() {
+                                            slot.get_or_insert_with(|| {
+                                                panic_message(payload.as_ref())
+                                            });
+                                        }
+                                        false
+                                    }
+                                };
+                            if found {
                                 idle_beats = 0;
                             } else {
                                 idle_beats = idle_beats.saturating_add(1);
@@ -180,7 +230,7 @@ pub fn run_pool<'a, T: Send>(
         }
     });
 
-    results
+    let results = results
         .into_iter()
         .enumerate()
         .map(|(i, slot)| {
@@ -194,7 +244,14 @@ pub fn run_pool<'a, T: Send>(
                 })
             })
         })
-        .collect()
+        .collect();
+    PoolRun {
+        results,
+        high_water: pool_high.into_inner(),
+        idle_panic: idle_panic
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner),
+    }
 }
 
 #[cfg(test)]
@@ -217,7 +274,7 @@ mod tests {
             let tasks: Vec<PoolTask<'_, u32>> =
                 (0..7).map(|i| task(i, move || Ok(i * 10))).collect();
             let out = run_pool(threads, tasks, None);
-            let values: Vec<u32> = out.into_iter().map(|r| r.unwrap()).collect();
+            let values: Vec<u32> = out.results.into_iter().map(|r| r.unwrap()).collect();
             assert_eq!(values, vec![0, 10, 20, 30, 40, 50, 60], "threads={threads}");
         }
     }
@@ -229,7 +286,7 @@ mod tests {
             task(1, || panic!("fault-injection: pooled lane dies")),
             task(2, || Ok(3)),
         ];
-        let out = run_pool(1, tasks, None);
+        let out = run_pool(1, tasks, None).results;
         assert_eq!(*out[0].as_ref().unwrap(), 1);
         match &out[1] {
             Err(AccelError::LanePanic { device, payload }) => {
@@ -259,8 +316,50 @@ mod tests {
             })
             .collect();
         let out = run_pool(3, tasks, None);
-        assert!(out.iter().all(Result::is_ok));
+        assert!(out.results.iter().all(Result::is_ok));
         assert!(max.load(Ordering::SeqCst) <= 3, "budget exceeded");
+        assert!(
+            (1..=3).contains(&out.high_water),
+            "per-pool high water {} must stay within the budget",
+            out.high_water
+        );
+        assert!(
+            out.high_water <= max.load(Ordering::SeqCst),
+            "pool high water cannot exceed what the tasks themselves observed"
+        );
+    }
+
+    /// The per-pool high-water mark is immune to other pools running
+    /// concurrently — the process-global `pool_high_water` is not, which
+    /// is exactly why the assertion surface moved.
+    #[test]
+    fn per_pool_high_water_is_uncontaminated_by_concurrent_pools() {
+        let runs: Vec<PoolRun<u32>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let tasks: Vec<PoolTask<'_, u32>> = (0..6)
+                            .map(|i| {
+                                task(i, move || {
+                                    std::thread::sleep(std::time::Duration::from_millis(2));
+                                    Ok(i)
+                                })
+                            })
+                            .collect();
+                        run_pool(2, tasks, None)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for run in &runs {
+            assert!(run.results.iter().all(Result::is_ok));
+            assert!(
+                (1..=2).contains(&run.high_water),
+                "pool high water {} leaked across pools",
+                run.high_water
+            );
+        }
     }
 
     #[test]
@@ -278,10 +377,45 @@ mod tests {
             false
         };
         let out = run_pool(2, tasks, Some(&hook));
-        assert!(out.iter().all(Result::is_ok));
+        assert!(out.results.iter().all(Result::is_ok));
         assert!(
             idle_calls.load(Ordering::SeqCst) > 0,
             "idle worker never drained"
         );
+        assert_eq!(out.idle_panic, None);
+    }
+
+    /// Regression (ISSUE 10): a panicking idle hook used to unwind the
+    /// scoped worker and abort the whole pool scope, killing sibling
+    /// lanes that were mid-flight. Now the panic is contained, the hook
+    /// is disarmed for the rest of the pool, and every lane result
+    /// survives.
+    #[test]
+    fn idle_hook_panic_is_contained_and_disarms_the_hook() {
+        let idle_calls = AtomicUsize::new(0);
+        let tasks = vec![
+            task(0, || {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                Ok(0)
+            }),
+            task(1, || Ok(1)),
+        ];
+        let hook = || -> bool {
+            idle_calls.fetch_add(1, Ordering::SeqCst);
+            panic!("fault-injection: idle drain dies");
+        };
+        let out = run_pool(2, tasks, Some(&hook));
+        assert!(
+            out.results.iter().all(Result::is_ok),
+            "lane results must survive an idle-hook panic: {:?}",
+            out.results
+        );
+        assert_eq!(
+            idle_calls.load(Ordering::SeqCst),
+            1,
+            "first panic must disarm the hook for the rest of the pool"
+        );
+        let payload = out.idle_panic.expect("idle panic reported");
+        assert!(payload.contains("idle drain dies"), "{payload}");
     }
 }

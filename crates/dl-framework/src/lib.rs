@@ -43,6 +43,7 @@ pub mod ops;
 pub mod parallel;
 pub mod pycall;
 pub mod runner;
+pub mod serving;
 pub mod session;
 pub mod tensor;
 
@@ -52,5 +53,6 @@ pub use callbacks::{CallbackRegistry, FrameworkEvent, FrameworkSubscriber};
 pub use dtype::DType;
 pub use models::{ModelZoo, RunKind};
 pub use pycall::{CrossLayerStack, NativeFrame, PyFrame, PyStack};
+pub use serving::{LaneServing, Request, RequestTrace, ServingConfig, ServingRun};
 pub use session::Session;
 pub use tensor::{Tensor, TensorId};

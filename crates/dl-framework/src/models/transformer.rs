@@ -33,6 +33,27 @@ pub struct LmDims {
     pub layers: usize,
 }
 
+impl LmDims {
+    /// Bytes of KV cache one token occupies under these dimensions: a
+    /// key and a value vector of width `d` per layer, in `dtype` — the
+    /// per-decode-step growth rate of a serving request's paged cache
+    /// (`crate::serving`).
+    pub fn kv_bytes_per_token(&self, dtype: DType) -> u64 {
+        2 * self.layers as u64 * self.d as u64 * dtype.size_bytes()
+    }
+
+    /// Approximate parameter bytes of the decoder stack in `dtype`:
+    /// QKV/output projections (`4·d²`) plus the two MLP matrices
+    /// (`2·d·ffn`) per layer, plus the tied token embedding
+    /// (`vocab·d`). The serving scenario sizes its shared weight range
+    /// with this, so weight residency competes with KV growth for the
+    /// managed budget the way it does on a real serving GPU.
+    pub fn param_bytes(&self, dtype: DType) -> u64 {
+        let per_layer = 4 * self.d as u64 * self.d as u64 + 2 * self.d as u64 * self.ffn as u64;
+        (self.layers as u64 * per_layer + self.vocab as u64 * self.d as u64) * dtype.size_bytes()
+    }
+}
+
 /// A decoder- or encoder-only transformer language model.
 pub struct TransformerLm {
     spec: ModelSpec,

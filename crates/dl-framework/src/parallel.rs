@@ -50,7 +50,8 @@ use crate::session::Session;
 use accel_sim::{panic_message, AccelError, AccessSpec, DeviceId, Dim3, KernelBody, KernelDesc};
 use serde::{Deserialize, Serialize};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::mpsc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
 
 /// One lane of a multi-device parallel run: a framework session pinned to
 /// one device, drivable from its own OS thread. Lanes over distinct
@@ -62,6 +63,10 @@ pub struct DeviceLane<'rt> {
     pub session: Session<'rt>,
     /// Worker budget for pooled schedules (`0` = available parallelism).
     pool_limit: usize,
+    /// Where pooled schedules fold their per-pool high-water mark
+    /// (`fetch_max`), when an owner wants to observe peak lane
+    /// concurrency without the contaminable process-global diagnostic.
+    pool_watermark: Option<Arc<AtomicUsize>>,
 }
 
 impl std::fmt::Debug for DeviceLane<'_> {
@@ -85,6 +90,7 @@ impl<'rt> DeviceLane<'rt> {
             device,
             session,
             pool_limit: 0,
+            pool_watermark: None,
         })
     }
 
@@ -105,6 +111,21 @@ impl<'rt> DeviceLane<'rt> {
     /// The pooled-schedule worker budget (`0` = available parallelism).
     pub fn pool_limit(&self) -> usize {
         self.pool_limit
+    }
+
+    /// Arranges for pooled lane schedules ([`lane_exec::run_pool`] via
+    /// `drive_lanes`) to fold their per-pool high-water mark into
+    /// `watermark` with a `fetch_max`. `PastaSession::run_parallel`
+    /// stamps every lane with one shared counter so the session can
+    /// report peak lane concurrency per session, immune to other
+    /// sessions' pools (unlike [`lane_exec::pool_high_water`]).
+    pub fn set_pool_watermark(&mut self, watermark: Arc<AtomicUsize>) {
+        self.pool_watermark = Some(watermark);
+    }
+
+    /// The stamped pool-high-water observer, if any.
+    pub fn pool_watermark(&self) -> Option<&Arc<AtomicUsize>> {
+        self.pool_watermark.as_ref()
     }
 }
 
@@ -210,7 +231,7 @@ enum LaneSchedule {
 /// [`AccelError::LanePanic`] attributed to `device` instead of unwinding
 /// into the join. The non-panic path costs nothing (`catch_unwind` is
 /// zero-overhead until a panic actually lands).
-fn catch_lane<T>(
+pub(crate) fn catch_lane<T>(
     device: DeviceId,
     f: impl FnOnce() -> Result<T, AccelError>,
 ) -> Result<T, AccelError> {
@@ -266,9 +287,11 @@ where
             run: Box::new(move || work(i, lane)),
         })
         .collect();
-    lane_exec::run_pool(limit, tasks, None)
-        .into_iter()
-        .collect()
+    let run = lane_exec::run_pool(limit, tasks, None);
+    if let Some(watermark) = lanes.iter().find_map(DeviceLane::pool_watermark) {
+        watermark.fetch_max(run.high_water, Ordering::AcqRel);
+    }
+    run.results.into_iter().collect()
 }
 
 fn require_lanes(lanes: &[DeviceLane<'_>], n: usize, strategy: &str) -> Result<(), AccelError> {

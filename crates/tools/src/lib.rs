@@ -32,6 +32,7 @@ pub mod mem_timeline;
 pub mod memchar;
 pub mod op_kernel_map;
 pub mod overflow_sanitizer;
+pub mod serving;
 pub mod transfer;
 pub mod util;
 pub mod uvm_advisor;
@@ -44,5 +45,6 @@ pub use mem_timeline::{MemoryTimelineTool, TimelinePoint, UvmTraffic};
 pub use memchar::{MemoryCharacteristics, MemoryCharacteristicsTool};
 pub use op_kernel_map::OpKernelMapTool;
 pub use overflow_sanitizer::OverflowSanitizerTool;
+pub use serving::ServingReport;
 pub use transfer::TransferTool;
 pub use uvm_advisor::{PeerTraffic, UvmActivity, UvmPrefetchAdvisor};

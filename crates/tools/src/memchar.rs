@@ -88,8 +88,10 @@ impl MemoryCharacteristicsTool {
             working_set: sorted.last().copied().unwrap_or(0),
             min_ws: sorted.first().copied().unwrap_or(0),
             avg_ws: sum.checked_div(count).unwrap_or(0),
-            median_ws: percentile(&sorted, 50.0),
-            p90_ws: percentile(&sorted, 90.0),
+            // A run with no kernels reports 0 across the row (same
+            // convention as min/avg/working-set above).
+            median_ws: percentile(&sorted, 50.0).unwrap_or(0),
+            p90_ws: percentile(&sorted, 90.0).unwrap_or(0),
             uvm_fault_groups: self.uvm_fault_groups,
             uvm_migrated_bytes: self.uvm_migrated_bytes,
             uvm_peer_bytes: self.uvm_peer_bytes,

@@ -42,13 +42,18 @@ pub fn merged_extent(mut ranges: Vec<(u64, u64)>) -> u64 {
     total + (cur_end - cur_base)
 }
 
-/// Percentile of a sorted slice (nearest-rank; `p` in `[0, 100]`).
-pub fn percentile(sorted: &[u64], p: f64) -> u64 {
+/// Percentile of a sorted slice (nearest-rank; `p` in `[0, 100]`, with
+/// `p = 0` clamped to the first element).
+///
+/// Returns `None` for an empty slice — "no samples" must not read as
+/// "0 ns" in a latency column (a serving run that admitted no requests
+/// has no p99, not a zero one).
+pub fn percentile(sorted: &[u64], p: f64) -> Option<u64> {
     if sorted.is_empty() {
-        return 0;
+        return None;
     }
     let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
-    sorted[rank.min(sorted.len()) - 1]
+    Some(sorted[rank.min(sorted.len()) - 1])
 }
 
 #[cfg(test)]
@@ -82,11 +87,22 @@ mod tests {
     #[test]
     fn percentile_nearest_rank() {
         let v: Vec<u64> = (1..=10).collect();
-        assert_eq!(percentile(&v, 50.0), 5);
-        assert_eq!(percentile(&v, 90.0), 9);
-        assert_eq!(percentile(&v, 100.0), 10);
-        assert_eq!(percentile(&v, 0.0), 1);
-        assert_eq!(percentile(&[], 50.0), 0);
-        assert_eq!(percentile(&[7], 99.0), 7);
+        assert_eq!(percentile(&v, 50.0), Some(5));
+        assert_eq!(percentile(&v, 90.0), Some(9));
+        assert_eq!(percentile(&v, 100.0), Some(10));
+        assert_eq!(percentile(&v, 0.0), Some(1), "p=0 clamps to the minimum");
+    }
+
+    #[test]
+    fn percentile_edge_inputs() {
+        // Empty: no samples is None, never a fabricated 0 ns.
+        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(percentile(&[], 0.0), None);
+        assert_eq!(percentile(&[], 100.0), None);
+        // Single element: every percentile is that element.
+        assert_eq!(percentile(&[7], 0.0), Some(7));
+        assert_eq!(percentile(&[7], 50.0), Some(7));
+        assert_eq!(percentile(&[7], 99.0), Some(7));
+        assert_eq!(percentile(&[7], 100.0), Some(7));
     }
 }

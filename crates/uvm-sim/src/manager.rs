@@ -159,11 +159,30 @@ impl UvmManager {
 
     /// Shrinks or grows a device's managed budget (oversubscription knob).
     ///
+    /// **Snapshot semantics with forked lanes**: [`UvmManager::fork`]
+    /// copies the device table, budgets included, at fork time. Setting a
+    /// budget on the parent afterwards does *not* reach managers already
+    /// forked — a sweep that tightens `budget_bytes` between load waves
+    /// must do so on the managers that will actually run the next wave
+    /// (in practice: reconfigure before the parallel region opens, so the
+    /// next round of forks inherits the new budget, or build a fresh
+    /// session per budget point the way the oversubscription examples
+    /// do).
+    ///
     /// # Panics
     ///
     /// Panics when the device was never added.
     pub fn set_budget(&mut self, device: DeviceId, budget: u64) {
         self.devices[device.index()].budget = budget;
+    }
+
+    /// The managed budget currently configured for `device` (bytes).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the device was never added.
+    pub fn budget(&self, device: DeviceId) -> u64 {
+        self.devices[device.index()].budget
     }
 
     /// Number of devices registered.
@@ -178,6 +197,12 @@ impl UvmManager {
     /// driving `device` starts cold and accumulates its own state with no
     /// shared lock. Lane state folds back via [`UvmManager::merge`] at
     /// session end.
+    ///
+    /// The device table is a **snapshot**: a later
+    /// [`UvmManager::set_budget`] on the parent never reaches a manager
+    /// forked before the call (and a fork's `set_budget` never reaches
+    /// the parent). Budget changes must land before the forks that
+    /// should observe them are taken.
     ///
     /// `device` names the lane's home device; it is recorded for merge
     /// ordering and asserted to exist so a mis-pinned lane fails fast.
@@ -960,6 +985,35 @@ mod tests {
         assert_eq!(cold.migrated_in_bytes, 64 * MB);
         let warm = m.on_kernel_access(DeviceId(0), BASE, 64 * MB, 64 * MB, AccessKind::Load);
         assert_eq!(warm, AccessOutcome::HIT);
+    }
+
+    /// Pins the snapshot semantics [`UvmManager::fork`] documents: the
+    /// fork copies the budget table, so `set_budget` on the parent after
+    /// the fork never reaches the lane manager (and vice versa). A sweep
+    /// that tightens budgets between waves must reconfigure *before*
+    /// forking the lanes that should feel the squeeze.
+    #[test]
+    fn fork_snapshots_budgets_and_later_set_budget_does_not_propagate() {
+        let mut parent = manager(512);
+        let fork = parent.fork(DeviceId(0));
+        assert_eq!(fork.budget(DeviceId(0)), 512 * MB, "fork inherits");
+
+        parent.set_budget(DeviceId(0), 32 * MB);
+        assert_eq!(parent.budget(DeviceId(0)), 32 * MB);
+        assert_eq!(
+            fork.budget(DeviceId(0)),
+            512 * MB,
+            "parent set_budget must not reach an existing fork"
+        );
+
+        let mut late = parent.fork(DeviceId(0));
+        assert_eq!(late.budget(DeviceId(0)), 32 * MB, "new forks see it");
+        late.set_budget(DeviceId(0), MB);
+        assert_eq!(
+            parent.budget(DeviceId(0)),
+            32 * MB,
+            "a fork's set_budget must not reach the parent"
+        );
     }
 
     #[test]

@@ -11,7 +11,6 @@
 //! ```
 
 use pasta::core::tool::LaunchCounter;
-use pasta::dl::lane_exec;
 use pasta::dl::parallel::{self, MoeConfig};
 use pasta::prelude::*;
 
@@ -31,7 +30,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let devices: Vec<DeviceId> = (0..LANES).map(DeviceId).collect();
     let moe = MoeConfig::tiny();
-    lane_exec::reset_pool_high_water();
     let (report, d2d) = session.run_parallel(&devices, |lanes| {
         let report = parallel::train_iter_expert_parallel_with(lanes, 1, &moe)?;
         // Every lane routed tokens to its 255 peers each layer: the
@@ -51,7 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "  peak concurrent lane workers: {}",
-        lane_exec::pool_high_water()
+        session.pool_high_water()
     );
     println!(
         "  kernel launches: {} total across {} lanes",

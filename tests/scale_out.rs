@@ -8,22 +8,24 @@
 //!   against `linear_reduce` over 2–64 shards and 1–8 worker threads.
 //! * **Lane concurrency is bounded by the pool, not the device count.**
 //!   A 256-device run must complete with at most `max_lane_threads` lane
-//!   workers live at any instant (`lane_exec::pool_high_water`), with the
-//!   MoE expert-parallel workload driving real all-to-all traffic.
+//!   workers live at any instant — pinned on the *per-session*
+//!   `PastaSession::pool_high_water` (ISSUE 10), which other sessions'
+//!   pools cannot contaminate, so the pins hold at any test parallelism —
+//!   with the MoE expert-parallel workload driving real all-to-all
+//!   traffic.
 //! * **Fault containment survives the pool.** A panicking lane runs on a
 //!   *pooled* worker now, so the salvage path — and the `lane-dev{N}`
 //!   thread name the panic hook observes — is pinned here.
 //!
-//! CI runs this suite `--test-threads=1`: `pool_high_water` is a
-//! process-global high-water mark and the panic-hook test must not
-//! interleave with other tests' lanes.
+//! CI runs this suite `--test-threads=1` for the panic-hook test, which
+//! must not interleave with other tests' lanes; the high-water pins no
+//! longer need the serialization.
 
 use std::sync::Mutex;
 
 use pasta::core::merge::{linear_reduce, tree_reduce};
 use pasta::core::tool::LaunchCounter;
 use pasta::core::{LaneFailure, Pasta, PastaError, PastaSession};
-use pasta::dl::lane_exec;
 use pasta::dl::parallel::{self, MoeConfig, Parallelism};
 use pasta::prelude::*;
 use pasta::uvm::{BlockHotness, UvmStats};
@@ -144,7 +146,6 @@ fn run_parallel_each_bounds_workers_at_256_devices() {
         max_drain_threads: 2,
     };
     let mut session = scale_session(256, cfg);
-    lane_exec::reset_pool_high_water();
     session
         .run_parallel_each(&devices(256), |_i, lane| {
             let s = &mut lane.session;
@@ -159,7 +160,7 @@ fn run_parallel_each_bounds_workers_at_256_devices() {
         })
         .expect("256-lane run completes");
 
-    let high = lane_exec::pool_high_water();
+    let high = session.pool_high_water();
     assert!(
         (1..=4).contains(&high),
         "pool high water {high} must stay within max_lane_threads = 4"
@@ -189,14 +190,13 @@ fn moe_256_lanes_complete_on_bounded_pool() {
     };
     let mut session = scale_session(256, cfg);
     let moe = MoeConfig::tiny();
-    lane_exec::reset_pool_high_water();
     let report = session
         .run_parallel(&devices(256), |lanes| {
             parallel::train_iter_expert_parallel_with(lanes, 1, &moe)
         })
         .expect("256-lane MoE completes");
 
-    let high = lane_exec::pool_high_water();
+    let high = session.pool_high_water();
     assert!(
         (1..=4).contains(&high),
         "pool high water {high} must stay within max_lane_threads = 4"
